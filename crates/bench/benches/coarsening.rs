@@ -1,0 +1,22 @@
+//! Figure 7 / Table V microbenchmark: the aggregation schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_coarsen::AggScheme;
+use mis2_graph::gen;
+
+fn bench_coarsening(c: &mut Criterion) {
+    let g = gen::laplace3d(25, 25, 25);
+    let mut group = c.benchmark_group("table5_aggregation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for scheme in AggScheme::all() {
+        group.bench_with_input(BenchmarkId::new(scheme.label(), "laplace3d_25"), &g, |b, g| {
+            b.iter(|| scheme.aggregate(g, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening);
+criterion_main!(benches);

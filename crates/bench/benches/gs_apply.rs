@@ -1,0 +1,29 @@
+//! Table VI microbenchmark: point vs cluster multicolor SGS apply and
+//! setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis2_coarsen::AggScheme;
+use mis2_solver::{ClusterMcSgs, PointMcSgs, Preconditioner};
+
+fn bench_gs(c: &mut Criterion) {
+    let a = mis2_sparse::gen::laplace3d_matrix(20, 20, 20);
+    let n = a.nrows();
+    let r = vec![1.0; n];
+    let mut group = c.benchmark_group("table6_sgs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("point_setup", |b| b.iter(|| PointMcSgs::new(&a, 0)));
+    group.bench_function("cluster_setup", |b| {
+        b.iter(|| ClusterMcSgs::new(&a, AggScheme::Mis2Agg, 0))
+    });
+    let point = PointMcSgs::new(&a, 0);
+    let cluster = ClusterMcSgs::new(&a, AggScheme::Mis2Agg, 0);
+    let mut z = vec![0.0; n];
+    group.bench_function("point_apply", |b| b.iter(|| point.apply(&r, &mut z)));
+    group.bench_function("cluster_apply", |b| b.iter(|| cluster.apply(&r, &mut z)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gs);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 2 microbenchmark: the optimization ladder on two structured
+//! problems (Bell baseline + the four cumulative optimizations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_core::{bell_mis2, mis2_with_config, Mis2Config};
+use mis2_graph::gen;
+
+fn bench_ladder(c: &mut Criterion) {
+    let graphs = vec![
+        ("laplace3d_25", gen::laplace3d(25, 25, 25)),
+        ("elasticity3d_10", gen::elasticity3d(10, 10, 10, 3)),
+    ];
+    let mut group = c.benchmark_group("fig2_opt_ladder");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("bell_baseline", name), g, |b, g| {
+            b.iter(|| bell_mis2(g, 0))
+        });
+        for (label, cfg) in Mis2Config::ladder() {
+            group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
+                b.iter(|| mis2_with_config(g, &cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figures 4/5 microbenchmark: MIS-2 across rayon pool sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_core::mis2;
+use mis2_graph::gen;
+use mis2_prim::pool::{max_threads, with_pool};
+
+fn bench_scaling(c: &mut Criterion) {
+    let g = gen::laplace3d(30, 30, 30);
+    let mut group = c.benchmark_group("fig4_strong_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut threads = vec![1usize];
+    if max_threads() > 1 {
+        threads.push(max_threads());
+    }
+    for &n in &threads {
+        group.bench_with_input(BenchmarkId::new("laplace3d_30", n), &n, |b, &n| {
+            b.iter(|| with_pool(n, || mis2(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

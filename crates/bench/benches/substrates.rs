@@ -1,0 +1,36 @@
+//! Substrate microbenchmarks: parallel scan, worklist compaction, SpMV,
+//! SpGEMM — the kernels the paper's optimizations lean on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis2_prim::{compact, scan};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let data: Vec<usize> = (0..1_000_000).map(|i| i % 7).collect();
+    group.bench_function("exclusive_scan_1M", |b| {
+        b.iter(|| scan::exclusive_scan(&data))
+    });
+
+    let items: Vec<u32> = (0..1_000_000).collect();
+    group.bench_function("par_filter_1M", |b| {
+        b.iter(|| compact::par_filter(&items, |&x| x % 3 == 0))
+    });
+
+    let a = mis2_sparse::gen::laplace3d_matrix(40, 40, 40);
+    let x = vec![1.0; a.nrows()];
+    group.bench_function("spmv_laplace3d_40", |b| b.iter(|| a.spmv(&x)));
+
+    let small = mis2_sparse::gen::laplace3d_matrix(12, 12, 12);
+    group.bench_function("spgemm_a_squared", |b| {
+        b.iter(|| mis2_sparse::spgemm(&small, &small))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

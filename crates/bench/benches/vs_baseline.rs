@@ -1,0 +1,28 @@
+//! Figure 6 / Table IV microbenchmark: Algorithm 1 vs the Bell (CUSP /
+//! ViennaCL) baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_core::{bell_mis2, mis2};
+use mis2_graph::{suite, Scale};
+
+fn bench_vs_baseline(c: &mut Criterion) {
+    let graphs = vec![
+        ("Laplace3D_100", suite::build("Laplace3D_100", Scale::Tiny)),
+        ("af_shell7", suite::build("af_shell7", Scale::Tiny)),
+        ("ecology2", suite::build("ecology2", Scale::Tiny)),
+    ];
+    let mut group = c.benchmark_group("fig6_vs_cusp");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("kk_mis2", name), g, |b, g| b.iter(|| mis2(g)));
+        group.bench_with_input(BenchmarkId::new("cusp_bell", name), g, |b, g| {
+            b.iter(|| bell_mis2(g, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_baseline);
+criterion_main!(benches);

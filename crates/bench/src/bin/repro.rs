@@ -1,0 +1,91 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <artifact> [--scale tiny|small|paper] [--trials N] [--out FILE]
+//!
+//! artifacts: table1 table2 table3 table4 table5 table6
+//!            fig2 fig3 fig4 fig6 fig7 all
+//! ```
+//!
+//! `--scale small` (default) runs at ~1/8 of the paper's sizes; `paper`
+//! uses the full 10^6-vertex graphs; `tiny` is a fast smoke scale.
+
+use mis2_bench::experiments;
+use mis2_bench::{RunOpts, Table, ThreadSweep};
+use mis2_graph::Scale;
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <artifact> [--scale tiny|small|paper] [--trials N] [--out FILE]\n\
+         artifacts: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4 fig6 fig7 all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let artifact = args[0].clone();
+    let mut scale = Scale::Small;
+    let mut trials = 5usize;
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--trials" => {
+                i += 1;
+                trials = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let opts = RunOpts { scale, trials, threads: ThreadSweep::Auto };
+
+    eprintln!(
+        "# repro {artifact} --scale {scale:?} --trials {trials} ({} threads available)",
+        mis2_prim::pool::max_threads()
+    );
+    let t0 = std::time::Instant::now();
+    let tables: Vec<Table> = match artifact.as_str() {
+        "table1" => vec![experiments::table1(&opts)],
+        "table2" => vec![experiments::table2(&opts)],
+        "table3" => vec![experiments::table3(&opts)],
+        "table4" => vec![experiments::table4(&opts)],
+        "table5" => vec![experiments::table5(&opts)],
+        "table6" => vec![experiments::table6(&opts)],
+        "fig2" => vec![experiments::fig2(&opts)],
+        "fig3" => vec![experiments::fig3(&opts)],
+        "fig4" | "fig5" => vec![experiments::fig4(&opts)],
+        "fig6" => vec![experiments::fig6(&opts)],
+        "fig7" => vec![experiments::fig7(&opts)],
+        "all" => experiments::all(&opts),
+        _ => usage(),
+    };
+    let mut rendered = String::new();
+    for t in &tables {
+        rendered.push_str(&t.render());
+        rendered.push('\n');
+    }
+    print!("{rendered}");
+    eprintln!("# done in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(path) = out_path {
+        let mut f = std::fs::File::create(&path).expect("cannot create --out file");
+        f.write_all(rendered.as_bytes()).expect("write failed");
+        eprintln!("# wrote {path}");
+    }
+}

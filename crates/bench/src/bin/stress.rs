@@ -1,0 +1,24 @@
+// Stress reproducer for the repro-all crash: hammer the NB D2C pipeline
+// (speculative D2 coloring + aggregation) on AMG-style coarse graphs.
+use mis2_coarsen::AggScheme;
+
+fn main() {
+    let a = mis2_sparse::gen::laplace3d_matrix(50, 50, 50);
+    eprintln!("building level-1 coarse operator...");
+    let g0 = a.to_graph();
+    let agg0 = mis2_coarsen::mis2_aggregation(&g0);
+    let p = mis2_coarsen::tentative_prolongator(&agg0, true);
+    let p = mis2_coarsen::smoothed_prolongator(&a, &p, Some(2.0 / 3.0));
+    let ac = mis2_sparse::galerkin_product(&a, &p);
+    let g1 = ac.to_graph();
+    eprintln!("coarse graph: {}", g1.stats());
+    g1.validate_symmetric().expect("coarse graph asymmetric!");
+    for iter in 0..200 {
+        let agg = AggScheme::NbD2C.aggregate(&g1, iter);
+        agg.validate(&g1).expect("invalid aggregation");
+        if iter % 20 == 0 {
+            eprintln!("iter {iter}: {} aggregates ok", agg.num_aggregates);
+        }
+    }
+    eprintln!("PASS");
+}

@@ -1,0 +1,124 @@
+//! Plain-text table rendering for the `repro` harness (aligned columns,
+//! GitHub-markdown compatible).
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Title printed above the table (e.g. "Table I — iteration counts").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified by the experiment).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes (substitutions, units, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as aligned markdown.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..ncols {
+                line.push_str(&format!(" {:width$} |", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("> {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Format a float with sensible significant digits for a timing table.
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a speedup ratio.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| name   | value |"));
+        assert!(s.contains("| longer | 22    |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt_ms(123.456), "123");
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_ms(0.1234), "0.123");
+        assert_eq!(fmt_x(2.5), "2.50x");
+    }
+}

@@ -1,0 +1,80 @@
+//! Timing utilities for the harness: repeated-trial measurement and a
+//! preconditioner wrapper that accumulates apply time (for the Table VI
+//! "Apply" columns).
+
+use mis2_solver::Preconditioner;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Median-of-trials milliseconds for `f` (after one warmup run).
+pub fn time_ms<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples = mis2_prim::timer::time_trials(1, trials.max(1), &mut f);
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Mean-of-trials milliseconds (the paper's Table II averages 100 trials).
+pub fn mean_ms<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
+    let samples = mis2_prim::timer::time_trials(1, trials.max(1), &mut f);
+    mis2_prim::timer::SampleStats::from_samples(&samples).mean
+}
+
+/// Wraps a preconditioner and accumulates total apply wall time.
+pub struct TimedPrecond<'a> {
+    inner: &'a dyn Preconditioner,
+    nanos: AtomicU64,
+    applies: AtomicU64,
+}
+
+impl<'a> TimedPrecond<'a> {
+    pub fn new(inner: &'a dyn Preconditioner) -> Self {
+        TimedPrecond { inner, nanos: AtomicU64::new(0), applies: AtomicU64::new(0) }
+    }
+
+    /// Total seconds spent inside `apply`.
+    pub fn apply_seconds(&self) -> f64 {
+        self.nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Number of applications.
+    pub fn applies(&self) -> u64 {
+        self.applies.load(Ordering::Relaxed)
+    }
+}
+
+impl Preconditioner for TimedPrecond<'_> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let t = std::time::Instant::now();
+        self.inner.apply(r, z);
+        self.nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.applies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_solver::Identity;
+
+    #[test]
+    fn timed_precond_counts() {
+        let tp = TimedPrecond::new(&Identity);
+        let r = vec![1.0; 100];
+        let mut z = vec![0.0; 100];
+        tp.apply(&r, &mut z);
+        tp.apply(&r, &mut z);
+        assert_eq!(tp.applies(), 2);
+        assert!(tp.apply_seconds() >= 0.0);
+        assert_eq!(z, r);
+    }
+
+    #[test]
+    fn median_timing_positive() {
+        let ms = time_ms(3, || (0..10_000u64).sum::<u64>());
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`Aggregation`] structure and its validity checks.
+//!
+//! An aggregation (graph coarsening) partitions the vertices into disjoint
+//! connected groups ("aggregates"); each aggregate becomes one vertex of
+//! the coarse graph. All schemes in this crate produce a *complete*
+//! partition — every vertex is assigned — matching the guarantee the paper
+//! derives from MIS-2 maximality (Section III-B).
+
+use mis2_graph::{CsrGraph, VertexId};
+use std::fmt;
+
+/// Sentinel for not-yet-aggregated vertices during construction.
+pub const UNAGGREGATED: u32 = u32::MAX;
+
+/// A complete aggregation of a graph's vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aggregation {
+    /// `labels[v]` = aggregate id in `0..num_aggregates`.
+    pub labels: Vec<u32>,
+    /// Number of aggregates.
+    pub num_aggregates: usize,
+    /// The root vertex that seeded each aggregate (u32::MAX when the
+    /// aggregate was created without a root, e.g. leftover singletons).
+    pub roots: Vec<VertexId>,
+}
+
+/// Aggregation defects found by [`Aggregation::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggViolation {
+    /// A vertex was never assigned.
+    Unassigned { v: VertexId },
+    /// A label is out of range.
+    BadLabel { v: VertexId, label: u32 },
+    /// An aggregate has no members.
+    EmptyAggregate { agg: u32 },
+    /// An aggregate does not induce a connected subgraph.
+    Disconnected { agg: u32 },
+}
+
+impl fmt::Display for AggViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggViolation::Unassigned { v } => write!(f, "vertex {v} unassigned"),
+            AggViolation::BadLabel { v, label } => write!(f, "vertex {v} has label {label}"),
+            AggViolation::EmptyAggregate { agg } => write!(f, "aggregate {agg} empty"),
+            AggViolation::Disconnected { agg } => write!(f, "aggregate {agg} disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for AggViolation {}
+
+impl Aggregation {
+    /// Number of vertices in each aggregate.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.num_aggregates];
+        for &l in &self.labels {
+            if l != UNAGGREGATED {
+                s[l as usize] += 1;
+            }
+        }
+        s
+    }
+
+    /// Mean aggregate size (the coarsening rate).
+    pub fn mean_size(&self) -> f64 {
+        if self.num_aggregates == 0 {
+            0.0
+        } else {
+            self.labels.len() as f64 / self.num_aggregates as f64
+        }
+    }
+
+    /// Validate that this is a complete partition into non-empty, connected
+    /// aggregates of `g`.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), AggViolation> {
+        let n = g.num_vertices();
+        assert_eq!(self.labels.len(), n, "label array length mismatch");
+        for v in 0..n {
+            let l = self.labels[v];
+            if l == UNAGGREGATED {
+                return Err(AggViolation::Unassigned { v: v as VertexId });
+            }
+            if l as usize >= self.num_aggregates {
+                return Err(AggViolation::BadLabel { v: v as VertexId, label: l });
+            }
+        }
+        let sizes = self.sizes();
+        for (a, &s) in sizes.iter().enumerate() {
+            if s == 0 {
+                return Err(AggViolation::EmptyAggregate { agg: a as u32 });
+            }
+        }
+        // Connectivity: BFS within each aggregate, seeded at each
+        // aggregate's first member.
+        let mut first = vec![VertexId::MAX; self.num_aggregates];
+        for v in 0..n {
+            let a = self.labels[v] as usize;
+            if first[a] == VertexId::MAX {
+                first[a] = v as VertexId;
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for (a, &s) in first.iter().enumerate() {
+            let mut count = 0usize;
+            queue.clear();
+            queue.push_back(s);
+            seen[s as usize] = true;
+            while let Some(v) = queue.pop_front() {
+                count += 1;
+                for &w in g.neighbors(v) {
+                    if !seen[w as usize] && self.labels[w as usize] as usize == a {
+                        seen[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if count != sizes[a] {
+                return Err(AggViolation::Disconnected { agg: a as u32 });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_graph::gen;
+
+    #[test]
+    fn valid_partition() {
+        // Path 0-1-2-3: aggregates {0,1} and {2,3}.
+        let g = gen::path(4);
+        let a = Aggregation { labels: vec![0, 0, 1, 1], num_aggregates: 2, roots: vec![0, 2] };
+        a.validate(&g).unwrap();
+        assert_eq!(a.sizes(), vec![2, 2]);
+        assert_eq!(a.mean_size(), 2.0);
+    }
+
+    #[test]
+    fn detects_unassigned() {
+        let g = gen::path(3);
+        let a = Aggregation {
+            labels: vec![0, UNAGGREGATED, 0],
+            num_aggregates: 1,
+            roots: vec![0],
+        };
+        assert!(matches!(a.validate(&g), Err(AggViolation::Unassigned { v: 1 })));
+    }
+
+    #[test]
+    fn detects_bad_label() {
+        let g = gen::path(2);
+        let a = Aggregation { labels: vec![0, 5], num_aggregates: 1, roots: vec![0] };
+        assert!(matches!(a.validate(&g), Err(AggViolation::BadLabel { .. })));
+    }
+
+    #[test]
+    fn detects_empty_aggregate() {
+        let g = gen::path(2);
+        let a = Aggregation { labels: vec![0, 0], num_aggregates: 2, roots: vec![0, 1] };
+        assert!(matches!(a.validate(&g), Err(AggViolation::EmptyAggregate { agg: 1 })));
+    }
+
+    #[test]
+    fn detects_disconnected_aggregate() {
+        // Path 0-1-2: {0, 2} is not connected.
+        let g = gen::path(3);
+        let a = Aggregation { labels: vec![0, 1, 0], num_aggregates: 2, roots: vec![0, 1] };
+        assert!(matches!(a.validate(&g), Err(AggViolation::Disconnected { agg: 0 })));
+    }
+}

@@ -1,0 +1,127 @@
+//! Multilevel coarsening: quotient graphs and recursive hierarchies.
+//!
+//! Two consumers:
+//!
+//! * **Cluster Gauss-Seidel** (Algorithm 4 line 3) coarsens once and colors
+//!   the coarse graph — [`quotient_graph`] builds that coarse graph.
+//! * **Multilevel partitioning / analysis** (Gilbert et al., cited as the
+//!   paper's other application): coarsen recursively until the graph is
+//!   small — [`coarsen_recursive`].
+
+use crate::agg::Aggregation;
+use mis2_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// The coarse (quotient) graph of an aggregation: one vertex per aggregate,
+/// an edge between two aggregates iff some original edge crosses them.
+pub fn quotient_graph(g: &CsrGraph, agg: &Aggregation) -> CsrGraph {
+    let nc = agg.num_aggregates;
+    // Collect cross-aggregate edges per aggregate, then dedup.
+    let edges: Vec<(VertexId, VertexId)> = (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .flat_map_iter(|v| {
+            let la = agg.labels[v as usize];
+            g.neighbors(v)
+                .iter()
+                .filter_map(move |&w| {
+                    let lb = agg.labels[w as usize];
+                    (la < lb).then_some((la, lb))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    CsrGraph::from_edges(nc, &edges)
+}
+
+/// One level of a multilevel hierarchy.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The graph at this level (level 0 = input graph).
+    pub graph: CsrGraph,
+    /// Aggregation used to produce the *next* level (`None` on the
+    /// coarsest level).
+    pub agg: Option<Aggregation>,
+}
+
+/// Recursively coarsen with Algorithm 3 until `min_vertices` is reached or
+/// `max_levels` produced. Returns the levels from finest to coarsest.
+pub fn coarsen_recursive(g: &CsrGraph, min_vertices: usize, max_levels: usize) -> Vec<Level> {
+    let mut levels: Vec<Level> = Vec::new();
+    let mut cur = g.clone();
+    while levels.len() + 1 < max_levels && cur.num_vertices() > min_vertices {
+        let agg = crate::mis2_agg::mis2_aggregation(&cur);
+        if agg.num_aggregates >= cur.num_vertices() {
+            break; // no progress (e.g. edgeless graph)
+        }
+        let coarse = quotient_graph(&cur, &agg);
+        levels.push(Level { graph: cur, agg: Some(agg) });
+        cur = coarse;
+    }
+    levels.push(Level { graph: cur, agg: None });
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_graph::gen;
+
+    #[test]
+    fn quotient_of_path() {
+        // Path 0-1-2-3 with aggregates {0,1}, {2,3} -> coarse path of 2.
+        let g = gen::path(4);
+        let agg = Aggregation { labels: vec![0, 0, 1, 1], num_aggregates: 2, roots: vec![0, 2] };
+        let q = quotient_graph(&g, &agg);
+        assert_eq!(q.num_vertices(), 2);
+        assert_eq!(q.num_edges(), 1);
+        assert!(q.has_edge(0, 1));
+    }
+
+    #[test]
+    fn quotient_no_self_loops() {
+        let g = gen::laplace2d(10, 10);
+        let agg = crate::mis2_agg::mis2_aggregation(&g);
+        let q = quotient_graph(&g, &agg);
+        q.validate_symmetric().unwrap();
+        for v in 0..q.num_vertices() as u32 {
+            assert!(!q.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn quotient_connectivity_preserved() {
+        // A connected graph coarsens to a connected graph.
+        let g = gen::laplace3d(6, 6, 6);
+        let agg = crate::mis2_agg::mis2_aggregation(&g);
+        let q = quotient_graph(&g, &agg);
+        let (nc, _) = mis2_graph::ops::connected_components(&q);
+        assert_eq!(nc, 1);
+    }
+
+    #[test]
+    fn recursive_coarsening_shrinks() {
+        let g = gen::laplace2d(30, 30);
+        let levels = coarsen_recursive(&g, 10, 10);
+        assert!(levels.len() >= 3, "only {} levels", levels.len());
+        for w in levels.windows(2) {
+            assert!(w[1].graph.num_vertices() < w[0].graph.num_vertices());
+        }
+        let coarsest = levels.last().unwrap();
+        assert!(coarsest.graph.num_vertices() <= 30, "coarsest too big");
+        assert!(coarsest.agg.is_none());
+    }
+
+    #[test]
+    fn recursion_stops_on_small_input() {
+        let g = gen::path(5);
+        let levels = coarsen_recursive(&g, 10, 10);
+        assert_eq!(levels.len(), 1);
+    }
+
+    #[test]
+    fn max_levels_respected() {
+        let g = gen::laplace2d(40, 40);
+        let levels = coarsen_recursive(&g, 2, 3);
+        assert!(levels.len() <= 3);
+    }
+}

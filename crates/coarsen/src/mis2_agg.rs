@@ -1,0 +1,276 @@
+//! Algorithm 3 — three-phase MIS-2 aggregation (the paper's "MIS2 Agg").
+//!
+//! The Kokkos Kernels scheme, a parallel and deterministic version of ML's
+//! sequential MIS-2 aggregation (Tuminaro & Tong):
+//!
+//! * **Phase 1**: compute MIS-2, make each member a root, aggregate it with
+//!   its direct neighbors (as Algorithm 2).
+//! * **Phase 2**: compute a *second* MIS-2 on the subgraph induced by the
+//!   unaggregated vertices; each member with at least 2 unaggregated
+//!   neighbors becomes a secondary root (smaller candidates are rejected —
+//!   they would cause fill-in during smoothing).
+//! * **Phase 3**: every remaining vertex joins the adjacent aggregate with
+//!   maximum *coupling* (number of neighbors in that aggregate), breaking
+//!   ties toward the smaller aggregate. Coupling and sizes are computed
+//!   against the frozen "tentative" labels from the end of phase 2, which
+//!   is what keeps this phase parallel **and** deterministic.
+//!
+//! One completion detail the paper leaves implicit: a phase-2 reject (a
+//! secondary MIS-2 root with < 2 unaggregated neighbors) can leave a small
+//! pocket of vertices none of whom touch any aggregate. After the paper's
+//! phase 3 we sweep such pockets into deterministic singleton/pair
+//! aggregates rooted at their smallest vertex (phase 3b below); this only
+//! triggers on degenerate graphs (isolated vertices, tiny components) and
+//! keeps the partition total.
+
+use crate::agg::{Aggregation, UNAGGREGATED};
+use mis2_core::{mis2_with_config, Mis2Config};
+use mis2_graph::{ops, CsrGraph, VertexId};
+use mis2_prim::SharedMut;
+use rayon::prelude::*;
+
+/// Algorithm 3 with the default MIS-2 configuration.
+///
+/// ```
+/// let g = mis2_graph::gen::laplace2d(12, 12);
+/// let agg = mis2_coarsen::mis2_aggregation(&g);
+/// agg.validate(&g).unwrap();              // complete, connected partition
+/// assert!(agg.num_aggregates < g.num_vertices() / 3);
+/// ```
+pub fn mis2_aggregation(g: &CsrGraph) -> Aggregation {
+    mis2_aggregation_with(g, &Mis2Config::default())
+}
+
+/// Algorithm 3 with an explicit MIS-2 configuration (both MIS-2 calls use
+/// it; phase 2 perturbs the seed so the two runs are independent).
+pub fn mis2_aggregation_with(g: &CsrGraph, cfg: &Mis2Config) -> Aggregation {
+    let n = g.num_vertices();
+    let mut labels = vec![UNAGGREGATED; n];
+    let mut roots: Vec<VertexId> = Vec::new();
+
+    // ---- Phase 1: primary MIS-2 roots + their neighbors -----------------
+    let m1 = mis2_with_config(g, cfg);
+    for (a, &r) in m1.in_set.iter().enumerate() {
+        labels[r as usize] = a as u32;
+        roots.push(r);
+    }
+    {
+        let lw = SharedMut::new(&mut labels);
+        (0..n as VertexId).into_par_iter().for_each(|v| {
+            let cur = unsafe { lw.read(v as usize) };
+            if cur != UNAGGREGATED {
+                return;
+            }
+            for &w in g.neighbors(v) {
+                if m1.is_in[w as usize] {
+                    let root_label = unsafe { lw.read(w as usize) };
+                    unsafe { lw.write(v as usize, root_label) };
+                    return;
+                }
+            }
+        });
+    }
+
+    // ---- Phase 2: secondary MIS-2 on the unaggregated subgraph ----------
+    let keep: Vec<bool> = labels.par_iter().map(|&l| l == UNAGGREGATED).collect();
+    let (sub, new_to_old) = ops::induced_subgraph(g, &keep);
+    if sub.num_vertices() > 0 {
+        let cfg2 = Mis2Config { seed: cfg.seed ^ 0xA66E_57A7, ..*cfg };
+        let m2 = mis2_with_config(&sub, &cfg2);
+        // Secondary roots need >= 2 unaggregated neighbors. All neighbors of
+        // an unaggregated vertex that are unaggregated appear in `sub`, so
+        // the subgraph degree *is* the unaggregated-neighbor count.
+        let accepted: Vec<VertexId> = m2
+            .in_set
+            .iter()
+            .copied()
+            .filter(|&v2| sub.degree(v2) >= 2)
+            .collect();
+        let base = roots.len() as u32;
+        for (k, &v2) in accepted.iter().enumerate() {
+            let v = new_to_old[v2 as usize];
+            labels[v as usize] = base + k as u32;
+            roots.push(v);
+        }
+        // Aggregate the secondary roots' unaggregated neighbors. Secondary
+        // roots are distance >= 3 apart in `sub`, so no unaggregated vertex
+        // neighbors two of them: conflict-free.
+        {
+            let lw = SharedMut::new(&mut labels);
+            accepted.par_iter().enumerate().for_each(|(k, &v2)| {
+                let label = base + k as u32;
+                for &w2 in sub.neighbors(v2) {
+                    let w = new_to_old[w2 as usize];
+                    unsafe { lw.write(w as usize, label) };
+                }
+            });
+        }
+    }
+
+    // ---- Phase 3: join leftovers by max coupling -------------------------
+    // Freeze tentative labels; coupling and aggregate size are computed
+    // against these, so the phase is order-independent (deterministic).
+    let tent = labels.clone();
+    let num_tent_aggs = roots.len();
+    let mut agg_size = vec![0u32; num_tent_aggs];
+    for &l in &tent {
+        if l != UNAGGREGATED {
+            agg_size[l as usize] += 1;
+        }
+    }
+    {
+        let lw = SharedMut::new(&mut labels);
+        let tent_ref: &[u32] = &tent;
+        let size_ref: &[u32] = &agg_size;
+        (0..n as VertexId).into_par_iter().for_each(|v| {
+            if tent_ref[v as usize] != UNAGGREGATED {
+                return;
+            }
+            // Count coupling to each adjacent aggregate (degree-bounded
+            // linear scan; degrees are small for the PDE graphs this serves).
+            let mut cand: Vec<(u32, u32)> = Vec::new(); // (agg, coupling)
+            for &w in g.neighbors(v) {
+                let a = tent_ref[w as usize];
+                if a == UNAGGREGATED {
+                    continue;
+                }
+                match cand.iter_mut().find(|(ca, _)| *ca == a) {
+                    Some((_, c)) => *c += 1,
+                    None => cand.push((a, 1)),
+                }
+            }
+            // Max coupling; ties -> smaller aggregate; ties -> smaller id.
+            let best = cand.into_iter().min_by(|&(a1, c1), &(a2, c2)| {
+                c2.cmp(&c1)
+                    .then(size_ref[a1 as usize].cmp(&size_ref[a2 as usize]))
+                    .then(a1.cmp(&a2))
+            });
+            if let Some((a, _)) = best {
+                unsafe { lw.write(v as usize, a) };
+            }
+        });
+    }
+
+    // ---- Phase 3b: sweep pockets with no adjacent aggregate -------------
+    // Deterministic sequential pass (touches only the rare remainder).
+    let mut extra_roots: Vec<VertexId> = Vec::new();
+    for v in 0..n as VertexId {
+        if labels[v as usize] != UNAGGREGATED {
+            continue;
+        }
+        // Join any adjacent aggregate formed since phase 3 (keeps pockets
+        // of size 2 together) ...
+        if let Some(l) = g
+            .neighbors(v)
+            .iter()
+            .map(|&w| labels[w as usize])
+            .filter(|&l| l != UNAGGREGATED)
+            .min()
+        {
+            labels[v as usize] = l;
+        } else {
+            // ... or root a new aggregate.
+            let label = (num_tent_aggs + extra_roots.len()) as u32;
+            labels[v as usize] = label;
+            extra_roots.push(v);
+        }
+    }
+    roots.extend_from_slice(&extra_roots);
+
+    let num_aggregates = roots.len();
+    Aggregation { labels, num_aggregates, roots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_graph::gen;
+
+    #[test]
+    fn covers_grid() {
+        let g = gen::laplace3d(8, 8, 8);
+        let a = mis2_aggregation(&g);
+        a.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn covers_random() {
+        for seed in 0..4 {
+            let g = gen::erdos_renyi(400, 1200, seed);
+            let a = mis2_aggregation(&g);
+            a.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn covers_sparse_random_with_pockets() {
+        // Very sparse graphs exercise phase 3b (isolated vertices, tiny
+        // components).
+        for seed in 0..4 {
+            let g = gen::erdos_renyi(300, 150, seed);
+            let a = mis2_aggregation(&g);
+            a.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_become_singletons() {
+        let g = CsrGraph::empty(4);
+        let a = mis2_aggregation(&g);
+        a.validate(&g).unwrap();
+        assert_eq!(a.num_aggregates, 4);
+    }
+
+    #[test]
+    fn secondary_phase_adds_regular_aggregates() {
+        // Algorithm 3's phase 2 roots *additional* aggregates in the gaps
+        // between phase-1 aggregates instead of stuffing leftovers into
+        // them (Algorithm 2's behavior, which produces the irregular
+        // shapes the paper calls out). So MIS2 Agg has at least as many
+        // aggregates as MIS2 Basic, with a tighter size distribution.
+        let g = gen::laplace3d(10, 10, 10);
+        let basic = crate::basic::mis2_basic(&g);
+        let agg = mis2_aggregation(&g);
+        agg.validate(&g).unwrap();
+        assert!(
+            agg.num_aggregates >= basic.num_aggregates,
+            "agg {} vs basic {}",
+            agg.num_aggregates,
+            basic.num_aggregates
+        );
+        // Size-distribution regularity: the largest aggregate of MIS2 Agg
+        // should not exceed MIS2 Basic's largest.
+        let max_basic = basic.sizes().into_iter().max().unwrap();
+        let max_agg = agg.sizes().into_iter().max().unwrap();
+        assert!(max_agg <= max_basic, "max sizes {max_agg} vs {max_basic}");
+    }
+
+    #[test]
+    fn deterministic_across_threads() {
+        let g = gen::laplace2d(25, 25);
+        let a = mis2_aggregation(&g);
+        let b = mis2_prim::pool::with_pool(1, || mis2_aggregation(&g));
+        let c = mis2_prim::pool::with_pool(4, || mis2_aggregation(&g));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn roots_consistent() {
+        let g = gen::laplace3d(6, 6, 6);
+        let a = mis2_aggregation(&g);
+        assert_eq!(a.roots.len(), a.num_aggregates);
+        for (idx, &r) in a.roots.iter().enumerate() {
+            assert_eq!(a.labels[r as usize] as usize, idx, "root {r} lost its aggregate");
+        }
+    }
+
+    #[test]
+    fn path_coarsening_rate() {
+        let g = gen::path(100);
+        let a = mis2_aggregation(&g);
+        a.validate(&g).unwrap();
+        // Aggregates on a path span 3-5 vertices.
+        assert!(a.mean_size() >= 2.5, "rate {}", a.mean_size());
+    }
+}

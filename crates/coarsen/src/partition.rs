@@ -1,0 +1,507 @@
+//! Multilevel graph partitioning on top of MIS-2 coarsening.
+//!
+//! The paper's conclusion names this as future work: "we plan to evaluate
+//! our graph coarsening algorithm in the context of multilevel graph
+//! partitioning as a replacement for the MIS-2 based coarsening of Bell et
+//! al. as used in Gilbert et al." This module implements that pipeline —
+//! the classic three-phase multilevel scheme with Algorithm 3 as the
+//! coarsener:
+//!
+//! 1. **Coarsen** recursively with MIS-2 aggregation, carrying vertex
+//!    weights (aggregate sizes) and edge weights (collapsed multiplicity);
+//! 2. **Initial partition** the coarsest graph by greedy weighted BFS
+//!    region growth from a pseudo-peripheral seed;
+//! 3. **Uncoarsen + refine**: project labels back level by level, running
+//!    a deterministic boundary-refinement pass (positive-gain moves under
+//!    a balance constraint, applied in a fixed order) at each level.
+//!
+//! Everything is deterministic: same graph, same partition, any thread
+//! count. Recursive bisection extends 2-way partitioning to any
+//! power-of-two part count.
+
+use crate::agg::Aggregation;
+use mis2_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// A k-way partition of a graph's vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `parts[v]` in `0..num_parts`.
+    pub parts: Vec<u32>,
+    /// Number of parts.
+    pub num_parts: usize,
+}
+
+/// Quality metrics of a partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of undirected edges crossing parts.
+    pub edge_cut: usize,
+    /// Max part weight divided by ideal weight (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Weight of each part.
+    pub part_weights: Vec<u64>,
+}
+
+/// Partitioner options.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Stop coarsening below this many vertices.
+    pub coarsen_to: usize,
+    /// Maximum coarsening levels.
+    pub max_levels: usize,
+    /// Allowed imbalance (1.05 = 5%).
+    pub balance_tolerance: f64,
+    /// Boundary-refinement passes per level.
+    pub refine_passes: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            coarsen_to: 64,
+            max_levels: 20,
+            balance_tolerance: 1.05,
+            refine_passes: 4,
+        }
+    }
+}
+
+/// A weighted graph level for the multilevel scheme.
+struct WLevel {
+    graph: CsrGraph,
+    /// Vertex weights (fine vertices aggregated into each coarse vertex).
+    vweights: Vec<u64>,
+    /// Edge weight per CSR slot (multiplicity of collapsed fine edges).
+    eweights: Vec<u64>,
+    /// Aggregation that produced the *next* level (None at the coarsest).
+    agg: Option<Aggregation>,
+}
+
+/// Compute the quality metrics of a partition.
+pub fn quality(g: &CsrGraph, p: &Partition) -> PartitionQuality {
+    assert_eq!(p.parts.len(), g.num_vertices());
+    let cut2: usize = (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&w| p.parts[w as usize] != p.parts[v as usize])
+                .count()
+        })
+        .sum();
+    let mut part_weights = vec![0u64; p.num_parts];
+    for &pt in &p.parts {
+        part_weights[pt as usize] += 1;
+    }
+    let ideal = g.num_vertices() as f64 / p.num_parts as f64;
+    let maxw = part_weights.iter().copied().max().unwrap_or(0) as f64;
+    PartitionQuality { edge_cut: cut2 / 2, imbalance: maxw / ideal.max(1.0), part_weights }
+}
+
+/// Recursive-bisection k-way partition (`num_parts` must be a power of
+/// two).
+///
+/// ```
+/// use mis2_coarsen::{partition, quality, PartitionConfig};
+/// let g = mis2_graph::gen::laplace2d(16, 16);
+/// let p = partition(&g, 2, &PartitionConfig::default());
+/// let q = quality(&g, &p);
+/// assert!(q.imbalance < 1.1 && q.edge_cut < 64);
+/// ```
+pub fn partition(g: &CsrGraph, num_parts: usize, cfg: &PartitionConfig) -> Partition {
+    assert!(num_parts >= 1 && num_parts.is_power_of_two(), "num_parts must be a power of two");
+    let n = g.num_vertices();
+    let mut parts = vec![0u32; n];
+    if num_parts > 1 {
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        bisect_recursive(g, &ids, 0, num_parts as u32, &mut parts, cfg);
+    }
+    Partition { parts, num_parts }
+}
+
+fn bisect_recursive(
+    g: &CsrGraph,
+    vertices: &[VertexId],
+    base: u32,
+    parts_here: u32,
+    out: &mut [u32],
+    cfg: &PartitionConfig,
+) {
+    if parts_here == 1 {
+        for &v in vertices {
+            out[v as usize] = base;
+        }
+        return;
+    }
+    // Build the induced subgraph of this region.
+    let mut keep = vec![false; g.num_vertices()];
+    for &v in vertices {
+        keep[v as usize] = true;
+    }
+    let (sub, new_to_old) = mis2_graph::ops::induced_subgraph(g, &keep);
+    let halves = bisect(&sub, cfg);
+    let mut left: Vec<VertexId> = Vec::with_capacity(vertices.len() / 2 + 1);
+    let mut right: Vec<VertexId> = Vec::with_capacity(vertices.len() / 2 + 1);
+    for (i, &old) in new_to_old.iter().enumerate() {
+        if halves[i] {
+            right.push(old);
+        } else {
+            left.push(old);
+        }
+    }
+    let half = parts_here / 2;
+    bisect_recursive(g, &left, base, half, out, cfg);
+    bisect_recursive(g, &right, base + half, parts_here - half, out, cfg);
+}
+
+/// Multilevel 2-way partition; returns `true` for the "right" side.
+fn bisect(g: &CsrGraph, cfg: &PartitionConfig) -> Vec<bool> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![false];
+    }
+    // ---- Phase 1: weighted coarsening -----------------------------------
+    let mut levels: Vec<WLevel> = Vec::new();
+    let mut cur = WLevel {
+        graph: g.clone(),
+        vweights: vec![1u64; n],
+        eweights: vec![1u64; g.num_directed_edges()],
+        agg: None,
+    };
+    while levels.len() + 1 < cfg.max_levels && cur.graph.num_vertices() > cfg.coarsen_to {
+        let agg = crate::mis2_agg::mis2_aggregation(&cur.graph);
+        if agg.num_aggregates >= cur.graph.num_vertices() {
+            break;
+        }
+        let coarse = build_weighted_quotient(&cur, &agg);
+        cur.agg = Some(agg);
+        levels.push(cur);
+        cur = coarse;
+    }
+    levels.push(cur);
+
+    // ---- Phase 2: initial partition of the coarsest level ---------------
+    let coarsest = levels.last().unwrap();
+    let mut side = grow_bisection(&coarsest.graph, &coarsest.vweights);
+    refine(coarsest, &mut side, cfg);
+
+    // ---- Phase 3: uncoarsen + refine -------------------------------------
+    for li in (0..levels.len() - 1).rev() {
+        let fine = &levels[li];
+        let agg = fine.agg.as_ref().expect("non-coarsest level has aggregation");
+        let mut fine_side = vec![false; fine.graph.num_vertices()];
+        fine_side
+            .par_iter_mut()
+            .zip(agg.labels.par_iter())
+            .for_each(|(s, &l)| *s = side[l as usize]);
+        side = fine_side;
+        refine(fine, &mut side, cfg);
+    }
+    side
+}
+
+/// Weighted quotient graph: vertex weights sum, parallel edge weights sum.
+fn build_weighted_quotient(lvl: &WLevel, agg: &Aggregation) -> WLevel {
+    let nc = agg.num_aggregates;
+    let g = &lvl.graph;
+    // Vertex weights.
+    let mut vweights = vec![0u64; nc];
+    for (v, &l) in agg.labels.iter().enumerate() {
+        vweights[l as usize] += lvl.vweights[v];
+    }
+    // Coarse adjacency with summed edge weights, built per coarse vertex.
+    // Group fine vertices by aggregate first.
+    let (counts, members) = mis2_prim::bucket::bucket_by_key(nc, &agg.labels);
+    let rows: Vec<(Vec<VertexId>, Vec<u64>)> = (0..nc)
+        .into_par_iter()
+        .map(|a| {
+            let mut pairs: Vec<(VertexId, u64)> = Vec::new();
+            for &v in &members[counts[a]..counts[a + 1]] {
+                let lo = g.row_ptr()[v as usize];
+                for (k, &w) in g.neighbors(v).iter().enumerate() {
+                    let la = agg.labels[w as usize];
+                    if la as usize != a {
+                        pairs.push((la, lvl.eweights[lo + k]));
+                    }
+                }
+            }
+            pairs.sort_unstable_by_key(|p| p.0);
+            let mut cols = Vec::new();
+            let mut ws: Vec<u64> = Vec::new();
+            for (c, w) in pairs {
+                if cols.last() == Some(&c) {
+                    *ws.last_mut().unwrap() += w;
+                } else {
+                    cols.push(c);
+                    ws.push(w);
+                }
+            }
+            (cols, ws)
+        })
+        .collect();
+    let mut row_ptr = Vec::with_capacity(nc + 1);
+    row_ptr.push(0usize);
+    let mut total = 0usize;
+    for (c, _) in &rows {
+        total += c.len();
+        row_ptr.push(total);
+    }
+    let mut col_idx = Vec::with_capacity(total);
+    let mut eweights = Vec::with_capacity(total);
+    for (c, w) in rows {
+        col_idx.extend_from_slice(&c);
+        eweights.extend_from_slice(&w);
+    }
+    let graph = CsrGraph::from_csr(nc, row_ptr, col_idx).expect("quotient CSR invariants");
+    WLevel { graph, vweights, eweights, agg: None }
+}
+
+/// Greedy weighted BFS region growth from a pseudo-peripheral vertex:
+/// the grown region becomes side `false`; the rest side `true`.
+fn grow_bisection(g: &CsrGraph, vweights: &[u64]) -> Vec<bool> {
+    let n = g.num_vertices();
+    let total: u64 = vweights.iter().sum();
+    let target = total / 2;
+    // Pseudo-peripheral seed: BFS twice from vertex 0.
+    let seed = farthest_vertex(g, farthest_vertex(g, 0));
+    let mut side = vec![true; n];
+    let mut grown = 0u64;
+    let mut queue = std::collections::VecDeque::new();
+    let mut visited = vec![false; n];
+    queue.push_back(seed);
+    visited[seed as usize] = true;
+    while let Some(v) = queue.pop_front() {
+        if grown + vweights[v as usize] > target && grown > 0 {
+            continue;
+        }
+        side[v as usize] = false;
+        grown += vweights[v as usize];
+        for &w in g.neighbors(v) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    // Disconnected graphs: BFS may not reach half the weight; top up with
+    // the smallest-id unassigned vertices (deterministic).
+    if grown < target / 2 {
+        for v in 0..n {
+            if side[v] && grown + vweights[v] <= target {
+                side[v] = false;
+                grown += vweights[v];
+            }
+        }
+    }
+    side
+}
+
+fn farthest_vertex(g: &CsrGraph, from: VertexId) -> VertexId {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[from as usize] = 0;
+    queue.push_back(from);
+    let mut last = from;
+    while let Some(v) = queue.pop_front() {
+        last = v;
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dist[v as usize] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    last
+}
+
+/// Deterministic boundary refinement: repeatedly move positive-gain
+/// boundary vertices (highest gain first, id as tiebreak) subject to the
+/// balance constraint.
+fn refine(lvl: &WLevel, side: &mut [bool], cfg: &PartitionConfig) {
+    let g = &lvl.graph;
+    let n = g.num_vertices();
+    let total: u64 = lvl.vweights.iter().sum();
+    let max_side = ((total as f64 / 2.0) * cfg.balance_tolerance) as u64;
+    let mut w_true: u64 = (0..n).filter(|&v| side[v]).map(|v| lvl.vweights[v]).sum();
+    let mut w_false = total - w_true;
+
+    for _ in 0..cfg.refine_passes {
+        // Gains of boundary vertices (parallel, read-only).
+        let mut moves: Vec<(i64, VertexId)> = (0..n as VertexId)
+            .into_par_iter()
+            .filter_map(|v| {
+                let sv = side[v as usize];
+                let lo = g.row_ptr()[v as usize];
+                let mut external: i64 = 0;
+                let mut internal: i64 = 0;
+                for (k, &w) in g.neighbors(v).iter().enumerate() {
+                    let ew = lvl.eweights[lo + k] as i64;
+                    if side[w as usize] == sv {
+                        internal += ew;
+                    } else {
+                        external += ew;
+                    }
+                }
+                let gain = external - internal;
+                (gain > 0).then_some((gain, v))
+            })
+            .collect();
+        if moves.is_empty() {
+            break;
+        }
+        // Deterministic order: best gain first, then smallest id.
+        moves.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut applied = 0usize;
+        for (_, v) in moves {
+            let vw = lvl.vweights[v as usize];
+            let sv = side[v as usize];
+            // Re-check gain against the current (partially updated) sides.
+            let lo = g.row_ptr()[v as usize];
+            let mut gain: i64 = 0;
+            for (k, &w) in g.neighbors(v).iter().enumerate() {
+                let ew = lvl.eweights[lo + k] as i64;
+                gain += if side[w as usize] == sv { -ew } else { ew };
+            }
+            if gain <= 0 {
+                continue;
+            }
+            let (dst_weight, src_weight) =
+                if sv { (w_false + vw, w_true - vw) } else { (w_true + vw, w_false - vw) };
+            if dst_weight > max_side || src_weight == 0 {
+                continue;
+            }
+            side[v as usize] = !sv;
+            if sv {
+                w_true -= vw;
+                w_false += vw;
+            } else {
+                w_false -= vw;
+                w_true += vw;
+            }
+            applied += 1;
+        }
+        if applied == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_graph::gen;
+
+    #[test]
+    fn bisection_of_grid_is_balanced_with_small_cut() {
+        let g = gen::laplace2d(32, 32);
+        let p = partition(&g, 2, &PartitionConfig::default());
+        let q = quality(&g, &p);
+        assert!(q.imbalance <= 1.10, "imbalance {}", q.imbalance);
+        // A 32x32 grid has a 32-edge perfect bisection; allow 3x slack for
+        // the greedy multilevel heuristic.
+        assert!(q.edge_cut <= 96, "cut {}", q.edge_cut);
+    }
+
+    #[test]
+    fn four_way_partition_of_grid() {
+        let g = gen::laplace2d(24, 24);
+        let p = partition(&g, 4, &PartitionConfig::default());
+        let q = quality(&g, &p);
+        assert_eq!(p.num_parts, 4);
+        assert!(q.part_weights.iter().all(|&w| w > 0), "{:?}", q.part_weights);
+        assert!(q.imbalance <= 1.25, "imbalance {}", q.imbalance);
+        assert!(q.edge_cut <= 200, "cut {}", q.edge_cut);
+        // All labels in range.
+        assert!(p.parts.iter().all(|&pt| pt < 4));
+    }
+
+    #[test]
+    fn partition_of_3d_grid() {
+        let g = gen::laplace3d(10, 10, 10);
+        let p = partition(&g, 2, &PartitionConfig::default());
+        let q = quality(&g, &p);
+        assert!(q.imbalance <= 1.10, "imbalance {}", q.imbalance);
+        // Perfect cut for 10^3 is 100; allow slack.
+        assert!(q.edge_cut <= 320, "cut {}", q.edge_cut);
+    }
+
+    #[test]
+    fn better_than_random_partition() {
+        let g = gen::laplace2d(24, 24);
+        let p = partition(&g, 2, &PartitionConfig::default());
+        let q = quality(&g, &p);
+        // Random bisection cuts ~half the edges in expectation.
+        let random = Partition {
+            parts: (0..g.num_vertices() as u32)
+                .map(|v| (mis2_prim::hash::splitmix64(v as u64) % 2) as u32)
+                .collect(),
+            num_parts: 2,
+        };
+        let qr = quality(&g, &random);
+        assert!(
+            q.edge_cut * 3 < qr.edge_cut,
+            "multilevel {} vs random {}",
+            q.edge_cut,
+            qr.edge_cut
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = gen::laplace2d(20, 20);
+        let p1 = mis2_prim::pool::with_pool(1, || partition(&g, 4, &PartitionConfig::default()));
+        let p2 = mis2_prim::pool::with_pool(4, || partition(&g, 4, &PartitionConfig::default()));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn one_part_is_trivial() {
+        let g = gen::path(10);
+        let p = partition(&g, 1, &PartitionConfig::default());
+        assert!(p.parts.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        // Two separate paths.
+        let mut edges: Vec<(u32, u32)> = (0..49).map(|i| (i, i + 1)).collect();
+        edges.extend((50..99).map(|i| (i, i + 1)));
+        let g = CsrGraph::from_edges(100, &edges);
+        let p = partition(&g, 2, &PartitionConfig::default());
+        let q = quality(&g, &p);
+        assert!(q.part_weights.iter().all(|&w| w > 0));
+        assert!(q.imbalance <= 1.3, "imbalance {}", q.imbalance);
+    }
+
+    #[test]
+    fn path_bisection_cuts_once_or_twice() {
+        let g = gen::path(64);
+        let p = partition(&g, 2, &PartitionConfig::default());
+        let q = quality(&g, &p);
+        assert!(q.edge_cut <= 4, "cut {} on a path", q.edge_cut);
+        assert!(q.imbalance <= 1.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let g = gen::path(10);
+        partition(&g, 3, &PartitionConfig::default());
+    }
+
+    #[test]
+    fn quality_of_known_partition() {
+        // Path 0-1-2-3, parts {0,1} | {2,3}: one cut edge.
+        let g = gen::path(4);
+        let p = Partition { parts: vec![0, 0, 1, 1], num_parts: 2 };
+        let q = quality(&g, &p);
+        assert_eq!(q.edge_cut, 1);
+        assert_eq!(q.part_weights, vec![2, 2]);
+        assert!((q.imbalance - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Aggregate-quality statistics.
+//!
+//! The paper's Table V interprets solver iteration counts through aggregate
+//! *shape*: "for structured problems, this coarsening tends to produce
+//! irregularly shaped aggregates, increasing the number of solver
+//! iterations" (on Algorithm 2, quoting Bell et al.). This module computes
+//! the quantitative shape metrics behind that discussion so schemes can be
+//! compared without running a solver.
+
+use crate::agg::Aggregation;
+use mis2_graph::{CsrGraph, VertexId};
+
+/// Shape/quality metrics of an aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggStats {
+    /// Number of aggregates.
+    pub count: usize,
+    /// Mean aggregate size (coarsening rate).
+    pub mean_size: f64,
+    /// Smallest and largest aggregate.
+    pub min_size: usize,
+    pub max_size: usize,
+    /// Standard deviation of sizes (regularity; lower = more uniform).
+    pub size_stddev: f64,
+    /// Number of singleton aggregates.
+    pub singletons: usize,
+    /// Fraction of graph edges internal to aggregates (higher = better
+    /// locality; this is 1 - normalized edge cut of the partition).
+    pub internal_edge_fraction: f64,
+    /// Maximum eccentricity of any root within its aggregate (BFS hops
+    /// from the root to the farthest member; `None` for rootless
+    /// aggregates). Algorithms 2/3 guarantee <= 2 by construction.
+    pub max_root_radius: Option<usize>,
+}
+
+/// Compute quality metrics for an aggregation of `g`.
+pub fn aggregate_stats(g: &CsrGraph, agg: &Aggregation) -> AggStats {
+    let sizes = agg.sizes();
+    let count = agg.num_aggregates;
+    let n = agg.labels.len().max(1);
+    let mean = n as f64 / count.max(1) as f64;
+    let var = if count > 0 {
+        sizes.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / count as f64
+    } else {
+        0.0
+    };
+    let internal = (0..g.num_vertices() as VertexId)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&w| agg.labels[w as usize] == agg.labels[v as usize])
+                .count()
+        })
+        .sum::<usize>();
+    let total_directed = g.num_directed_edges().max(1);
+
+    // Root radius via per-aggregate BFS restricted to the aggregate.
+    let mut max_radius: Option<usize> = None;
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    for (a, &root) in agg.roots.iter().enumerate() {
+        if root == VertexId::MAX || sizes[a] <= 1 {
+            continue;
+        }
+        queue.clear();
+        dist[root as usize] = 0;
+        queue.push_back(root);
+        let mut radius = 0usize;
+        let mut visited = vec![root];
+        while let Some(v) = queue.pop_front() {
+            radius = radius.max(dist[v as usize] as usize);
+            for &w in g.neighbors(v) {
+                if agg.labels[w as usize] as usize == a && dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    visited.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        for v in visited {
+            dist[v as usize] = u32::MAX;
+        }
+        max_radius = Some(max_radius.unwrap_or(0).max(radius));
+    }
+
+    AggStats {
+        count,
+        mean_size: mean,
+        min_size: sizes.iter().copied().min().unwrap_or(0),
+        max_size: sizes.iter().copied().max().unwrap_or(0),
+        size_stddev: var.sqrt(),
+        singletons: sizes.iter().filter(|&&s| s == 1).count(),
+        internal_edge_fraction: internal as f64 / total_directed as f64,
+        max_root_radius: max_radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_graph::gen;
+
+    #[test]
+    fn stats_of_known_partition() {
+        // Path 0-1-2-3, aggregates {0,1}, {2,3}: 2 internal edges of 3.
+        let g = gen::path(4);
+        let agg = Aggregation { labels: vec![0, 0, 1, 1], num_aggregates: 2, roots: vec![0, 2] };
+        let s = aggregate_stats(&g, &agg);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_size, 2.0);
+        assert_eq!(s.min_size, 2);
+        assert_eq!(s.max_size, 2);
+        assert_eq!(s.singletons, 0);
+        assert!((s.internal_edge_fraction - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.max_root_radius, Some(1));
+    }
+
+    #[test]
+    fn algorithms_2_and_3_have_radius_at_most_2() {
+        let g = gen::laplace3d(8, 8, 8);
+        for agg in [crate::basic::mis2_basic(&g), crate::mis2_agg::mis2_aggregation(&g)] {
+            let s = aggregate_stats(&g, &agg);
+            assert!(
+                s.max_root_radius.unwrap_or(0) <= 2,
+                "aggregate radius {} > 2",
+                s.max_root_radius.unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn mis2_agg_more_regular_than_basic() {
+        // The quantitative version of the paper's Table V narrative:
+        // Algorithm 3 produces a tighter size distribution than Algorithm 2
+        // on structured problems.
+        let g = gen::laplace3d(10, 10, 10);
+        let basic = aggregate_stats(&g, &crate::basic::mis2_basic(&g));
+        let agg = aggregate_stats(&g, &crate::mis2_agg::mis2_aggregation(&g));
+        assert!(
+            agg.size_stddev <= basic.size_stddev,
+            "MIS2 Agg stddev {:.2} vs Basic {:.2}",
+            agg.size_stddev,
+            basic.size_stddev
+        );
+        assert!(agg.max_size <= basic.max_size);
+    }
+
+    #[test]
+    fn internal_fraction_high_for_good_coarsening() {
+        let g = gen::laplace2d(20, 20);
+        let agg = crate::mis2_agg::mis2_aggregation(&g);
+        let s = aggregate_stats(&g, &agg);
+        assert!(s.internal_edge_fraction > 0.4, "{}", s.internal_edge_fraction);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = mis2_graph::CsrGraph::empty(0);
+        let agg = Aggregation { labels: vec![], num_aggregates: 0, roots: vec![] };
+        let s = aggregate_stats(&g, &agg);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_root_radius, None);
+    }
+}

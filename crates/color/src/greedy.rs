@@ -1,0 +1,103 @@
+//! Speculative greedy distance-1 coloring (Deveci et al., IPDPS 2016).
+//!
+//! All worklist vertices speculatively pick the smallest color not used by
+//! their neighbors *as currently visible*; a second pass detects conflicts
+//! (equal-colored neighbors) and uncolors the lower-id endpoint; repeat.
+//! Faster than Jones–Plassmann in practice but **nondeterministic** under
+//! parallel execution (the visible neighbor colors depend on scheduling) —
+//! exactly why the paper's Table V marks the D2C aggregation baselines
+//! non-deterministic while the MIS-2 schemes get a checkmark.
+
+use crate::jp::{smallest_free, UNCOLORED};
+use crate::Coloring;
+use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::compact;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Speculative greedy coloring with conflict resolution.
+pub fn color_d1_speculative(g: &CsrGraph, _seed: u64) -> Coloring {
+    let n = g.num_vertices();
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+    let mut wl: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rounds = 0usize;
+
+    while !wl.is_empty() {
+        rounds += 1;
+        // Speculative assignment: read neighbor colors racily.
+        wl.par_iter().for_each(|&v| {
+            let mut used: Vec<u32> = g
+                .neighbors(v)
+                .iter()
+                .map(|&w| colors[w as usize].load(Ordering::Relaxed))
+                .filter(|&c| c != UNCOLORED)
+                .collect();
+            let c = smallest_free(&mut used);
+            colors[v as usize].store(c, Ordering::Relaxed);
+        });
+        // Conflict detection: the smaller id of a conflicting pair loses.
+        wl = compact::par_filter(&wl, |&v| {
+            let cv = colors[v as usize].load(Ordering::Relaxed);
+            let conflicted = g
+                .neighbors(v)
+                .iter()
+                .any(|&w| w > v && colors[w as usize].load(Ordering::Relaxed) == cv);
+            if conflicted {
+                colors[v as usize].store(UNCOLORED, Ordering::Relaxed);
+            }
+            conflicted
+        });
+    }
+    let colors: Vec<u32> = colors.into_iter().map(|a| a.into_inner()).collect();
+    Coloring::from_colors(colors, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring_d1;
+    use mis2_graph::gen;
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = gen::erdos_renyi(400, 1600, seed);
+            let c = color_d1_speculative(&g, seed);
+            verify_coloring_d1(&g, &c.colors).unwrap();
+            assert!(c.num_colors as usize <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn valid_on_structured() {
+        let g = gen::laplace2d(30, 30);
+        let c = color_d1_speculative(&g, 0);
+        verify_coloring_d1(&g, &c.colors).unwrap();
+        assert!(c.num_colors <= 5);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = gen::complete(8);
+        let c = color_d1_speculative(&g, 0);
+        verify_coloring_d1(&g, &c.colors).unwrap();
+        assert_eq!(c.num_colors, 8);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(color_d1_speculative(&CsrGraph::empty(0), 0).num_colors, 0);
+        let c = color_d1_speculative(&CsrGraph::empty(9), 0);
+        assert_eq!(c.num_colors, 1);
+    }
+
+    #[test]
+    fn single_thread_is_one_round() {
+        // On one thread speculation sees fully up-to-date colors: no
+        // conflicts, one round.
+        let g = gen::erdos_renyi(300, 900, 1);
+        let c = mis2_prim::pool::with_pool(1, || color_d1_speculative(&g, 0));
+        verify_coloring_d1(&g, &c.colors).unwrap();
+        assert_eq!(c.rounds, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Deterministic parallel distance-1 coloring (Jones–Plassmann).
+//!
+//! Each round, an uncolored vertex whose `(hash, id)` priority is the strict
+//! maximum among its uncolored neighbors claims the smallest color not used
+//! by its already-colored neighbors. Every round is a pure map over the
+//! previous round's color array, so the result is independent of thread
+//! count — the deterministic counterpart to the speculative greedy scheme
+//! in [`crate::greedy`].
+
+use crate::Coloring;
+use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::hash::{hash2, xorshift64_star};
+use mis2_prim::{compact, SharedMut};
+use rayon::prelude::*;
+
+pub(crate) const UNCOLORED: u32 = u32::MAX;
+
+#[inline]
+pub(crate) fn prio(seed: u64, v: VertexId) -> (u64, VertexId) {
+    (hash2(xorshift64_star, seed, v as u64), v)
+}
+
+/// Smallest color not present in `used` (which must be sorted ascending).
+#[inline]
+pub(crate) fn smallest_free(used: &mut Vec<u32>) -> u32 {
+    used.sort_unstable();
+    used.dedup();
+    let mut c = 0u32;
+    for &u in used.iter() {
+        if u == c {
+            c += 1;
+        } else if u > c {
+            break;
+        }
+    }
+    c
+}
+
+/// Deterministic parallel distance-1 coloring.
+///
+/// ```
+/// let g = mis2_graph::gen::cycle(6);
+/// let c = mis2_color::color_d1(&g, 0);
+/// mis2_color::verify_coloring_d1(&g, &c.colors).unwrap();
+/// assert!(c.num_colors <= 3);
+/// ```
+pub fn color_d1(g: &CsrGraph, seed: u64) -> Coloring {
+    let n = g.num_vertices();
+    let mut colors = vec![UNCOLORED; n];
+    let mut wl: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rounds = 0usize;
+
+    while !wl.is_empty() {
+        rounds += 1;
+        // Decide which vertices win this round (pure read of `colors`).
+        let winners: Vec<VertexId> = compact::par_filter(&wl, |&v| {
+            let pv = prio(seed, v);
+            g.neighbors(v)
+                .iter()
+                .all(|&w| colors[w as usize] != UNCOLORED || prio(seed, w) < pv)
+        });
+        debug_assert!(!winners.is_empty(), "JP round stalled");
+        // Winners pick colors. Winners form an independent set among the
+        // uncolored vertices (strict local maxima), so reading `colors`
+        // while writing distinct winner slots never reads a slot written
+        // this round by a *neighbor*.
+        {
+            let cw = SharedMut::new(&mut colors);
+            winners.par_iter().for_each(|&v| {
+                let mut used: Vec<u32> = g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&w| unsafe { cw.read(w as usize) })
+                    .filter(|&c| c != UNCOLORED)
+                    .collect();
+                let c = smallest_free(&mut used);
+                unsafe { cw.write(v as usize, c) };
+            });
+        }
+        wl = compact::par_filter(&wl, |&v| colors[v as usize] == UNCOLORED);
+    }
+    Coloring::from_colors(colors, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_coloring_d1;
+    use mis2_graph::gen;
+
+    #[test]
+    fn empty_graph() {
+        let c = color_d1(&CsrGraph::empty(0), 0);
+        assert_eq!(c.num_colors, 0);
+    }
+
+    #[test]
+    fn edgeless_one_color() {
+        let c = color_d1(&CsrGraph::empty(5), 0);
+        assert_eq!(c.num_colors, 1);
+        assert!(c.colors.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn complete_graph_n_colors() {
+        let g = gen::complete(6);
+        let c = color_d1(&g, 0);
+        assert_eq!(c.num_colors, 6);
+        verify_coloring_d1(&g, &c.colors).unwrap();
+    }
+
+    #[test]
+    fn path_two_colors_or_so() {
+        let g = gen::path(50);
+        let c = color_d1(&g, 0);
+        verify_coloring_d1(&g, &c.colors).unwrap();
+        assert!(c.num_colors <= 3, "{} colors on a path", c.num_colors);
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = gen::erdos_renyi(300, 1200, seed);
+            let c = color_d1(&g, seed);
+            verify_coloring_d1(&g, &c.colors).unwrap();
+            // Greedy bound: at most max_degree + 1 colors.
+            assert!(c.num_colors as usize <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn valid_on_grid() {
+        let g = gen::laplace3d(8, 8, 8);
+        let c = color_d1(&g, 0);
+        verify_coloring_d1(&g, &c.colors).unwrap();
+        assert!(c.num_colors <= 7);
+    }
+
+    #[test]
+    fn deterministic_across_threads() {
+        let g = gen::erdos_renyi(1000, 5000, 3);
+        let a = mis2_prim::pool::with_pool(1, || color_d1(&g, 0));
+        let b = mis2_prim::pool::with_pool(4, || color_d1(&g, 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smallest_free_logic() {
+        assert_eq!(smallest_free(&mut vec![]), 0);
+        assert_eq!(smallest_free(&mut vec![0, 1, 2]), 3);
+        assert_eq!(smallest_free(&mut vec![1, 2]), 0);
+        assert_eq!(smallest_free(&mut vec![0, 2, 3]), 1);
+        assert_eq!(smallest_free(&mut vec![2, 0, 0, 1, 5]), 3);
+    }
+}

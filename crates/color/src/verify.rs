@@ -1,0 +1,127 @@
+//! Validity checkers for distance-1 and distance-2 colorings.
+
+use mis2_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+use std::fmt;
+
+/// A coloring defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoringViolation {
+    /// Two vertices within the forbidden distance share a color.
+    Conflict { u: VertexId, v: VertexId, color: u32, distance: usize },
+    /// A vertex was left uncolored.
+    Uncolored { v: VertexId },
+    /// Mask length mismatch.
+    BadLength { expected: usize, got: usize },
+}
+
+impl fmt::Display for ColoringViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringViolation::Conflict { u, v, color, distance } => {
+                write!(f, "vertices {u} and {v} share color {color} at distance {distance}")
+            }
+            ColoringViolation::Uncolored { v } => write!(f, "vertex {v} uncolored"),
+            ColoringViolation::BadLength { expected, got } => {
+                write!(f, "color array length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoringViolation {}
+
+const UNCOLORED: u32 = u32::MAX;
+
+/// Check a proper distance-1 coloring (all vertices colored, no equal-color
+/// edge).
+pub fn verify_coloring_d1(g: &CsrGraph, colors: &[u32]) -> Result<(), ColoringViolation> {
+    let n = g.num_vertices();
+    if colors.len() != n {
+        return Err(ColoringViolation::BadLength { expected: n, got: colors.len() });
+    }
+    match (0..n as VertexId).into_par_iter().find_map_any(|u| {
+        let cu = colors[u as usize];
+        if cu == UNCOLORED {
+            return Some(ColoringViolation::Uncolored { v: u });
+        }
+        g.neighbors(u)
+            .iter()
+            .find(|&&w| colors[w as usize] == cu)
+            .map(|&w| ColoringViolation::Conflict { u, v: w, color: cu, distance: 1 })
+    }) {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+/// Check a proper distance-2 coloring.
+pub fn verify_coloring_d2(g: &CsrGraph, colors: &[u32]) -> Result<(), ColoringViolation> {
+    verify_coloring_d1(g, colors)?;
+    match (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .find_map_any(|u| {
+            let cu = colors[u as usize];
+            for &w in g.neighbors(u) {
+                for &x in g.neighbors(w) {
+                    if x != u && colors[x as usize] == cu {
+                        return Some(ColoringViolation::Conflict {
+                            u,
+                            v: x,
+                            color: cu,
+                            distance: 2,
+                        });
+                    }
+                }
+            }
+            None
+        }) {
+        Some(v) => Err(v),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_graph::gen;
+
+    #[test]
+    fn accepts_proper_d1() {
+        let g = gen::path(4);
+        verify_coloring_d1(&g, &[0, 1, 0, 1]).unwrap();
+    }
+
+    #[test]
+    fn rejects_d1_conflict() {
+        let g = gen::path(3);
+        let e = verify_coloring_d1(&g, &[0, 0, 1]).unwrap_err();
+        assert!(matches!(e, ColoringViolation::Conflict { distance: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_uncolored() {
+        let g = gen::path(3);
+        let e = verify_coloring_d1(&g, &[0, u32::MAX, 0]).unwrap_err();
+        assert!(matches!(e, ColoringViolation::Uncolored { v: 1 }));
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        let g = gen::path(3);
+        assert!(matches!(
+            verify_coloring_d1(&g, &[0, 1]),
+            Err(ColoringViolation::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn d2_catches_two_hop_conflict() {
+        // Path 0-1-2: colors [0,1,0] are d1-proper but d2-improper.
+        let g = gen::path(3);
+        verify_coloring_d1(&g, &[0, 1, 0]).unwrap();
+        let e = verify_coloring_d2(&g, &[0, 1, 0]).unwrap_err();
+        assert!(matches!(e, ColoringViolation::Conflict { distance: 2, .. }));
+        verify_coloring_d2(&g, &[0, 1, 2]).unwrap();
+    }
+}

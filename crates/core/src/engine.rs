@@ -1,0 +1,607 @@
+//! Algorithm 1 — the parallel, deterministic MIS-2 engine.
+//!
+//! This is the paper's primary contribution: a distance-2 maximal
+//! independent set computed in expected `O(log V)` rounds, with four
+//! independently-togglable optimizations (so the Figure 2 ablation ladder
+//! can be reproduced exactly):
+//!
+//! 1. fresh xorshift\* priorities each iteration ([`PriorityScheme`]);
+//! 2. worklists compacted by parallel scans ([`Mis2Config::use_worklists`]);
+//! 3. packed single-word status tuples ([`Mis2Config::packed`]);
+//! 4. "SIMD" (neighbor-parallel) inner loops ([`SimdMode`]), gated by the
+//!    paper's average-degree >= 16 heuristic in [`SimdMode::Auto`].
+//!
+//! ## Structure of one iteration (paper lines 9-35)
+//!
+//! * **Refresh Row** — every undecided vertex gets tuple
+//!   `T_v = (UNDECIDED, h(iter, v), v)`.
+//! * **Refresh Column** — every live column vertex computes
+//!   `M_v = min(T_w : w in adj(v) ∪ {v})`; if the min is an `IN` tuple,
+//!   `M_v` becomes `OUT` permanently (v is distance-1 from the set, so
+//!   every neighbor of v is within distance 2).
+//! * **Decide Set** — an undecided `v` becomes `OUT` if any
+//!   `w in adj(v) ∪ {v}` has `M_w = OUT`, and `IN` if every such `w` has
+//!   `M_w = T_v` (v is the strict minimum of its radius-2 neighborhood —
+//!   no other vertex can conclude the same, which is what makes the
+//!   algorithm race-free and deterministic).
+//! * **Compact worklists** — `worklist1` keeps undecided vertices,
+//!   `worklist2` keeps vertices with `M_v != OUT`.
+//!
+//! The adjacency used throughout is `adj(v) ∪ {v}`: the paper's Lemma IV.1
+//! assumes self-loops (see its Figure 1, where `M_1 = T_1`). [`CsrGraph`]
+//! stores no explicit self-loops, so every reduction here adds the vertex's
+//! own contribution; without it two *adjacent* vertices could both enter
+//! the set.
+//!
+//! ## Determinism
+//!
+//! Priorities depend only on `(scheme, seed, iter, v)`; each phase is a
+//! pure map reading the previous phase's arrays and writing disjoint slots;
+//! worklist compaction is order-preserving. Hence the output is
+//! bitwise-identical for every thread count — the property the paper
+//! advertises across CPUs and GPUs.
+
+use crate::priority::PriorityScheme;
+use crate::tuple::{id_bits, Packed, TupleRepr, Unpacked};
+use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::{compact, SharedMut};
+use rayon::prelude::*;
+
+/// Neighbor-parallel ("SIMD") mode for the inner loops of Refresh Column
+/// and Decide Set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdMode {
+    /// Always iterate neighbors sequentially per vertex.
+    Off,
+    /// Enable neighbor-parallel loops iff the average degree is at least 16
+    /// — the heuristic the paper uses (Section V-D).
+    #[default]
+    Auto,
+    /// Always use neighbor-parallel loops.
+    On,
+}
+
+impl SimdMode {
+    fn enabled(self, g: &CsrGraph) -> bool {
+        match self {
+            SimdMode::Off => false,
+            SimdMode::On => true,
+            SimdMode::Auto => g.avg_degree() >= 16.0,
+        }
+    }
+}
+
+/// Configuration of Algorithm 1. [`Default`] reproduces the full
+/// Kokkos Kernels configuration (all four optimizations on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mis2Config {
+    /// Priority scheme (Section V-A). Default: xorshift\* per iteration.
+    pub priorities: PriorityScheme,
+    /// Maintain scan-compacted worklists (Section V-B). When `false`, all
+    /// vertices are processed every iteration, as in Bell's algorithm.
+    pub use_worklists: bool,
+    /// Pack status tuples into one 64-bit word (Section V-C). When
+    /// `false`, explicit 3-field tuples are used.
+    pub packed: bool,
+    /// Neighbor-parallel inner loops (Section V-D).
+    pub simd: SimdMode,
+    /// Extra seed mixed into the priority hash. 0 = the paper's exact
+    /// hash stream. Different seeds give statistically independent runs
+    /// (used by the quality-comparison experiments).
+    pub seed: u64,
+}
+
+impl Default for Mis2Config {
+    fn default() -> Self {
+        Mis2Config {
+            priorities: PriorityScheme::XorStar,
+            use_worklists: true,
+            packed: true,
+            simd: SimdMode::Auto,
+            seed: 0,
+        }
+    }
+}
+
+impl Mis2Config {
+    /// The Figure 2 optimization ladder: `(label, config)` pairs where each
+    /// entry adds one optimization on top of the previous. The true
+    /// baseline (Bell's algorithm) is [`crate::bell::bell_mis_k`]; ladder
+    /// step 0 here is Algorithm 1 with every optimization disabled and
+    /// fixed priorities, which is the closest in-engine equivalent.
+    pub fn ladder() -> Vec<(&'static str, Mis2Config)> {
+        let base = Mis2Config {
+            priorities: PriorityScheme::Fixed,
+            use_worklists: false,
+            packed: false,
+            simd: SimdMode::Off,
+            seed: 0,
+        };
+        vec![
+            ("Baseline", base),
+            ("+RandomPriority", Mis2Config { priorities: PriorityScheme::XorStar, ..base }),
+            (
+                "+Worklists",
+                Mis2Config {
+                    priorities: PriorityScheme::XorStar,
+                    use_worklists: true,
+                    ..base
+                },
+            ),
+            (
+                "+PackedStatus",
+                Mis2Config {
+                    priorities: PriorityScheme::XorStar,
+                    use_worklists: true,
+                    packed: true,
+                    ..base
+                },
+            ),
+            ("+SIMD", Mis2Config::default()),
+        ]
+    }
+}
+
+/// Per-iteration statistics for analysis and the Table III experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Undecided vertices at the start of the iteration (|worklist1|).
+    pub undecided: usize,
+    /// Vertices decided IN this iteration.
+    pub newly_in: usize,
+    /// Vertices decided OUT this iteration.
+    pub newly_out: usize,
+}
+
+/// Result of an MIS-2 computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mis2Result {
+    /// The independent set, sorted ascending.
+    pub in_set: Vec<VertexId>,
+    /// Per-vertex membership mask.
+    pub is_in: Vec<bool>,
+    /// Number of outer iterations executed (the paper's Table I / III
+    /// "Iters" metric).
+    pub iterations: usize,
+    /// Per-iteration progress.
+    pub history: Vec<RoundStats>,
+}
+
+impl Mis2Result {
+    fn empty() -> Self {
+        Mis2Result { in_set: Vec::new(), is_in: Vec::new(), iterations: 0, history: Vec::new() }
+    }
+
+    /// |MIS-2| — the paper's quality metric (Tables III and IV).
+    pub fn size(&self) -> usize {
+        self.in_set.len()
+    }
+}
+
+/// Compute an MIS-2 with the default (fully optimized) configuration.
+pub fn mis2(g: &CsrGraph) -> Mis2Result {
+    mis2_with_config(g, &Mis2Config::default())
+}
+
+/// Compute an MIS-2 with an explicit configuration.
+pub fn mis2_with_config(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
+    if g.num_vertices() == 0 {
+        return Mis2Result::empty();
+    }
+    if cfg.packed {
+        run::<Packed>(g, cfg)
+    } else {
+        run::<Unpacked>(g, cfg)
+    }
+}
+
+/// Chunk size for neighbor-parallel reductions. A GPU warp is 32 lanes; we
+/// use a larger chunk on CPU so rayon task overhead stays negligible.
+const SIMD_CHUNK: usize = 256;
+/// Minimum degree before the inner loop actually splits.
+const SIMD_MIN_DEGREE: usize = 2 * SIMD_CHUNK;
+
+fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
+    let n = g.num_vertices();
+    let bits = id_bits(n);
+    let simd = cfg.simd.enabled(g);
+    // Both representations see the same truncated priorities so that the
+    // packed/unpacked toggle changes memory layout only, never the result
+    // (the packed word can only hold 64 - bits priority bits).
+    let prio_mask: u64 =
+        if bits == 0 { u64::MAX } else { ((1u128 << (64 - bits)) - 1) as u64 };
+
+    // T and M arrays. M's initial content is never read: every vertex is in
+    // worklist2 for iteration 0 and is overwritten by Refresh Column.
+    let mut t: Vec<T> = vec![T::OUT; n];
+    let mut m: Vec<T> = vec![T::OUT; n];
+    let mut wl1: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut wl2: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut history: Vec<RoundStats> = Vec::new();
+
+    // Refresh Row for iteration 0 (hoisted out of the loop so later
+    // iterations can skip decided vertices in the no-worklist mode).
+    {
+        let tw = SharedMut::new(&mut t);
+        wl1.par_iter().for_each(|&v| {
+            let p = cfg.priorities.priority(cfg.seed, 0, v) & prio_mask;
+            unsafe { tw.write(v as usize, T::undecided(p, v, bits)) };
+        });
+    }
+
+    let mut iter: u64 = 0;
+    let mut prev_in_total = 0usize;
+    loop {
+        let undecided_at_start = if cfg.use_worklists {
+            wl1.len()
+        } else {
+            t.par_iter().filter(|x| x.is_undecided()).count()
+        };
+
+        // --- Refresh Column: M_v = min(T_w : w in adj(v) ∪ {v}) ---------
+        {
+            let mw = SharedMut::new(&mut m);
+            let t_ref: &[T] = &t;
+            if simd {
+                wl2.par_iter().for_each(|&v| {
+                    let mut mv = t_ref[v as usize];
+                    let nbrs = g.neighbors(v);
+                    if nbrs.len() >= SIMD_MIN_DEGREE {
+                        let chunk_min = nbrs
+                            .par_chunks(SIMD_CHUNK)
+                            .map(|c| {
+                                c.iter()
+                                    .map(|&w| t_ref[w as usize])
+                                    .min()
+                                    .unwrap_or(T::OUT)
+                            })
+                            .min()
+                            .unwrap_or(T::OUT);
+                        mv = mv.min(chunk_min);
+                    } else {
+                        for &w in nbrs {
+                            mv = mv.min(t_ref[w as usize]);
+                        }
+                    }
+                    if mv.is_in() {
+                        mv = T::OUT;
+                    }
+                    unsafe { mw.write(v as usize, mv) };
+                });
+            } else {
+                wl2.par_iter().for_each(|&v| {
+                    let mut mv = t_ref[v as usize];
+                    for &w in g.neighbors(v) {
+                        mv = mv.min(t_ref[w as usize]);
+                    }
+                    if mv.is_in() {
+                        mv = T::OUT;
+                    }
+                    unsafe { mw.write(v as usize, mv) };
+                });
+            }
+        }
+
+        // --- Decide Set --------------------------------------------------
+        {
+            let tw = SharedMut::new(&mut t);
+            let m_ref: &[T] = &m;
+            wl1.par_iter().for_each(|&v| {
+                // SAFETY: each worklist1 vertex appears once; we only read
+                // and write slot v.
+                let tv = unsafe { tw.read(v as usize) };
+                if !tv.is_undecided() {
+                    // Only reachable in no-worklist mode, where decided
+                    // vertices stay in the (full) worklist.
+                    return;
+                }
+                let mv = m_ref[v as usize];
+                // Self contribution of the implicit self-loop.
+                let mut any_out = mv.is_out();
+                let mut all_eq = mv == tv;
+                let nbrs = g.neighbors(v);
+                if !any_out {
+                    if simd && nbrs.len() >= SIMD_MIN_DEGREE {
+                        let (o, e) = nbrs
+                            .par_chunks(SIMD_CHUNK)
+                            .map(|c| {
+                                let mut o = false;
+                                let mut e = true;
+                                for &w in c {
+                                    let mw_ = m_ref[w as usize];
+                                    if mw_.is_out() {
+                                        o = true;
+                                        break;
+                                    }
+                                    if mw_ != tv {
+                                        e = false;
+                                    }
+                                }
+                                (o, e)
+                            })
+                            .reduce(|| (false, true), |a, b| (a.0 || b.0, a.1 && b.1));
+                        any_out = o;
+                        all_eq = all_eq && e;
+                    } else {
+                        for &w in nbrs {
+                            let mw_ = m_ref[w as usize];
+                            if mw_.is_out() {
+                                any_out = true;
+                                break;
+                            }
+                            if mw_ != tv {
+                                all_eq = false;
+                            }
+                        }
+                    }
+                }
+                if any_out {
+                    unsafe { tw.write(v as usize, T::OUT) };
+                } else if all_eq {
+                    unsafe { tw.write(v as usize, T::IN) };
+                }
+            });
+        }
+
+        // --- Bookkeeping + worklist compaction ---------------------------
+        iter += 1;
+        let (newly_in, newly_out, remaining);
+        if cfg.use_worklists {
+            // worklist1 held exactly the previously-undecided vertices, so
+            // counting decided entries in it gives the per-iteration deltas.
+            newly_in = wl1.par_iter().filter(|&&v| t[v as usize].is_in()).count();
+            newly_out = wl1.par_iter().filter(|&&v| t[v as usize].is_out()).count();
+            wl1 = compact::par_filter(&wl1, |&v| t[v as usize].is_undecided());
+            wl2 = compact::par_filter(&wl2, |&v| !m[v as usize].is_out());
+            remaining = wl1.len();
+        } else {
+            // Full sweeps see cumulative totals; derive the deltas.
+            let in_total = t.par_iter().filter(|x| x.is_in()).count();
+            remaining = t.par_iter().filter(|x| x.is_undecided()).count();
+            newly_in = in_total - prev_in_total;
+            newly_out = undecided_at_start - remaining - newly_in;
+            prev_in_total = in_total;
+        }
+        history.push(RoundStats { undecided: undecided_at_start, newly_in, newly_out });
+
+        if remaining == 0 {
+            break;
+        }
+
+        // --- Refresh Row for the next iteration --------------------------
+        {
+            let tw = SharedMut::new(&mut t);
+            if cfg.use_worklists {
+                wl1.par_iter().for_each(|&v| {
+                    let p = cfg.priorities.priority(cfg.seed, iter, v) & prio_mask;
+                    unsafe { tw.write(v as usize, T::undecided(p, v, bits)) };
+                });
+            } else {
+                (0..n as VertexId).into_par_iter().for_each(|v| {
+                    // SAFETY: one write per distinct v.
+                    let cur = unsafe { tw.read(v as usize) };
+                    if cur.is_undecided() {
+                        let p = cfg.priorities.priority(cfg.seed, iter, v) & prio_mask;
+                        unsafe { tw.write(v as usize, T::undecided(p, v, bits)) };
+                    }
+                });
+            }
+        }
+    }
+
+    let is_in: Vec<bool> = t.par_iter().map(|x| x.is_in()).collect();
+    let in_set = compact::par_filter_indices(&is_in, |&b| b);
+    Mis2Result { in_set, is_in, iterations: iter as usize, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_mis2;
+    use mis2_graph::gen;
+
+    fn all_configs() -> Vec<Mis2Config> {
+        let mut out = Vec::new();
+        for priorities in [PriorityScheme::Fixed, PriorityScheme::XorHash, PriorityScheme::XorStar]
+        {
+            for use_worklists in [false, true] {
+                for packed in [false, true] {
+                    for simd in [SimdMode::Off, SimdMode::On] {
+                        out.push(Mis2Config { priorities, use_worklists, packed, simd, seed: 0 });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = mis2_graph::CsrGraph::empty(0);
+        let r = mis2(&g);
+        assert_eq!(r.size(), 0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_all_in() {
+        let g = mis2_graph::CsrGraph::empty(10);
+        let r = mis2(&g);
+        assert_eq!(r.size(), 10);
+        assert_eq!(r.iterations, 1);
+        verify_mis2(&g, &r.is_in).unwrap();
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = mis2_graph::CsrGraph::empty(1);
+        let r = mis2(&g);
+        assert_eq!(r.in_set, vec![0]);
+    }
+
+    #[test]
+    fn complete_graph_one_in() {
+        let g = gen::complete(10);
+        let r = mis2(&g);
+        assert_eq!(r.size(), 1);
+        verify_mis2(&g, &r.is_in).unwrap();
+    }
+
+    #[test]
+    fn star_graph() {
+        // Star: any single vertex dominates everything within distance 2.
+        let g = gen::star(50);
+        let r = mis2(&g);
+        assert_eq!(r.size(), 1);
+        verify_mis2(&g, &r.is_in).unwrap();
+    }
+
+    #[test]
+    fn path_graph_valid() {
+        let g = gen::path(100);
+        let r = mis2(&g);
+        verify_mis2(&g, &r.is_in).unwrap();
+        // A path of 100 vertices needs at least ceil(100/5)=20 and at most
+        // ceil(100/3)=34 MIS-2 vertices.
+        assert!(r.size() >= 20 && r.size() <= 34, "size {}", r.size());
+    }
+
+    #[test]
+    fn paper_example_graph() {
+        // The 6-vertex graph of the paper's Figure 1:
+        // 1-2, 2-3, 3-4, 4-5, 4-6 (1-based) — a path with a fork at 4.
+        let g = mis2_graph::CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)],
+        );
+        let r = mis2(&g);
+        verify_mis2(&g, &r.is_in).unwrap();
+        // The MIS-2 of this graph has exactly 2 vertices (e.g. {1,4} in the
+        // paper's run, 0-based {0,3}).
+        assert_eq!(r.size(), 2);
+    }
+
+    #[test]
+    fn all_configs_valid_on_random_graph() {
+        let g = gen::erdos_renyi(500, 1500, 7);
+        for cfg in all_configs() {
+            let r = mis2_with_config(&g, &cfg);
+            verify_mis2(&g, &r.is_in)
+                .unwrap_or_else(|e| panic!("invalid MIS-2 for {cfg:?}: {e}"));
+            assert!(r.iterations > 0);
+            assert_eq!(r.history.len(), r.iterations);
+        }
+    }
+
+    #[test]
+    fn all_configs_valid_on_grid() {
+        let g = gen::laplace3d(8, 8, 8);
+        for cfg in all_configs() {
+            let r = mis2_with_config(&g, &cfg);
+            verify_mis2(&g, &r.is_in)
+                .unwrap_or_else(|e| panic!("invalid MIS-2 for {cfg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn packed_and_unpacked_agree() {
+        // Same priorities => same set, regardless of representation.
+        let g = gen::erdos_renyi(400, 1200, 3);
+        let a = mis2_with_config(&g, &Mis2Config { packed: true, ..Default::default() });
+        let b = mis2_with_config(&g, &Mis2Config { packed: false, ..Default::default() });
+        // Note: packed truncates priorities to (64 - b) bits, which can in
+        // principle change comparisons, but only when two 44+-bit truncated
+        // priorities collide — not with these sizes.
+        assert_eq!(a.in_set, b.in_set);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn worklists_do_not_change_result() {
+        let g = gen::laplace2d(40, 40);
+        let a = mis2_with_config(&g, &Mis2Config { use_worklists: true, ..Default::default() });
+        let b = mis2_with_config(&g, &Mis2Config { use_worklists: false, ..Default::default() });
+        assert_eq!(a.in_set, b.in_set);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn simd_does_not_change_result() {
+        let g = gen::elasticity3d(6, 6, 6, 3);
+        let a = mis2_with_config(&g, &Mis2Config { simd: SimdMode::On, ..Default::default() });
+        let b = mis2_with_config(&g, &Mis2Config { simd: SimdMode::Off, ..Default::default() });
+        assert_eq!(a.in_set, b.in_set);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = gen::erdos_renyi(2000, 8000, 11);
+        let baseline = mis2_prim::pool::with_pool(1, || mis2(&g));
+        for threads in [2, 4] {
+            let r = mis2_prim::pool::with_pool(threads, || mis2(&g));
+            assert_eq!(r.in_set, baseline.in_set, "differs at {threads} threads");
+            assert_eq!(r.iterations, baseline.iterations);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = gen::laplace3d(12, 12, 12);
+        let a = mis2(&g);
+        let b = mis2(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let g = gen::laplace3d(10, 10, 10);
+        let a = mis2_with_config(&g, &Mis2Config { seed: 1, ..Default::default() });
+        let b = mis2_with_config(&g, &Mis2Config { seed: 2, ..Default::default() });
+        verify_mis2(&g, &a.is_in).unwrap();
+        verify_mis2(&g, &b.is_in).unwrap();
+        assert_ne!(a.in_set, b.in_set);
+    }
+
+    #[test]
+    fn history_is_consistent() {
+        let g = gen::laplace2d(30, 30);
+        let r = mis2(&g);
+        let total_in: usize = r.history.iter().map(|h| h.newly_in).sum();
+        let total_out: usize = r.history.iter().map(|h| h.newly_out).sum();
+        assert_eq!(total_in, r.size());
+        assert_eq!(total_in + total_out, g.num_vertices());
+        // Undecided counts strictly decrease... at least weakly, and reach 0.
+        for w in r.history.windows(2) {
+            assert!(w[1].undecided <= w[0].undecided);
+        }
+        assert_eq!(
+            r.history.last().unwrap().undecided,
+            r.history.last().unwrap().newly_in + r.history.last().unwrap().newly_out
+        );
+    }
+
+    #[test]
+    fn ladder_configs_all_valid() {
+        let g = gen::laplace3d(8, 8, 8);
+        let mut sizes = Vec::new();
+        for (label, cfg) in Mis2Config::ladder() {
+            let r = mis2_with_config(&g, &cfg);
+            verify_mis2(&g, &r.is_in).unwrap_or_else(|e| panic!("{label}: {e}"));
+            sizes.push((label, r.size()));
+        }
+        // All ladder steps produce similar-quality sets (within 2x).
+        let min = sizes.iter().map(|s| s.1).min().unwrap();
+        let max = sizes.iter().map(|s| s.1).max().unwrap();
+        assert!(max <= 2 * min, "quality spread too wide: {sizes:?}");
+    }
+
+    #[test]
+    fn two_vertex_edge() {
+        // Regression test for the implicit self-loop: without it, both
+        // endpoints of a single edge would mark themselves IN.
+        let g = mis2_graph::CsrGraph::from_edges(2, &[(0, 1)]);
+        let r = mis2(&g);
+        assert_eq!(r.size(), 1, "adjacent vertices both IN — self-loop bug");
+        verify_mis2(&g, &r.is_in).unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! Luby's Monte Carlo Algorithm A for MIS-1.
+//!
+//! Section IV of the paper analyzes Algorithm 1 by reduction to Luby's
+//! algorithm (SIAM J. Comput. 1986): with the same per-iteration hash
+//! priorities, Luby's algorithm on `G²` terminates in the same number of
+//! iterations as Algorithm 1 on `G`, which by Luby's Theorem 1 is expected
+//! `O(log V)`. This module provides that algorithm both as the distance-1
+//! production kernel and as the oracle half of Lemma IV.2
+//! ([`crate::oracle`]).
+
+use crate::engine::RoundStats;
+use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::hash::{hash2, xorshift64_star};
+use mis2_prim::{compact, SharedMut};
+use rayon::prelude::*;
+
+/// Result of an MIS-1 computation (same shape as [`crate::Mis2Result`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mis1Result {
+    pub in_set: Vec<VertexId>,
+    pub is_in: Vec<bool>,
+    pub iterations: usize,
+    pub history: Vec<RoundStats>,
+}
+
+impl Mis1Result {
+    /// |MIS-1|.
+    pub fn size(&self) -> usize {
+        self.in_set.len()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum S {
+    Undecided,
+    In,
+    Out,
+}
+
+/// Compute an MIS-1 with Luby's Algorithm A, using fresh xorshift\*
+/// priorities per round (the distance-1 analogue of Algorithm 1, per the
+/// paper's Section IV discussion). Deterministic for fixed `seed`.
+pub fn luby_mis1(g: &CsrGraph, seed: u64) -> Mis1Result {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Mis1Result { in_set: vec![], is_in: vec![], iterations: 0, history: vec![] };
+    }
+    let mut status = vec![S::Undecided; n];
+    let mut wl: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut history = Vec::new();
+    let mut iterations = 0usize;
+    let mut iter_seed = seed;
+
+    while !wl.is_empty() {
+        let undecided = wl.len();
+        // Priorities for this round: (hash, id) with the id as tiebreak.
+        let prio = |v: VertexId| -> (u64, VertexId) {
+            (hash2(xorshift64_star, iter_seed ^ (iterations as u64), v as u64), v)
+        };
+
+        // Phase A: v wins if it is the strict minimum among undecided
+        // closed-neighborhood members.
+        let winners: Vec<bool> = {
+            let status_ref: &[S] = &status;
+            let mut w = vec![false; n];
+            let ww = SharedMut::new(&mut w);
+            wl.par_iter().for_each(|&v| {
+                let pv = prio(v);
+                let mut win = true;
+                for &u in g.neighbors(v) {
+                    if status_ref[u as usize] == S::Undecided && prio(u) < pv {
+                        win = false;
+                        break;
+                    }
+                }
+                unsafe { ww.write(v as usize, win) };
+            });
+            w
+        };
+
+        // Phase B: winners join; their undecided neighbors leave.
+        let (newly_in, newly_out) = {
+            let winners_ref: &[bool] = &winners;
+            let sw = SharedMut::new(&mut status);
+            wl.par_iter()
+                .map(|&v| {
+                    // SAFETY: slot v touched only by its own task. Reads of
+                    // neighbors go through `winners_ref` (previous phase).
+                    if winners_ref[v as usize] {
+                        unsafe { sw.write(v as usize, S::In) };
+                        (1usize, 0usize)
+                    } else if g.neighbors(v).iter().any(|&u| winners_ref[u as usize]) {
+                        unsafe { sw.write(v as usize, S::Out) };
+                        (0, 1)
+                    } else {
+                        (0, 0)
+                    }
+                })
+                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+        };
+
+        wl = compact::par_filter(&wl, |&v| status[v as usize] == S::Undecided);
+        iterations += 1;
+        history.push(RoundStats { undecided, newly_in, newly_out });
+        debug_assert!(newly_in > 0, "Luby round made no progress");
+        iter_seed = seed; // seed is mixed via `iterations` inside prio
+    }
+
+    let is_in: Vec<bool> = status.par_iter().map(|&s| s == S::In).collect();
+    let in_set = compact::par_filter_indices(&is_in, |&b| b);
+    Mis1Result { in_set, is_in, iterations, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_mis1;
+    use mis2_graph::gen;
+
+    #[test]
+    fn empty() {
+        assert_eq!(luby_mis1(&CsrGraph::empty(0), 0).size(), 0);
+    }
+
+    #[test]
+    fn edgeless_all_in() {
+        let r = luby_mis1(&CsrGraph::empty(5), 0);
+        assert_eq!(r.size(), 5);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn triangle_one_in() {
+        let g = gen::complete(3);
+        let r = luby_mis1(&g, 0);
+        assert_eq!(r.size(), 1);
+        verify_mis1(&g, &r.is_in).unwrap();
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = gen::erdos_renyi(500, 2000, seed);
+            let r = luby_mis1(&g, seed);
+            verify_mis1(&g, &r.is_in).unwrap();
+        }
+    }
+
+    #[test]
+    fn valid_on_grid() {
+        let g = gen::laplace2d(30, 30);
+        let r = luby_mis1(&g, 0);
+        verify_mis1(&g, &r.is_in).unwrap();
+        // 5-point grid MIS-1 is at least a quarter of the vertices.
+        assert!(r.size() >= 900 / 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen::erdos_renyi(800, 3000, 9);
+        let a = luby_mis1(&g, 3);
+        let b = mis2_prim::pool::with_pool(1, || luby_mis1(&g, 3));
+        assert_eq!(a.in_set, b.in_set);
+    }
+
+    #[test]
+    fn log_iterations_on_big_graph() {
+        // Luby's theorem: expected O(log n) rounds.
+        let g = gen::erdos_renyi(20_000, 100_000, 1);
+        let r = luby_mis1(&g, 0);
+        assert!(r.iterations <= 30, "{} rounds", r.iterations);
+    }
+
+    #[test]
+    fn path_alternation_quality() {
+        let g = gen::path(1000);
+        let r = luby_mis1(&g, 0);
+        verify_mis1(&g, &r.is_in).unwrap();
+        // MIS-1 of a path has between ceil(n/3) and ceil(n/2) vertices.
+        assert!(r.size() >= 334 && r.size() <= 500, "size {}", r.size());
+    }
+}

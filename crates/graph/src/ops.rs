@@ -1,0 +1,231 @@
+//! Graph operations: squaring (G²), induced subgraphs, connected components,
+//! degree histograms.
+//!
+//! `square` implements the reduction behind Lemma IV.2 of the paper:
+//! an MIS-1 of `G²` (with self-loops) is a valid MIS-2 of `G`. The tests and
+//! the theory experiments use it as an oracle for Algorithm 1.
+
+use crate::csr::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+/// `G²`: vertices `u != v` adjacent iff a path of length 1 or 2 connects
+/// them in `g` (self-loops excluded, consistent with [`CsrGraph`]'s
+/// invariants — callers treat the self relation implicitly).
+///
+/// Cost is `O(sum_v (d(v) + sum_{w in N(v)} d(w)))`; intended for tests and
+/// oracles, not for the production MIS-2 path (avoiding exactly this blow-up
+/// is the point of Bell's direct MIS-k scheme the paper builds on).
+pub fn square(g: &CsrGraph) -> CsrGraph {
+    let n = g.num_vertices();
+    let mut rows: Vec<Vec<VertexId>> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let v = v as VertexId;
+            let mut nbrs: Vec<VertexId> = g.neighbors(v).to_vec();
+            for &w in g.neighbors(v) {
+                nbrs.extend_from_slice(g.neighbors(w));
+            }
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            // Drop the self entry introduced via w -> v paths.
+            if let Ok(pos) = nbrs.binary_search(&v) {
+                nbrs.remove(pos);
+            }
+            nbrs
+        })
+        .collect();
+    CsrGraph::from_rows_unchecked(n, &mut rows)
+}
+
+/// Induced subgraph on the vertices where `keep[v]` is true.
+///
+/// Returns `(subgraph, new_to_old)`; `new_to_old[i]` is the original id of
+/// subgraph vertex `i`. Vertices keep their relative order, so the mapping
+/// is deterministic.
+pub fn induced_subgraph(g: &CsrGraph, keep: &[bool]) -> (CsrGraph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    assert_eq!(keep.len(), n, "mask length mismatch");
+    let new_to_old = mis2_prim::compact::par_filter_indices(keep, |&k| k);
+    let mut old_to_new = vec![VertexId::MAX; n];
+    for (new, &old) in new_to_old.iter().enumerate() {
+        old_to_new[old as usize] = new as VertexId;
+    }
+    let m = new_to_old.len();
+    let mut rows: Vec<Vec<VertexId>> = new_to_old
+        .par_iter()
+        .map(|&old| {
+            g.neighbors(old)
+                .iter()
+                .filter(|&&w| keep[w as usize])
+                .map(|&w| old_to_new[w as usize])
+                .collect::<Vec<_>>()
+            // rows inherit sorted order because old_to_new is monotone
+        })
+        .collect();
+    (CsrGraph::from_rows_unchecked(m, &mut rows), new_to_old)
+}
+
+/// Connected components via BFS. Returns `(component_count, labels)` with
+/// labels in `0..component_count`, assigned in order of the smallest vertex
+/// id in each component (deterministic).
+pub fn connected_components(g: &CsrGraph) -> (usize, Vec<u32>) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut ncomp = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = ncomp;
+        queue.push_back(s as VertexId);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = ncomp;
+                    queue.push_back(w);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+    (ncomp as usize, label)
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let maxd = g.max_degree();
+    let mut hist = vec![0usize; maxd + 1];
+    for v in 0..g.num_vertices() {
+        hist[g.degree(v as VertexId)] += 1;
+    }
+    hist
+}
+
+/// All vertices within distance `<= k` of `v` (excluding `v` itself),
+/// sorted. Small-`k` BFS used by verification code and tests.
+pub fn neighborhood(g: &CsrGraph, v: VertexId, k: usize) -> Vec<VertexId> {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(v);
+    let mut frontier = vec![v];
+    let mut out = Vec::new();
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &w in g.neighbors(u) {
+                if seen.insert(w) {
+                    next.push(w);
+                    out.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn square_of_path() {
+        // Path 0-1-2-3: G² adds (0,2), (1,3).
+        let g = gen::path(4);
+        let g2 = square(&g);
+        assert_eq!(g2.neighbors(0), &[1, 2]);
+        assert_eq!(g2.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g2.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g2.neighbors(3), &[1, 2]);
+        g2.validate_symmetric().unwrap();
+    }
+
+    #[test]
+    fn square_no_self_loops() {
+        let g = gen::cycle(6);
+        let g2 = square(&g);
+        for v in 0..6u32 {
+            assert!(!g2.has_edge(v, v));
+            assert_eq!(g2.degree(v), 4); // ±1, ±2 on a 6-cycle
+        }
+    }
+
+    #[test]
+    fn square_matches_bfs_definition() {
+        let g = gen::erdos_renyi(60, 120, 5);
+        let g2 = square(&g);
+        for v in 0..60u32 {
+            let want = neighborhood(&g, v, 2);
+            assert_eq!(g2.neighbors(v), want.as_slice(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_basic() {
+        // Path 0-1-2-3-4, keep {0, 1, 3, 4}: edges (0,1) and (3,4) survive.
+        let g = gen::path(5);
+        let keep = [true, true, false, true, true];
+        let (sub, map) = induced_subgraph(&g, &keep);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(map, vec![0, 1, 3, 4]);
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1)); // old (0,1)
+        assert!(sub.has_edge(2, 3)); // old (3,4)
+        assert!(!sub.has_edge(1, 2)); // old (1,3) was not an edge
+        sub.validate_symmetric().unwrap();
+    }
+
+    #[test]
+    fn induced_subgraph_empty_mask() {
+        let g = gen::cycle(5);
+        let (sub, map) = induced_subgraph(&g, &[false; 5]);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_full_mask_is_identity() {
+        let g = gen::erdos_renyi(50, 100, 1);
+        let (sub, map) = induced_subgraph(&g, &[true; 50]);
+        assert_eq!(&sub, &g);
+        assert_eq!(map, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        // Two paths: 0-1-2 and 3-4.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let (nc, labels) = connected_components(&g);
+        assert_eq!(nc, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn components_isolated_vertices() {
+        let g = CsrGraph::empty(4);
+        let (nc, labels) = connected_components(&g);
+        assert_eq!(nc, 4);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn histogram_star() {
+        let g = gen::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4); // leaves
+        assert_eq!(h[4], 1); // hub
+    }
+
+    #[test]
+    fn neighborhood_distances() {
+        let g = gen::path(7);
+        assert_eq!(neighborhood(&g, 3, 1), vec![2, 4]);
+        assert_eq!(neighborhood(&g, 3, 2), vec![1, 2, 4, 5]);
+        assert_eq!(neighborhood(&g, 0, 2), vec![1, 2]);
+    }
+}

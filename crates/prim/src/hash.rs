@@ -1,0 +1,149 @@
+//! Marsaglia xorshift hash functions.
+//!
+//! The paper (Section V-A) derives a fresh pseudo-random priority for every
+//! vertex in every iteration as
+//!
+//! ```text
+//! h(iter, v) = f(f(iter) XOR f(v))
+//! ```
+//!
+//! where `f` is either 64-bit **xorshift** or 64-bit **xorshift\***
+//! (xorshift followed by a multiplicative/linear-congruential step), both due
+//! to Marsaglia ("Xorshift RNGs", JSS 2003). Table I of the paper shows the
+//! surprising result that plain xorshift is *worse than fixed priorities*
+//! (its output is correlated across iterations, so dependency chains are not
+//! broken), while xorshift\* converges in fewer iterations than either.
+//!
+//! These functions are pure: determinism of the whole MIS-2 algorithm rests
+//! on priorities depending only on `(iter, v)`.
+
+/// 64-bit xorshift (Marsaglia's `xorshift64` with triplet (13, 7, 17)).
+///
+/// Note `xorshift64(0) == 0`: zero is a fixed point of every xorshift.
+/// Algorithm 1 tolerates this because packed tuples offset the vertex id by
+/// one, so a zero priority can never collide with the `IN` sentinel.
+#[inline]
+pub fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// 64-bit xorshift\* : xorshift with triplet (12, 25, 27) followed by a
+/// multiplication by the odd constant `0x2545F4914F6CDD1D`.
+///
+/// This is the hash used by the Kokkos Kernels implementation and by all
+/// experiments in the paper after Section V-A.
+#[inline]
+pub fn xorshift64_star(mut x: u64) -> u64 {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// splitmix64: a high-quality 64-bit mixer, used for seeding workload
+/// generators (never inside Algorithm 1 itself, which sticks to the paper's
+/// xorshift family).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The paper's two-argument hash `h(a, b) = f(f(a) XOR f(b))` for a given
+/// single-argument hash `f`.
+#[inline]
+pub fn hash2(f: fn(u64) -> u64, a: u64, b: u64) -> u64 {
+    f(f(a) ^ f(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift64_zero_fixed_point() {
+        assert_eq!(xorshift64(0), 0);
+        assert_eq!(xorshift64_star(0), 0);
+    }
+
+    #[test]
+    fn xorshift64_nonzero_changes() {
+        for x in 1..1000u64 {
+            assert_ne!(xorshift64(x), x, "xorshift should move {x}");
+        }
+    }
+
+    #[test]
+    fn xorshift64_star_known_values_stable() {
+        // Pin outputs so accidental edits to the shift triplet or the
+        // multiplier are caught (the exact constants are what the paper's
+        // Table I iteration counts depend on). Reference values computed
+        // step-by-step from Marsaglia's definition.
+        let reference = |mut x: u64| {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for x in [1u64, 2, 0xDEAD_BEEF, u64::MAX, 42] {
+            assert_eq!(xorshift64_star(x), reference(x));
+        }
+        // One fully-literal pin: x = 1 passes through the shifts unchanged
+        // except x ^= x << 25, giving 0x2000001 ^ (0x2000001 >> 27) = 0x2000001,
+        // then the multiply.
+        assert_eq!(
+            xorshift64_star(1),
+            0x0200_0001u64.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        );
+    }
+
+    #[test]
+    fn hash2_is_symmetric_in_xor_sense() {
+        // f(a) ^ f(b) is symmetric, so h(a,b) == h(b,a).
+        for a in 0..50u64 {
+            for b in 0..50u64 {
+                assert_eq!(
+                    hash2(xorshift64_star, a, b),
+                    hash2(xorshift64_star, b, a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash2_varies_with_iteration() {
+        // Different iterations must yield different priorities for the same
+        // vertex in the overwhelming majority of cases — this is what breaks
+        // dependency chains (Section V-A).
+        let v = 12345u64;
+        let mut seen = std::collections::HashSet::new();
+        for iter in 0..1000u64 {
+            seen.insert(hash2(xorshift64_star, iter, v));
+        }
+        assert!(seen.len() > 990, "only {} distinct hashes", seen.len());
+    }
+
+    #[test]
+    fn splitmix64_bijective_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(x)));
+        }
+    }
+
+    #[test]
+    fn xorshift_star_spreads_low_bits() {
+        // Consecutive inputs should not produce correlated high bits;
+        // check the top byte takes many values over a small input range.
+        let mut tops = std::collections::HashSet::new();
+        for x in 1..256u64 {
+            tops.insert(xorshift64_star(x) >> 56);
+        }
+        assert!(tops.len() > 100, "top byte only took {} values", tops.len());
+    }
+}

@@ -1,0 +1,51 @@
+//! Thread-pool helpers.
+//!
+//! The strong-scaling experiments (Figures 4 and 5 of the paper) sweep the
+//! number of OpenMP threads; here the analogue is running the algorithm
+//! inside rayon pools of varying size. `with_pool` builds a dedicated pool,
+//! installs the closure, and tears the pool down, so sweeps are isolated
+//! from the global pool.
+
+/// Number of logical CPUs rayon would use by default.
+pub fn max_threads() -> usize {
+    rayon::current_num_threads().max(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+/// Run `f` on a dedicated rayon pool with exactly `num_threads` workers.
+///
+/// All rayon parallelism inside `f` (including nested `par_iter`s in other
+/// crates of this workspace) executes on that pool.
+pub fn with_pool<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(num_threads.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_size_is_respected() {
+        let n = with_pool(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let sum: u64 = with_pool(1, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn max_threads_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

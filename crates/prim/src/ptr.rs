@@ -1,0 +1,100 @@
+//! Shared mutable slice for disjoint parallel scatter writes.
+//!
+//! Algorithm 1's phases are parallel maps that write each vertex's slot
+//! exactly once (`T[v]` in Refresh Row / Decide, `M[v]` in Refresh Column)
+//! while iterating over a *worklist* of vertex ids, so the write indices are
+//! disjoint but not expressible as `par_iter_mut` over the array. This
+//! wrapper makes the (safe-in-aggregate) pattern explicit and keeps every
+//! `unsafe` block small and auditable.
+
+use std::marker::PhantomData;
+
+/// A `Send + Sync` view over a mutable slice allowing indexed writes from
+/// multiple threads. Callers must guarantee no two threads write the same
+/// index during one parallel region (reads of slots written in the same
+/// region are likewise forbidden).
+pub struct SharedMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
+
+impl<'a, T> SharedMut<'a, T> {
+    /// Wrap a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedMut { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// No other thread may read or write `index` during the same parallel
+    /// region. `index` must be `< len()` (checked with a debug assertion).
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).write(value) };
+    }
+
+    /// Read the value at `index`.
+    ///
+    /// # Safety
+    /// No other thread may write `index` during the same parallel region.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.len);
+        unsafe { self.ptr.add(index).read() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0u64; 10_000];
+        let idx: Vec<usize> = (0..10_000).step_by(3).collect();
+        {
+            let w = SharedMut::new(&mut data);
+            idx.par_iter().for_each(|&i| unsafe { w.write(i, i as u64 * 2) });
+        }
+        for i in 0..10_000 {
+            let want = if i % 3 == 0 { i as u64 * 2 } else { 0 };
+            assert_eq!(data[i], want, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn read_back_previous_region() {
+        let mut data: Vec<u32> = (0..100).collect();
+        let w = SharedMut::new(&mut data);
+        let sum: u32 = (0..100usize)
+            .into_par_iter()
+            .map(|i| unsafe { w.read(i) })
+            .sum();
+        assert_eq!(sum, 4950);
+        assert_eq!(w.len(), 100);
+        assert!(!w.is_empty());
+    }
+}

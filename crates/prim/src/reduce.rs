@@ -1,0 +1,115 @@
+//! Deterministic parallel reductions.
+//!
+//! Floating-point addition is not associative, so a naive
+//! `par_iter().sum::<f64>()` can return different values depending on how
+//! rayon splits the work. The solver stack (dot products inside CG/GMRES)
+//! must be bitwise reproducible for the paper's determinism claims to carry
+//! through end-to-end, so the f64 reductions here use a fixed block
+//! decomposition: block partial sums are computed in parallel (each block
+//! sequentially, in index order) and the short vector of block sums is then
+//! folded sequentially. The result is identical for any thread count.
+
+use rayon::prelude::*;
+
+/// Fixed block size (thread-count independent).
+const BLOCK: usize = 1 << 13;
+const SEQ_CUTOFF: usize = 1 << 14;
+
+/// Deterministic parallel sum of `f64` values.
+pub fn det_sum_f64(data: &[f64]) -> f64 {
+    if data.len() < SEQ_CUTOFF {
+        return data.iter().sum();
+    }
+    let partials: Vec<f64> = data.par_chunks(BLOCK).map(|c| c.iter().sum()).collect();
+    partials.iter().sum()
+}
+
+/// Deterministic parallel dot product.
+pub fn det_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    if a.len() < SEQ_CUTOFF {
+        return a.iter().zip(b).map(|(x, y)| x * y).sum();
+    }
+    let partials: Vec<f64> = a
+        .par_chunks(BLOCK)
+        .zip(b.par_chunks(BLOCK))
+        .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum())
+        .collect();
+    partials.iter().sum()
+}
+
+/// Parallel sum of usize values (integers are associative, but we keep the
+/// same structure for symmetry and overflow checking in debug builds).
+pub fn det_sum_usize(data: &[usize]) -> usize {
+    if data.len() < SEQ_CUTOFF {
+        return data.iter().sum();
+    }
+    data.par_chunks(BLOCK)
+        .map(|c| c.iter().sum::<usize>())
+        .sum()
+}
+
+/// Parallel minimum; `None` on empty input. Min is commutative and
+/// idempotent so any reduction order gives the same result.
+pub fn det_min<T: Copy + Ord + Send + Sync>(data: &[T]) -> Option<T> {
+    data.par_iter().copied().min()
+}
+
+/// Parallel maximum; `None` on empty input.
+pub fn det_max<T: Copy + Ord + Send + Sync>(data: &[T]) -> Option<T> {
+    data.par_iter().copied().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_small() {
+        assert_eq!(det_sum_f64(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(det_sum_usize(&[1, 2, 3]), 6);
+    }
+
+    #[test]
+    fn sum_empty() {
+        assert_eq!(det_sum_f64(&[]), 0.0);
+        assert_eq!(det_min::<u32>(&[]), None);
+    }
+
+    #[test]
+    fn dot_matches_sequential() {
+        let n = 100_000;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let got = det_dot(&a, &b);
+        let want: f64 = {
+            // reproduce the exact blocked order
+            let partials: Vec<f64> = a
+                .chunks(BLOCK)
+                .zip(b.chunks(BLOCK))
+                .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum())
+                .collect();
+            partials.iter().sum()
+        };
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn f64_sum_bitwise_stable_across_threads() {
+        let data: Vec<f64> = (0..200_000)
+            .map(|i| (crate::hash::splitmix64(i) as f64) / 1e12)
+            .collect();
+        let baseline = crate::pool::with_pool(1, || det_sum_f64(&data));
+        for t in [2, 3, 8] {
+            let got = crate::pool::with_pool(t, || det_sum_f64(&data));
+            assert_eq!(got.to_bits(), baseline.to_bits(), "{t} threads differ");
+        }
+    }
+
+    #[test]
+    fn min_max() {
+        let data: Vec<u64> = (0..50_000).map(crate::hash::splitmix64).collect();
+        assert_eq!(det_min(&data), data.iter().copied().min());
+        assert_eq!(det_max(&data), data.iter().copied().max());
+    }
+}

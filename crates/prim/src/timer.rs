@@ -1,0 +1,142 @@
+//! Wall-clock timing and sample statistics for the benchmark harness.
+//!
+//! The paper reports times "averaged over 100 trials" (Table II) and uses
+//! geometric-mean speedups (Figure 2, Figures 4-5). These helpers provide
+//! the corresponding plumbing.
+
+use std::time::Instant;
+
+/// A simple wall-clock timer.
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Timer { start: Instant::now() }
+    }
+
+    /// Elapsed milliseconds since `start`.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed seconds since `start`.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Summary statistics over a set of timing samples (milliseconds or any
+/// other positive measure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    pub n: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub stddev: f64,
+}
+
+impl SampleStats {
+    /// Compute statistics from raw samples. Empty input yields all-zero
+    /// statistics rather than NaN so tables stay printable.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return SampleStats { n: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        SampleStats { n, mean, min, max, stddev: var.sqrt() }
+    }
+}
+
+/// Time `f` over `trials` runs (after `warmup` untimed runs); returns
+/// per-trial milliseconds.
+pub fn time_trials<R>(warmup: usize, trials: usize, mut f: impl FnMut() -> R) -> Vec<f64> {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    (0..trials)
+        .map(|_| {
+            let t = Timer::start();
+            std::hint::black_box(f());
+            t.elapsed_ms()
+        })
+        .collect()
+}
+
+/// Geometric mean of strictly positive values (the paper's preferred
+/// aggregate for speedups). Returns 0 for empty input.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic() {
+        let s = SampleStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.stddev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_is_finite() {
+        let s = SampleStats::from_samples(&[]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.n, 0);
+    }
+
+    #[test]
+    fn stats_single_sample() {
+        let s = SampleStats::from_samples(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn geomean_known() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn timer_monotone() {
+        let t = Timer::start();
+        let a = t.elapsed_s();
+        let b = t.elapsed_s();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn trials_count() {
+        let samples = time_trials(1, 5, || 1 + 1);
+        assert_eq!(samples.len(), 5);
+        assert!(samples.iter().all(|&ms| ms >= 0.0));
+    }
+}

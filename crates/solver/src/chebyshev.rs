@@ -1,0 +1,183 @@
+//! Chebyshev polynomial smoother.
+//!
+//! MueLu's default device-side smoother alternative to Jacobi: a degree-k
+//! Chebyshev polynomial in `D⁻¹A` targeting the upper part of the spectrum
+//! `[λ_max / ratio, λ_max]`. Unlike Gauss-Seidel it is built entirely from
+//! SpMV, so it parallelizes perfectly and — with our deterministic kernels
+//! — keeps AMG applications bitwise reproducible. Offered as an `AmgConfig`
+//! smoother option and benchmarked against Jacobi in the ablation bench.
+
+use mis2_sparse::kernels::axpy;
+use mis2_sparse::CsrMatrix;
+use rayon::prelude::*;
+
+/// Chebyshev smoother state (diagonal + spectrum estimate).
+pub struct ChebyshevSmoother {
+    dinv: Vec<f64>,
+    /// Estimated largest eigenvalue of `D⁻¹ A`.
+    pub lambda_max: f64,
+    /// Smoothing targets eigenvalues in `[lambda_max / eig_ratio, lambda_max]`.
+    pub eig_ratio: f64,
+    /// Polynomial degree (number of SpMVs per application).
+    pub degree: usize,
+}
+
+impl ChebyshevSmoother {
+    /// Build with a power-iteration estimate of `λ_max(D⁻¹A)`.
+    pub fn new(a: &CsrMatrix, degree: usize, eig_ratio: f64) -> Self {
+        let dinv: Vec<f64> = a
+            .diag()
+            .into_iter()
+            .map(|d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
+            .collect();
+        // Deterministic power iteration (fixed start vector, fixed count).
+        let n = a.nrows();
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -0.5 })
+            .collect();
+        let mut lambda = 1.0f64;
+        let mut av = vec![0.0; n];
+        for _ in 0..12 {
+            a.spmv_into(&v, &mut av);
+            av.par_iter_mut().zip(dinv.par_iter()).for_each(|(x, &d)| *x *= d);
+            let norm = mis2_sparse::kernels::norm2(&av).max(1e-300);
+            lambda = norm / mis2_sparse::kernels::norm2(&v).max(1e-300);
+            let inv = 1.0 / norm;
+            v.par_iter_mut().zip(av.par_iter()).for_each(|(x, &y)| *x = y * inv);
+        }
+        // Safety margin, as in MueLu.
+        let lambda_max = lambda * 1.1;
+        ChebyshevSmoother { dinv, lambda_max, eig_ratio, degree }
+    }
+
+    /// Apply `degree` Chebyshev steps to `A x ≈ b`, updating `x` in place.
+    /// Standard three-term recurrence on the interval
+    /// `[lambda_max/eig_ratio, lambda_max]` of `D⁻¹A`.
+    pub fn smooth(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) {
+        let n = x.len();
+        let lmax = self.lambda_max.max(1e-12);
+        let lmin = lmax / self.eig_ratio.max(1.0 + 1e-12);
+        let theta = 0.5 * (lmax + lmin);
+        let delta = 0.5 * (lmax - lmin).max(1e-12);
+        let sigma = theta / delta;
+        let mut rho_old = 1.0 / sigma;
+
+        // r = D^-1 (b - A x)
+        let mut ax = vec![0.0; n];
+        a.spmv_into(x, &mut ax);
+        let mut r: Vec<f64> = (0..n)
+            .into_par_iter()
+            .map(|i| self.dinv[i] * (b[i] - ax[i]))
+            .collect();
+        // d = r / theta
+        let mut d: Vec<f64> = r.par_iter().map(|&v| v / theta).collect();
+
+        for _k in 0..self.degree {
+            axpy(1.0, &d, x);
+            // r -= D^-1 A d
+            a.spmv_into(&d, &mut ax);
+            r.par_iter_mut()
+                .zip(ax.par_iter())
+                .zip(self.dinv.par_iter())
+                .for_each(|((r, &ad), &di)| *r -= di * ad);
+            let rho = 1.0 / (2.0 * sigma - rho_old);
+            let c1 = rho * rho_old;
+            let c2 = 2.0 * rho / delta;
+            d.par_iter_mut()
+                .zip(r.par_iter())
+                .for_each(|(d, &r)| *d = c1 * *d + c2 * r);
+            rho_old = rho;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis2_sparse::gen as sgen;
+    use mis2_sparse::kernels::{norm2, residual};
+
+    #[test]
+    fn lambda_estimate_reasonable_for_laplace() {
+        // D^-1 A for the 2D Laplacian has eigenvalues in (0, 2).
+        let a = sgen::laplace2d_matrix(16, 16);
+        let ch = ChebyshevSmoother::new(&a, 2, 20.0);
+        assert!(ch.lambda_max > 0.8 && ch.lambda_max < 2.5, "{}", ch.lambda_max);
+    }
+
+    #[test]
+    fn smoothing_damps_rough_residual() {
+        // A smoother targets the upper spectral band; a checkerboard RHS
+        // is concentrated there and must shrink substantially.
+        let a = sgen::laplace2d_matrix(12, 12);
+        let b: Vec<f64> =
+            (0..144).map(|i| if (i / 12 + i % 12) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut x = vec![0.0; 144];
+        let ch = ChebyshevSmoother::new(&a, 3, 20.0);
+        let r0 = norm2(&residual(&a, &x, &b));
+        ch.smooth(&a, &b, &mut x);
+        let r1 = norm2(&residual(&a, &x, &b));
+        assert!(r1 < 0.55 * r0, "{r0} -> {r1}");
+    }
+
+    #[test]
+    fn competitive_with_jacobi_inside_amg() {
+        // The comparison that matters: as an AMG smoother, Chebyshev's
+        // uniform band damping should give a V-cycle at least as strong as
+        // damped Jacobi with the same sweep count (allowing small slack —
+        // both are within a few CG iterations on a model Poisson problem).
+        use crate::amg::{AmgConfig, AmgHierarchy, SmootherKind};
+        use crate::cg::{pcg, SolveOpts};
+        let a = sgen::laplace3d_matrix(10, 10, 10);
+        let b = vec![1.0; 1000];
+        let opts = SolveOpts { tol: 1e-10, max_iters: 300 };
+        let iters = |smoother: SmootherKind| {
+            let amg = AmgHierarchy::build(
+                &a,
+                &AmgConfig { min_coarse_size: 64, smoother, ..Default::default() },
+            );
+            let (_, res) = pcg(&a, &b, &amg, &opts);
+            assert!(res.converged, "{smoother:?} failed: {}", res.relative_residual);
+            res.iterations
+        };
+        let cheb = iters(SmootherKind::Chebyshev);
+        let jac = iters(SmootherKind::Jacobi);
+        assert!(cheb <= jac + 5, "chebyshev {cheb} vs jacobi {jac}");
+    }
+
+    #[test]
+    fn amg_with_chebyshev_converges() {
+        use crate::amg::{AmgConfig, AmgHierarchy, SmootherKind};
+        use crate::cg::{pcg, SolveOpts};
+        let a = sgen::laplace3d_matrix(8, 8, 8);
+        let b = vec![1.0; 512];
+        let amg = AmgHierarchy::build(
+            &a,
+            &AmgConfig {
+                min_coarse_size: 40,
+                smoother: SmootherKind::Chebyshev,
+                ..Default::default()
+            },
+        );
+        let (_, res) = pcg(&a, &b, &amg, &SolveOpts { tol: 1e-10, max_iters: 300 });
+        assert!(res.converged, "rel {}", res.relative_residual);
+        assert!(res.iterations < 60, "{} iterations", res.iterations);
+    }
+
+    #[test]
+    fn deterministic_across_threads() {
+        let a = sgen::laplace2d_matrix(14, 14);
+        let b = vec![1.0; 196];
+        let run = |threads: usize| {
+            mis2_prim::pool::with_pool(threads, || {
+                let ch = ChebyshevSmoother::new(&a, 3, 20.0);
+                let mut x = vec![0.0; 196];
+                ch.smooth(&a, &b, &mut x);
+                x
+            })
+        };
+        let x1 = run(1);
+        let x2 = run(4);
+        assert!(x1.iter().zip(&x2).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}

@@ -1,0 +1,488 @@
+//! CSR sparse matrix with `f64` values.
+//!
+//! The solver-side substrate of the reproduction: the paper's use cases
+//! (smoothed-aggregation AMG in Section VI-F, cluster Gauss-Seidel in
+//! Section VI-G) operate on sparse linear systems whose structure is the
+//! graphs that MIS-2 coarsens. Rows are sorted by column index; explicit
+//! zeros are allowed (they arise in Galerkin products and are harmless).
+
+use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::SharedMut;
+use rayon::prelude::*;
+
+/// A sparse matrix in CSR format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+/// Errors from matrix construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    BadRowPtr(String),
+    ColOutOfBounds { row: usize, col: u32 },
+    UnsortedRow { row: usize },
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::BadRowPtr(m) => write!(f, "bad row_ptr: {m}"),
+            MatrixError::ColOutOfBounds { row, col } => {
+                write!(f, "column {col} out of bounds in row {row}")
+            }
+            MatrixError::UnsortedRow { row } => write!(f, "row {row} not strictly sorted"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl CsrMatrix {
+    /// Validated construction from raw CSR arrays.
+    pub fn from_csr(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        if row_ptr.len() != nrows + 1 || row_ptr[0] != 0 {
+            return Err(MatrixError::BadRowPtr("length/first element".into()));
+        }
+        if *row_ptr.last().unwrap() != col_idx.len() || col_idx.len() != values.len() {
+            return Err(MatrixError::BadRowPtr("row_ptr[n] != nnz".into()));
+        }
+        for r in 0..nrows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(MatrixError::BadRowPtr(format!("decreasing at {r}")));
+            }
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for (k, &c) in row.iter().enumerate() {
+                if c as usize >= ncols {
+                    return Err(MatrixError::ColOutOfBounds { row: r, col: c });
+                }
+                if k > 0 && row[k - 1] >= c {
+                    return Err(MatrixError::UnsortedRow { row: r });
+                }
+            }
+        }
+        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+    }
+
+    /// Build from COO triplets; duplicate entries are summed.
+    ///
+    /// ```
+    /// use mis2_sparse::CsrMatrix;
+    /// let a = CsrMatrix::from_coo(2, 2, &[(0, 0, 2.0), (1, 1, 3.0), (0, 0, 1.0)]);
+    /// assert_eq!(a.get(0, 0), 3.0);
+    /// assert_eq!(a.spmv(&[1.0, 1.0]), vec![3.0, 3.0]);
+    /// ```
+    pub fn from_coo(nrows: usize, ncols: usize, entries: &[(u32, u32, f64)]) -> Self {
+        let mut counts = vec![0usize; nrows + 1];
+        for &(r, _, _) in entries {
+            assert!((r as usize) < nrows, "row index out of bounds");
+            counts[r as usize] += 1;
+        }
+        let total = mis2_prim::scan::exclusive_scan_in_place(&mut counts);
+        let mut cols = vec![0u32; total];
+        let mut vals = vec![0f64; total];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in entries {
+            assert!((c as usize) < ncols, "col index out of bounds");
+            let p = cursor[r as usize];
+            cols[p] = c;
+            vals[p] = v;
+            cursor[r as usize] += 1;
+        }
+        // Sort + combine duplicates per row.
+        let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..nrows)
+            .into_par_iter()
+            .map(|r| {
+                let lo = counts[r];
+                let hi = counts[r + 1];
+                let mut pairs: Vec<(u32, f64)> =
+                    cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()).collect();
+                pairs.sort_by_key(|p| p.0);
+                let mut rc = Vec::with_capacity(pairs.len());
+                let mut rv: Vec<f64> = Vec::with_capacity(pairs.len());
+                for (c, v) in pairs {
+                    if rc.last() == Some(&c) {
+                        *rv.last_mut().unwrap() += v;
+                    } else {
+                        rc.push(c);
+                        rv.push(v);
+                    }
+                }
+                (rc, rv)
+            })
+            .collect();
+        Self::from_sorted_rows(nrows, ncols, rows)
+    }
+
+    /// Assemble from per-row `(cols, vals)` pairs that are already sorted
+    /// and duplicate-free.
+    pub fn from_sorted_rows(nrows: usize, ncols: usize, rows: Vec<(Vec<u32>, Vec<f64>)>) -> Self {
+        assert_eq!(rows.len(), nrows);
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0usize);
+        let mut total = 0usize;
+        for (rc, rv) in &rows {
+            debug_assert_eq!(rc.len(), rv.len());
+            total += rc.len();
+            row_ptr.push(total);
+        }
+        let mut col_idx = vec![0u32; total];
+        let mut values = vec![0f64; total];
+        {
+            let cw = SharedMut::new(&mut col_idx);
+            let vw = SharedMut::new(&mut values);
+            rows.par_iter().enumerate().for_each(|(r, (rc, rv))| {
+                let base = row_ptr[r];
+                for (k, (&c, &v)) in rc.iter().zip(rv.iter()).enumerate() {
+                    // SAFETY: row ranges are disjoint.
+                    unsafe {
+                        cw.write(base + k, c);
+                        vw.write(base + k, v);
+                    }
+                }
+            });
+        }
+        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry `(r, c)`, or 0 if not stored.
+    pub fn get(&self, r: usize, c: u32) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&c) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Parallel sparse matrix-vector product `y = A x`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// `y = A x`, writing into an existing buffer.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert_eq!(y.len(), self.nrows, "y length mismatch");
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            *yr = acc;
+        });
+    }
+
+    /// Transpose (parallel, deterministic).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        let total = mis2_prim::scan::exclusive_scan_in_place(&mut counts);
+        debug_assert_eq!(total, self.nnz());
+        let offsets = counts; // exclusive offsets per new row (old column)
+        let mut col_idx = vec![0u32; total];
+        let mut values = vec![0f64; total];
+        let mut cursor = offsets.clone();
+        // Sequential fill in row order so each transposed row ends up sorted
+        // by (old) row index automatically.
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let p = cursor[c as usize];
+                col_idx[p] = r as u32;
+                values[p] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        let mut row_ptr = offsets;
+        row_ptr[self.ncols] = total;
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+    }
+
+    /// The diagonal as a dense vector (0 where no diagonal entry stored).
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .into_par_iter()
+            .map(|r| self.get(r, r as u32))
+            .collect()
+    }
+
+    /// Structural graph: off-diagonal pattern, symmetrized, as a
+    /// [`CsrGraph`]. This is what the MIS-2 / aggregation pipeline consumes.
+    pub fn to_graph(&self) -> CsrGraph {
+        assert_eq!(self.nrows, self.ncols, "graph requires square matrix");
+        let edges: Vec<(VertexId, VertexId)> = (0..self.nrows)
+            .flat_map(|r| {
+                let (cols, _) = self.row(r);
+                cols.iter()
+                    .filter(move |&&c| c as usize != r)
+                    .map(move |&c| (r as VertexId, c))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        CsrGraph::from_edges(self.nrows, &edges)
+    }
+
+    /// Check numerical symmetry within `tol` (used by tests and by solver
+    /// preconditions for CG).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            // Pattern asymmetry: compare entrywise the slow way.
+            return (0..self.nrows).into_par_iter().all(|r| {
+                let (cols, vals) = self.row(r);
+                cols.iter()
+                    .zip(vals)
+                    .all(|(&c, &v)| (self.get(c as usize, r as u32) - v).abs() <= tol)
+            });
+        }
+        t.values
+            .par_iter()
+            .zip(self.values.par_iter())
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.par_iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Dense representation (small matrices / tests / coarsest AMG level).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut d = crate::dense::DenseMatrix::zeros(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                *d.at_mut(r, c as usize) += v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [2 -1 0]
+        // [-1 2 -1]
+        // [0 -1 2]
+        CsrMatrix::from_coo(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let m = CsrMatrix::from_coo(2, 2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn spmv_tridiag() {
+        let m = small();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn spmv_identity() {
+        let m = CsrMatrix::identity(5);
+        let x = vec![1.0, -2.0, 3.0, 0.5, 0.0];
+        assert_eq!(m.spmv(&x), x);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_coo(
+            2,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)],
+        );
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        let tt = t.transpose();
+        assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn diag_and_get() {
+        let m = small();
+        assert_eq!(m.diag(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn symmetric_check() {
+        assert!(small().is_symmetric(1e-14));
+        let asym = CsrMatrix::from_coo(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]);
+        assert!(!asym.is_symmetric(1e-14));
+        assert!(asym.is_symmetric(1.5));
+    }
+
+    #[test]
+    fn to_graph_drops_diag_and_symmetrizes() {
+        let m = CsrMatrix::from_coo(
+            3,
+            3,
+            &[(0, 0, 5.0), (0, 1, 1.0), (2, 1, 1.0)],
+        );
+        let g = m.to_graph();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            CsrMatrix::from_csr(2, 2, vec![0, 1], vec![0], vec![1.0]),
+            Err(MatrixError::BadRowPtr(_))
+        ));
+        assert!(matches!(
+            CsrMatrix::from_csr(1, 1, vec![0, 1], vec![4], vec![1.0]),
+            Err(MatrixError::ColOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            CsrMatrix::from_csr(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]),
+            Err(MatrixError::UnsortedRow { .. })
+        ));
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = CsrMatrix::from_coo(2, 2, &[(0, 0, 3.0), (1, 1, 4.0)]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let m = small();
+        let d = m.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d.at(r, c), m.get(r, c as u32));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn spmv_rejects_wrong_x_length() {
+        small().spmv(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row index out of bounds")]
+    fn from_coo_rejects_bad_row() {
+        CsrMatrix::from_coo(2, 2, &[(5, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph requires square matrix")]
+    fn to_graph_rejects_rectangular() {
+        CsrMatrix::from_coo(2, 3, &[(0, 2, 1.0)]).to_graph();
+    }
+
+    #[test]
+    fn spmv_deterministic_across_threads() {
+        let n = 500;
+        let entries: Vec<(u32, u32, f64)> = (0..n as u32)
+            .flat_map(|i| {
+                vec![
+                    (i, i, 4.0),
+                    (i, (i + 1) % n as u32, -1.0),
+                    (i, (i + 7) % n as u32, 0.5),
+                ]
+            })
+            .collect();
+        let m = CsrMatrix::from_coo(n, n, &entries);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y1 = mis2_prim::pool::with_pool(1, || m.spmv(&x));
+        let y2 = mis2_prim::pool::with_pool(4, || m.spmv(&x));
+        assert_eq!(y1, y2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Dense vector kernels with deterministic reductions.
+//!
+//! The Krylov solvers (CG, GMRES) are built on these. Dot products and
+//! norms use the fixed-block deterministic reduction from `mis2-prim`, so a
+//! whole solve is bitwise reproducible across thread counts — extending the
+//! paper's determinism property through the solver stack.
+
+use rayon::prelude::*;
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    y.par_iter_mut().zip(x.par_iter()).for_each(|(y, &x)| *y += alpha * x);
+}
+
+/// `y = x + beta * y` (xpay — the CG direction update).
+pub fn xpay(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    y.par_iter_mut().zip(x.par_iter()).for_each(|(y, &x)| *y = x + beta * *y);
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    x.par_iter_mut().for_each(|v| *v *= alpha);
+}
+
+/// Deterministic dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    mis2_prim::reduce::det_dot(a, b)
+}
+
+/// Deterministic Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+}
+
+/// `z = a - b` elementwise.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    a.par_iter().zip(b.par_iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Residual `r = b - A x`.
+pub fn residual(a: &crate::csr_matrix::CsrMatrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+    let ax = a.spmv(x);
+    sub(b, &ax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(2.0, &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn xpay_basic() {
+        let mut y = vec![1.0, 2.0];
+        xpay(&[10.0, 20.0], 0.5, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_deterministic() {
+        let a: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..100_000).map(|i| (i as f64).cos()).collect();
+        let d1 = mis2_prim::pool::with_pool(1, || dot(&a, &b));
+        let d2 = mis2_prim::pool::with_pool(3, || dot(&a, &b));
+        assert_eq!(d1.to_bits(), d2.to_bits());
+    }
+
+    #[test]
+    fn residual_zero_for_exact_solution() {
+        let m = crate::csr_matrix::CsrMatrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let r = residual(&m, &x, &x);
+        assert!(norm2(&r) < 1e-15);
+    }
+}

@@ -1,0 +1,75 @@
+//! Determinism demonstration — the paper's headline property: Algorithm 1
+//! produces an *identical* result for a given input across platforms, runs
+//! and thread counts; so do the aggregation (Algorithm 3) and the whole
+//! AMG-preconditioned CG solve.
+//!
+//! ```text
+//! cargo run --release --example determinism
+//! ```
+
+use mis2::prelude::*;
+
+fn main() {
+    let g = mis2::graph::suite::build("thermal2", Scale::Tiny);
+    println!("graph: {}", g.stats());
+
+    // 1. MIS-2 across thread counts and repeated runs.
+    let reference = mis2::mis2(&g);
+    for threads in [1usize, 2, 3, 4] {
+        for run in 0..3 {
+            let r = mis2::prim::pool::with_pool(threads, || mis2::mis2(&g));
+            assert_eq!(
+                r.in_set, reference.in_set,
+                "MIS-2 differed at {threads} threads, run {run}"
+            );
+        }
+    }
+    println!(
+        "MIS-2: identical set ({} vertices, {} iterations) across 4 thread counts x 3 runs",
+        reference.size(),
+        reference.iterations
+    );
+
+    // 2. Aggregation.
+    let agg_ref = mis2_coarsen::mis2_aggregation(&g);
+    for threads in [1usize, 4] {
+        let a = mis2::prim::pool::with_pool(threads, || mis2_coarsen::mis2_aggregation(&g));
+        assert_eq!(a.labels, agg_ref.labels, "aggregation differed at {threads} threads");
+    }
+    println!("Algorithm 3: identical {} aggregates across thread counts", agg_ref.num_aggregates);
+
+    // 3. End-to-end bitwise-identical solve.
+    let a = mis2::sparse::gen::spd_from_graph(&g, 7);
+    let b = vec![1.0; a.nrows()];
+    let solve = |threads: usize| {
+        mis2::prim::pool::with_pool(threads, || {
+            let amg = AmgHierarchy::build(
+                &a,
+                &AmgConfig { min_coarse_size: 100, ..Default::default() },
+            );
+            pcg(&a, &b, &amg, &SolveOpts { tol: 1e-10, max_iters: 300 })
+        })
+    };
+    let (x1, r1) = solve(1);
+    let (x2, r2) = solve(4);
+    assert_eq!(r1.iterations, r2.iterations);
+    let bitwise_equal = x1
+        .iter()
+        .zip(x2.iter())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bitwise_equal, "solutions differ across thread counts");
+    println!(
+        "AMG-CG: bitwise-identical solution in {} iterations at 1 and 4 threads",
+        r1.iterations
+    );
+
+    // 4. Different seeds -> different (but equally valid) sets.
+    let alt = mis2::mis2_with_config(&g, &Mis2Config { seed: 99, ..Default::default() });
+    verify_mis2(&g, &alt.is_in).unwrap();
+    assert_ne!(alt.in_set, reference.in_set);
+    println!(
+        "seeds: seed 0 -> {} vertices, seed 99 -> {} vertices (both valid MIS-2)",
+        reference.size(),
+        alt.size()
+    );
+}

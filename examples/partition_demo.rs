@@ -1,0 +1,65 @@
+//! Multilevel graph partitioning with MIS-2 coarsening — the paper's
+//! stated future-work application ("evaluate our graph coarsening algorithm
+//! in the context of multilevel graph partitioning", Section VII).
+//!
+//! Partitions a 2D and a 3D mesh into k parts, reports edge cut and
+//! balance, and compares against a random baseline.
+//!
+//! ```text
+//! cargo run --release --example partition_demo [num_parts]
+//! ```
+
+use mis2::coarsen::{partition, quality, Partition, PartitionConfig};
+use mis2::prelude::*;
+
+fn report(name: &str, g: &CsrGraph, parts: usize) {
+    let t = std::time::Instant::now();
+    let p = partition(g, parts, &PartitionConfig::default());
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let q = quality(g, &p);
+    // Random baseline for context.
+    let random = Partition {
+        parts: (0..g.num_vertices() as u32)
+            .map(|v| (mis2::prim::hash::splitmix64(v as u64) % parts as u64) as u32)
+            .collect(),
+        num_parts: parts,
+    };
+    let qr = quality(g, &random);
+    println!(
+        "{name}: |V| = {}, {} parts -> cut {} (random: {}), imbalance {:.3}, {:.1} ms",
+        g.num_vertices(),
+        parts,
+        q.edge_cut,
+        qr.edge_cut,
+        q.imbalance,
+        ms
+    );
+}
+
+fn main() {
+    let parts: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4)
+        .next_power_of_two();
+
+    report("grid 64x64      ", &mis2::graph::gen::laplace2d(64, 64), parts);
+    report("grid 20x20x20   ", &mis2::graph::gen::laplace3d(20, 20, 20), parts);
+    report(
+        "af_shell7 (tiny)",
+        &mis2::graph::suite::build("af_shell7", Scale::Tiny),
+        parts,
+    );
+    report(
+        "thermal2 (tiny) ",
+        &mis2::graph::suite::build("thermal2", Scale::Tiny),
+        parts,
+    );
+
+    // Determinism: partitioning inherits Algorithm 1's reproducibility.
+    let g = mis2::graph::gen::laplace2d(40, 40);
+    let p1 = mis2::prim::pool::with_pool(1, || partition(&g, parts, &PartitionConfig::default()));
+    let p2 = mis2::prim::pool::with_pool(2, || partition(&g, parts, &PartitionConfig::default()));
+    assert_eq!(p1, p2);
+    println!("\ndeterministic: identical partition at 1 and 2 threads");
+}

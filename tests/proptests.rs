@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * Algorithm 1 produces a valid MIS-2 on arbitrary graphs;
+//! * determinism: thread count never changes the result;
+//! * packed tuples preserve the lexicographic comparison;
+//! * aggregation is a complete partition into connected aggregates;
+//! * colorings are proper;
+//! * the parallel scan equals the sequential prefix sum.
+
+use mis2::prelude::*;
+use mis2_core::tuple::{id_bits, Packed, TupleRepr, Unpacked};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph as (n, edge list).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mis2_always_valid(g in arb_graph(120, 400)) {
+        let r = mis2::mis2(&g);
+        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+    }
+
+    #[test]
+    fn mis2_valid_for_any_seed(g in arb_graph(80, 200), seed in any::<u64>()) {
+        let r = mis2_with_config(&g, &Mis2Config { seed, ..Default::default() });
+        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+    }
+
+    #[test]
+    fn bell_always_valid(g in arb_graph(100, 300), seed in any::<u64>()) {
+        let r = bell_mis2(&g, seed);
+        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+    }
+
+    #[test]
+    fn mis2_thread_count_invariant(g in arb_graph(100, 300)) {
+        let a = mis2_prim::pool::with_pool(1, || mis2::mis2(&g));
+        let b = mis2_prim::pool::with_pool(3, || mis2::mis2(&g));
+        prop_assert_eq!(a.in_set, b.in_set);
+    }
+
+    #[test]
+    fn packed_tuple_order_matches_unpacked(
+        n in 2usize..1_000_000,
+        p1 in any::<u64>(),
+        p2 in any::<u64>(),
+        id1 in 0u32..1000,
+        id2 in 0u32..1000,
+    ) {
+        let bits = id_bits(n);
+        let mask = if bits == 64 { 0 } else { (1u64 << (64 - bits)) - 1 };
+        let (q1, q2) = (p1 & mask, p2 & mask);
+        let a = Packed::undecided(q1, id1, bits);
+        let b = Packed::undecided(q2, id2, bits);
+        let ua = Unpacked::undecided(q1, id1, bits);
+        let ub = Unpacked::undecided(q2, id2, bits);
+        prop_assert_eq!(a.cmp(&b), ua.cmp(&ub));
+        // Sentinels bracket everything.
+        prop_assert!(a > Packed::IN && a < Packed::OUT);
+    }
+
+    #[test]
+    fn aggregation_is_connected_partition(g in arb_graph(100, 300)) {
+        let a = mis2_aggregation(&g);
+        prop_assert!(a.validate(&g).is_ok());
+        prop_assert_eq!(a.labels.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn basic_coarsening_is_connected_partition(g in arb_graph(100, 300)) {
+        let a = mis2_basic(&g);
+        prop_assert!(a.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn d1_coloring_proper(g in arb_graph(100, 300), seed in any::<u64>()) {
+        let c = color_d1(&g, seed);
+        prop_assert!(mis2_color::verify_coloring_d1(&g, &c.colors).is_ok());
+        prop_assert!(c.num_colors as usize <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn d2_coloring_proper(g in arb_graph(60, 150), seed in any::<u64>()) {
+        let c = color_d2(&g, seed);
+        prop_assert!(mis2_color::verify_coloring_d2(&g, &c.colors).is_ok());
+    }
+
+    #[test]
+    fn scan_matches_sequential(v in proptest::collection::vec(0usize..1000, 0..5000)) {
+        let (got, total) = mis2_prim::scan::exclusive_scan(&v);
+        let mut run = 0usize;
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(got[i], run);
+            run += x;
+        }
+        prop_assert_eq!(total, run);
+    }
+
+    #[test]
+    fn par_filter_matches_sequential(v in proptest::collection::vec(any::<u32>(), 0..5000)) {
+        let got = mis2_prim::compact::par_filter(&v, |&x| x % 3 == 0);
+        let want: Vec<u32> = v.iter().copied().filter(|&x| x % 3 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quotient_graph_well_formed(g in arb_graph(80, 240)) {
+        let agg = mis2_aggregation(&g);
+        let q = mis2_coarsen::quotient_graph(&g, &agg);
+        prop_assert_eq!(q.num_vertices(), agg.num_aggregates);
+        prop_assert!(q.validate_symmetric().is_ok());
+    }
+
+    #[test]
+    fn spgemm_identity_is_identity(n in 1usize..60) {
+        let i = CsrMatrix::identity(n);
+        let c = mis2_sparse::spgemm(&i, &i);
+        prop_assert_eq!(c, i);
+    }
+
+    #[test]
+    fn luby_mis1_valid(g in arb_graph(100, 300), seed in any::<u64>()) {
+        let r = luby_mis1(&g, seed);
+        prop_assert!(mis2_core::verify_mis1(&g, &r.is_in).is_ok());
+    }
+
+    #[test]
+    fn oracle_matches_lemma(g in arb_graph(60, 150), seed in any::<u64>()) {
+        let r = mis2_core::mis2_via_square(&g, seed);
+        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+    }
+}

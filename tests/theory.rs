@@ -1,0 +1,139 @@
+//! Section IV of the paper, checked empirically:
+//!
+//! * Lemma IV.1/IV.2 — `MIS-1(G²)` is a valid `MIS-2(G)`;
+//! * Luby's bound transported through the reduction — Algorithm 1 finishes
+//!   in O(log V) iterations in expectation;
+//! * Table III's shape — MIS-2 size proportional to |V| for a fixed
+//!   problem family, iteration growth ~1-2 per 4-8x size increase.
+
+use mis2::prelude::*;
+use mis2_graph::{gen, ops};
+
+#[test]
+fn lemma_iv2_oracle_agrees_with_direct_verification() {
+    for seed in 0..5u64 {
+        let g = gen::erdos_renyi(300, 900, seed);
+        let r = mis2_core::mis2_via_square(&g, seed);
+        verify_mis2(&g, &r.is_in).unwrap();
+    }
+}
+
+#[test]
+fn square_graph_distance_semantics() {
+    // G² adjacency == distance <= 2 in G (the heart of Lemma IV.1).
+    let g = gen::erdos_renyi(120, 360, 3);
+    let g2 = ops::square(&g);
+    for v in 0..g.num_vertices() as u32 {
+        let two_hop = ops::neighborhood(&g, v, 2);
+        assert_eq!(g2.neighbors(v), two_hop.as_slice(), "vertex {v}");
+    }
+}
+
+#[test]
+fn mis1_of_square_is_mis2_size_class() {
+    // Both the oracle and Algorithm 1 produce maximal D2 sets, so both are
+    // within the classic factor of each other on bounded-degree graphs.
+    let g = gen::laplace3d(10, 10, 10);
+    let direct = mis2::mis2(&g);
+    let oracle = mis2_core::mis2_via_square(&g, 0);
+    let ratio = direct.size() as f64 / oracle.size() as f64;
+    assert!((0.5..=2.0).contains(&ratio), "{} vs {}", direct.size(), oracle.size());
+}
+
+#[test]
+fn iterations_grow_logarithmically() {
+    // Quadrupling |V| repeatedly should add O(1) iterations per step
+    // (expected O(log V) total).
+    let mut previous = 0usize;
+    let mut max_step = 0isize;
+    for k in [8usize, 16, 32, 64] {
+        let g = gen::laplace2d(k, k);
+        let r = mis2::mis2(&g);
+        if previous > 0 {
+            max_step = max_step.max(r.iterations as isize - previous as isize);
+        }
+        previous = r.iterations;
+    }
+    assert!(max_step <= 3, "iteration growth per 4x size: {max_step}");
+    // Absolute bound: ~c log2(V) with a generous c.
+    let g = gen::laplace2d(64, 64);
+    let r = mis2::mis2(&g);
+    let logv = (g.num_vertices() as f64).log2();
+    assert!(
+        (r.iterations as f64) < 2.5 * logv,
+        "{} iterations vs 2.5 log2(V) = {:.1}",
+        r.iterations,
+        2.5 * logv
+    );
+}
+
+#[test]
+fn table3_shape_size_proportional_to_v() {
+    // For a fixed family, |MIS-2| / |V| is nearly constant as the grid
+    // grows (paper Table III: 9.17%, 9.16%, 9.07%, 9.00% for Laplace).
+    let fracs: Vec<f64> = [(20, 20, 20), (40, 20, 20), (40, 40, 20)]
+        .iter()
+        .map(|&(x, y, z)| {
+            let g = gen::laplace3d(x, y, z);
+            let r = mis2::mis2(&g);
+            r.size() as f64 / g.num_vertices() as f64
+        })
+        .collect();
+    let min = fracs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = fracs.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max / min < 1.15, "MIS-2 fraction drifted: {fracs:?}");
+}
+
+#[test]
+fn high_degree_family_has_smaller_fraction() {
+    // Paper: Elasticity (avg deg 81) ~0.7% vs Laplace (avg deg 7) ~9%.
+    let lap = {
+        let g = gen::laplace3d(12, 12, 12);
+        mis2::mis2(&g).size() as f64 / g.num_vertices() as f64
+    };
+    let ela = {
+        let g = gen::elasticity3d(7, 7, 7, 3);
+        mis2::mis2(&g).size() as f64 / g.num_vertices() as f64
+    };
+    assert!(lap > 4.0 * ela, "laplace {lap:.4} vs elasticity {ela:.4}");
+}
+
+#[test]
+fn luby_iterations_logarithmic_on_g2() {
+    // The reduction argument: Luby on G² needs O(log V) rounds too.
+    let g = gen::laplace2d(40, 40);
+    let g2 = ops::square(&g);
+    let r = luby_mis1(&g2, 0);
+    let logv = (g2.num_vertices() as f64).log2();
+    assert!((r.iterations as f64) < 2.5 * logv, "{} rounds", r.iterations);
+}
+
+#[test]
+fn work_bound_per_iteration_touches_each_edge_once() {
+    // Indirect check of the O(V + E) per-iteration bound: with worklists,
+    // the sum over iterations of undecided counts is far below
+    // iterations * V on structured problems (the paper's motivation for
+    // optimization V-B).
+    let g = gen::laplace3d(12, 12, 12);
+    let r = mis2::mis2(&g);
+    let total_processed: usize = r.history.iter().map(|h| h.undecided).sum();
+    let dense_equivalent = r.iterations * g.num_vertices();
+    assert!(
+        total_processed * 2 < dense_equivalent,
+        "worklists saved nothing: {total_processed} vs {dense_equivalent}"
+    );
+}
+
+#[test]
+fn torus_removes_boundary_effects_in_mis_fraction() {
+    // On a periodic 7-pt grid every vertex has degree exactly 6, so the
+    // MIS-2 fraction is slightly below the open-grid value (no low-degree
+    // boundary vertices to pack extra members into).
+    let open = gen::laplace3d(16, 16, 16);
+    let torus = gen::torus3d(16, 16, 16, &gen::OFFSETS_7PT);
+    let f_open = mis2::mis2(&open).size() as f64 / open.num_vertices() as f64;
+    let f_torus = mis2::mis2(&torus).size() as f64 / torus.num_vertices() as f64;
+    assert!(f_torus <= f_open, "torus {f_torus:.4} vs open {f_open:.4}");
+    // Both in the Laplace regime (~9%).
+    assert!((0.05..0.13).contains(&f_torus));
+}
