@@ -2,7 +2,7 @@
 //! SIMD chunk gating, packed vs unpacked tuples at different degree
 //! regimes, AMG smoother choice, and strength-filtered vs raw aggregation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis2_core::{mis2_with_config, Mis2Config, SimdMode};
 use mis2_graph::gen;
 
@@ -20,7 +20,11 @@ fn bench_ablation(c: &mut Criterion) {
     ];
     for (name, g) in &graphs {
         for (label, packed) in [("unpacked", false), ("packed", true)] {
-            let cfg = Mis2Config { packed, simd: SimdMode::Off, ..Default::default() };
+            let cfg = Mis2Config {
+                packed,
+                simd: SimdMode::Off,
+                ..Default::default()
+            };
             group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
                 b.iter(|| mis2_with_config(g, &cfg))
             });
@@ -29,8 +33,15 @@ fn bench_ablation(c: &mut Criterion) {
 
     // SIMD gating: forced on vs auto vs off on a high-degree graph.
     let g = gen::elasticity3d(8, 8, 8, 3);
-    for (label, simd) in [("simd_off", SimdMode::Off), ("simd_auto", SimdMode::Auto), ("simd_on", SimdMode::On)] {
-        let cfg = Mis2Config { simd, ..Default::default() };
+    for (label, simd) in [
+        ("simd_off", SimdMode::Off),
+        ("simd_auto", SimdMode::Auto),
+        ("simd_on", SimdMode::On),
+    ] {
+        let cfg = Mis2Config {
+            simd,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new(label, "elasticity"), &g, |b, g| {
             b.iter(|| mis2_with_config(g, &cfg))
         });
@@ -40,14 +51,29 @@ fn bench_ablation(c: &mut Criterion) {
     use mis2_solver::{pcg, AmgConfig, AmgHierarchy, SmootherKind, SolveOpts};
     let a = mis2_sparse::gen::laplace3d_matrix(14, 14, 14);
     let b_rhs = vec![1.0; a.nrows()];
-    for (label, smoother) in [("jacobi", SmootherKind::Jacobi), ("chebyshev", SmootherKind::Chebyshev)] {
+    for (label, smoother) in [
+        ("jacobi", SmootherKind::Jacobi),
+        ("chebyshev", SmootherKind::Chebyshev),
+    ] {
         group.bench_function(BenchmarkId::new("amg_smoother", label), |bch| {
             bch.iter(|| {
                 let amg = AmgHierarchy::build(
                     &a,
-                    &AmgConfig { min_coarse_size: 100, smoother, ..Default::default() },
+                    &AmgConfig {
+                        min_coarse_size: 100,
+                        smoother,
+                        ..Default::default()
+                    },
                 );
-                pcg(&a, &b_rhs, &amg, &SolveOpts { tol: 1e-10, max_iters: 200 })
+                pcg(
+                    &a,
+                    &b_rhs,
+                    &amg,
+                    &SolveOpts {
+                        tol: 1e-10,
+                        max_iters: 200,
+                    },
+                )
             })
         });
     }

@@ -1,6 +1,6 @@
 //! Figure 7 / Table V microbenchmark: the aggregation schemes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis2_coarsen::AggScheme;
 use mis2_graph::gen;
 
@@ -11,9 +11,11 @@ fn bench_coarsening(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for scheme in AggScheme::all() {
-        group.bench_with_input(BenchmarkId::new(scheme.label(), "laplace3d_25"), &g, |b, g| {
-            b.iter(|| scheme.aggregate(g, 0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(scheme.label(), "laplace3d_25"),
+            &g,
+            |b, g| b.iter(|| scheme.aggregate(g, 0)),
+        );
     }
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! Table VI microbenchmark: point vs cluster multicolor SGS apply and
 //! setup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
 use mis2_coarsen::AggScheme;
 use mis2_solver::{ClusterMcSgs, PointMcSgs, Preconditioner};
 

@@ -1,7 +1,7 @@
 //! Figure 2 microbenchmark: the optimization ladder on two structured
 //! problems (Bell baseline + the four cumulative optimizations).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis2_core::{bell_mis2, mis2_with_config, Mis2Config};
 use mis2_graph::gen;
 

@@ -1,6 +1,6 @@
-//! Figures 4/5 microbenchmark: MIS-2 across rayon pool sizes.
+//! Figures 4/5 microbenchmark: MIS-2 across worker-pool sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis2_core::mis2;
 use mis2_graph::gen;
 use mis2_prim::pool::{max_threads, with_pool};

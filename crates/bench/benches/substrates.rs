@@ -1,7 +1,7 @@
 //! Substrate microbenchmarks: parallel scan, worklist compaction, SpMV,
 //! SpGEMM — the kernels the paper's optimizations lean on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
 use mis2_prim::{compact, scan};
 
 fn bench_substrates(c: &mut Criterion) {

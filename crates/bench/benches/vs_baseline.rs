@@ -1,7 +1,7 @@
 //! Figure 6 / Table IV microbenchmark: Algorithm 1 vs the Bell (CUSP /
 //! ViennaCL) baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis2_core::{bell_mis2, mis2};
 use mis2_graph::{suite, Scale};
 
@@ -16,7 +16,9 @@ fn bench_vs_baseline(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for (name, g) in &graphs {
-        group.bench_with_input(BenchmarkId::new("kk_mis2", name), g, |b, g| b.iter(|| mis2(g)));
+        group.bench_with_input(BenchmarkId::new("kk_mis2", name), g, |b, g| {
+            b.iter(|| mis2(g))
+        });
         group.bench_with_input(BenchmarkId::new("cusp_bell", name), g, |b, g| {
             b.iter(|| bell_mis2(g, 1))
         });

@@ -7,7 +7,7 @@
 //! profile and normalize by that, which is the same methodology with
 //! measured rather than datasheet numbers.
 
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// Measured triad bandwidth.
 #[derive(Debug, Clone, Copy)]
@@ -27,22 +27,19 @@ pub fn measure_triad(threads: usize, elements: usize, repeats: usize) -> Bandwid
         let c: Vec<f64> = (0..elements).map(|i| (i % 97) as f64).collect();
         let mut a = vec![0.0f64; elements];
         // Warmup.
-        a.par_iter_mut()
-            .zip(b.par_iter())
-            .zip(c.par_iter())
-            .for_each(|((a, &b), &c)| *a = b + 3.0 * c);
+        par::for_each_mut_indexed(&mut a, |i, a| *a = b[i] + 3.0 * c[i]);
         let t = mis2_prim::timer::Timer::start();
         for _ in 0..repeats {
-            a.par_iter_mut()
-                .zip(b.par_iter())
-                .zip(c.par_iter())
-                .for_each(|((a, &b), &c)| *a = b + 3.0 * c);
+            par::for_each_mut_indexed(&mut a, |i, a| *a = b[i] + 3.0 * c[i]);
         }
         let secs = t.elapsed_s();
         std::hint::black_box(&a);
         // Triad moves 3 arrays (2 reads + 1 write) per pass.
         let bytes = 3.0 * elements as f64 * 8.0 * repeats as f64;
-        Bandwidth { threads, gbps: bytes / secs / 1e9 }
+        Bandwidth {
+            threads,
+            gbps: bytes / secs / 1e9,
+        }
     })
 }
 

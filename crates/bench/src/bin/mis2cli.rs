@@ -86,7 +86,11 @@ fn load_graph(a: &Args) -> CsrGraph {
             eprintln!("no input: pass --mtx FILE or --workload NAME");
             eprintln!(
                 "workloads: {}",
-                suite::workloads().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+                suite::workloads()
+                    .iter()
+                    .map(|w| w.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
             std::process::exit(2);
         }
@@ -111,7 +115,10 @@ fn main() {
         "mis2" => {
             let r = core_::mis2_with_config(
                 &g,
-                &core_::Mis2Config { seed: args.seed, ..Default::default() },
+                &core_::Mis2Config {
+                    seed: args.seed,
+                    ..Default::default()
+                },
             );
             core_::verify_mis2(&g, &r.is_in).expect("internal error: invalid MIS-2");
             println!(
@@ -123,11 +130,17 @@ fn main() {
         }
         "misk" => {
             let r = core_::mis_k(&g, args.k, args.seed);
-            println!("|MIS-{}| = {} in {} iterations", args.k, r.size(), r.iterations);
+            println!(
+                "|MIS-{}| = {} in {} iterations",
+                args.k,
+                r.size(),
+                r.iterations
+            );
         }
         "aggregate" => {
             let agg = coarsen::mis2_aggregation(&g);
-            agg.validate(&g).expect("internal error: invalid aggregation");
+            agg.validate(&g)
+                .expect("internal error: invalid aggregation");
             let sizes = agg.sizes();
             println!(
                 "{} aggregates, mean size {:.2}, max size {}, verified",
@@ -150,7 +163,10 @@ fn main() {
         "colord2" => {
             let c = mis2_color::color_d2(&g, args.seed);
             mis2_color::verify_coloring_d2(&g, &c.colors).expect("invalid coloring");
-            println!("{} distance-2 colors in {} rounds, verified", c.num_colors, c.rounds);
+            println!(
+                "{} distance-2 colors in {} rounds, verified",
+                c.num_colors, c.rounds
+            );
         }
         "partition" => {
             let parts = args.parts.next_power_of_two();

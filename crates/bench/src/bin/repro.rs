@@ -44,7 +44,10 @@ fn main() {
             }
             "--trials" => {
                 i += 1;
-                trials = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                trials = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--out" => {
                 i += 1;
@@ -54,7 +57,11 @@ fn main() {
         }
         i += 1;
     }
-    let opts = RunOpts { scale, trials, threads: ThreadSweep::Auto };
+    let opts = RunOpts {
+        scale,
+        trials,
+        threads: ThreadSweep::Auto,
+    };
 
     eprintln!(
         "# repro {artifact} --scale {scale:?} --trials {trials} ({} threads available)",

@@ -1,0 +1,256 @@
+//! Minimal, dependency-free drop-in for the subset of the `criterion` API
+//! the benches use (`Criterion`, benchmark groups, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!`).
+//!
+//! The container this workspace builds in has no network access, so the
+//! real criterion crate cannot be vendored; the benches only need
+//! wall-clock means over a fixed sample count, which this module measures
+//! with [`std::time::Instant`] and reports on stdout in a
+//! `group/bench: mean ± stddev (n samples)` format. Swapping back to real
+//! criterion later is a one-line import change per bench.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `use mis2_bench::criterion::black_box` works like the real
+/// crate.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, e.g.
+/// `BenchmarkId::new("laplace3d_30", threads)`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Measurement driver handed to the closure of `iter`.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly: warm up for the configured time, then
+    /// collect up to `sample_size` timed samples (stopping early once the
+    /// measurement budget is exhausted).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed().as_secs_f64());
+            if measure_start.elapsed() > self.measurement && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id.name, &b.samples);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<P>(
+        &mut self,
+        id: BenchmarkId,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (printing happens per bench; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (API-compatible subset of
+/// `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(3),
+            sample_size: 10,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report("", name, &b.samples);
+        self
+    }
+}
+
+fn report(group: &str, name: &str, samples: &[f64]) {
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    println!(
+        "{label:<48} {:>12} ± {:<10} ({} samples)",
+        format_time(mean),
+        format_time(sd),
+        samples.len()
+    );
+}
+
+fn format_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runner, like the real
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::criterion::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point expanding to `fn main`, like the real `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// Make `use mis2_bench::criterion::{criterion_group, criterion_main}` work
+// exactly like importing from the real criterion crate.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("laplace", 8);
+        assert_eq!(id.name, "laplace/8");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(0.002), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 us");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+    }
+}

@@ -11,9 +11,7 @@ use mis2_core::{bell_mis2, mis2, mis2_with_config, Mis2Config, PriorityScheme};
 use mis2_graph::{gen, suite, CsrGraph, Scale};
 use mis2_prim::pool::with_pool;
 use mis2_prim::timer::geometric_mean;
-use mis2_solver::{
-    gmres, pcg, AmgConfig, AmgHierarchy, ClusterMcSgs, PointMcSgs, SolveOpts,
-};
+use mis2_solver::{gmres, pcg, AmgConfig, AmgHierarchy, ClusterMcSgs, PointMcSgs, SolveOpts};
 
 /// Build all suite graphs once (names in Table II order).
 fn suite_graphs(scale: Scale) -> Vec<(&'static str, CsrGraph)> {
@@ -32,9 +30,15 @@ pub fn table1(opts: &RunOpts) -> Table {
     );
     for (name, g) in suite_graphs(opts.scale) {
         let iters = |p: PriorityScheme| {
-            mis2_with_config(&g, &Mis2Config { priorities: p, ..Default::default() })
-                .iterations
-                .to_string()
+            mis2_with_config(
+                &g,
+                &Mis2Config {
+                    priorities: p,
+                    ..Default::default()
+                },
+            )
+            .iterations
+            .to_string()
         };
         t.row(vec![
             name.to_string(),
@@ -170,7 +174,9 @@ pub fn fig2(opts: &RunOpts) -> Table {
     geo.truncate(headers.len());
     t.row(geo);
     t.note("Each column adds one optimization; values are speedup vs our Bell (CUSP) baseline.");
-    t.note("Paper (V100): priorities 1.28x, worklists 2.55x, packing 1.72x, SIMD 1.37x, total ~8.97x.");
+    t.note(
+        "Paper (V100): priorities 1.28x, worklists 2.55x, packing 1.72x, SIMD 1.37x, total ~8.97x.",
+    );
     t.note("On CPU the SIMD column ~1x for |E|/|V| < 16 (heuristic disables it), matching the paper's note.");
     t
 }
@@ -214,7 +220,10 @@ pub fn fig3(opts: &RunOpts) -> Table {
         t.row(row);
     }
     for bw in &bws {
-        t.note(format!("measured triad bandwidth at {} threads: {:.1} GB/s", bw.threads, bw.gbps));
+        t.note(format!(
+            "measured triad bandwidth at {} threads: {:.1} GB/s",
+            bw.threads, bw.gbps
+        ));
     }
     t.note("Paper normalizes by datasheet bandwidth across 4 architectures; we measure triad per profile (DESIGN.md §5).");
     t
@@ -234,7 +243,10 @@ pub fn fig4(opts: &RunOpts) -> Table {
     headers.push("speedup".into());
     headers.push("efficiency".into());
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Figures 4/5 — strong scaling efficiency of MIS-2", &hdr_refs);
+    let mut t = Table::new(
+        "Figures 4/5 — strong scaling efficiency of MIS-2",
+        &hdr_refs,
+    );
     let mut speedups = Vec::new();
     for (name, g) in suite_graphs(opts.scale) {
         let times: Vec<f64> = threads
@@ -254,8 +266,13 @@ pub fn fig4(opts: &RunOpts) -> Table {
         row.push(format!("{:.2}", sp / nmax));
         t.row(row);
     }
-    t.note(format!("geomean speedup at max threads: {}", fmt_x(geometric_mean(&speedups))));
-    t.note("Paper: 26.9x at 48 threads (Intel), 43.9x at 56 threads (ARM); this host has fewer cores.");
+    t.note(format!(
+        "geomean speedup at max threads: {}",
+        fmt_x(geometric_mean(&speedups))
+    ));
+    t.note(
+        "Paper: 26.9x at 48 threads (Intel), 43.9x at 56 threads (ARM); this host has fewer cores.",
+    );
     t
 }
 
@@ -277,7 +294,10 @@ pub fn fig6(opts: &RunOpts) -> Table {
         speedups.push(sp);
         t.row(vec![name.to_string(), fmt_ms(kk), fmt_ms(cusp), fmt_x(sp)]);
     }
-    t.note(format!("geomean speedup: {}", fmt_x(geometric_mean(&speedups))));
+    t.note(format!(
+        "geomean speedup: {}",
+        fmt_x(geometric_mean(&speedups))
+    ));
     t.note("Paper: 5-7x vs CUSP on V100. CUSP here = our faithful Rust port of Bell's MIS-k.");
     t
 }
@@ -307,7 +327,10 @@ pub fn fig7(opts: &RunOpts) -> Table {
         speedups.push(sp);
         t.row(vec![name.to_string(), fmt_ms(kk), fmt_ms(vcl), fmt_x(sp)]);
     }
-    t.note(format!("geomean speedup: {}", fmt_x(geometric_mean(&speedups))));
+    t.note(format!(
+        "geomean speedup: {}",
+        fmt_x(geometric_mean(&speedups))
+    ));
     t.note("Paper: 3-8x vs ViennaCL (CUDA and OpenCL backends) on V100.");
     t
 }
@@ -354,15 +377,29 @@ pub fn table5(opts: &RunOpts) -> Table {
     };
     let a = mis2_sparse::gen::laplace3d_matrix(d, d, d);
     let b = vec![1.0; a.nrows()];
-    let solve_opts = SolveOpts { tol: 1e-12, max_iters: 1000 };
+    let solve_opts = SolveOpts {
+        tol: 1e-12,
+        max_iters: 1000,
+    };
     let mut t = Table::new(
         format!("Table V — MueLu-style SA-AMG on {d}^3 Laplace3D (CG, tol 1e-12, 2 Jacobi sweeps)"),
-        &["Scheme", "Iters", "Agg (s)", "Setup (s)", "Solve (s)", "Det."],
+        &[
+            "Scheme",
+            "Iters",
+            "Agg (s)",
+            "Setup (s)",
+            "Solve (s)",
+            "Det.",
+        ],
     );
     for scheme in AggScheme::all() {
         let amg = AmgHierarchy::build(
             &a,
-            &AmgConfig { scheme, min_coarse_size: 200, ..Default::default() },
+            &AmgConfig {
+                scheme,
+                min_coarse_size: 200,
+                ..Default::default()
+            },
         );
         let timer = mis2_prim::timer::Timer::start();
         let (_, res) = pcg(&a, &b, &amg, &solve_opts);
@@ -373,7 +410,11 @@ pub fn table5(opts: &RunOpts) -> Table {
             format!("{:.4}", amg.stats.aggregation_seconds),
             format!("{:.4}", amg.stats.setup_seconds),
             format!("{:.4}", solve_s),
-            if scheme.paper_deterministic() { "yes".into() } else { "no*".into() },
+            if scheme.paper_deterministic() {
+                "yes".into()
+            } else {
+                "no*".into()
+            },
         ]);
     }
     t.note("Paper (V100, 100^3): Serial Agg 25 iters / MIS2 Basic 49 / MIS2 Agg 22; MIS2 Agg fastest deterministic setup.");
@@ -416,7 +457,10 @@ pub fn table6_systems(scale: Scale) -> Vec<(&'static str, mis2_sparse::CsrMatrix
 
 /// Table VI: point vs cluster multicolor SGS as GMRES preconditioners.
 pub fn table6(opts: &RunOpts) -> Table {
-    let solve_opts = SolveOpts { tol: 1e-8, max_iters: 800 };
+    let solve_opts = SolveOpts {
+        tol: 1e-8,
+        max_iters: 800,
+    };
     let mut t = Table::new(
         "Table VI — point vs cluster multicolor SGS preconditioning GMRES (tol 1e-8, cap 800)",
         &[
@@ -443,8 +487,16 @@ pub fn table6(opts: &RunOpts) -> Table {
             format!("{:.4}", cluster.setup_seconds),
             format!("{:.4}", tp.apply_seconds()),
             format!("{:.4}", tc.apply_seconds()),
-            format!("{} ({})", rp.iterations, if rp.converged { "conv" } else { "cap" }),
-            format!("{} ({})", rc.iterations, if rc.converged { "conv" } else { "cap" }),
+            format!(
+                "{} ({})",
+                rp.iterations,
+                if rp.converged { "conv" } else { "cap" }
+            ),
+            format!(
+                "{} ({})",
+                rc.iterations,
+                if rc.converged { "conv" } else { "cap" }
+            ),
         ]);
     }
     t.note("Paper (V100): cluster wins setup and apply on all five systems; iterations ~5% lower (geomean).");
@@ -474,7 +526,11 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> RunOpts {
-        RunOpts { scale: Scale::Tiny, trials: 1, threads: crate::ThreadSweep::Default }
+        RunOpts {
+            scale: Scale::Tiny,
+            trials: 1,
+            threads: crate::ThreadSweep::Default,
+        }
     }
 
     #[test]
@@ -498,7 +554,10 @@ mod tests {
         // Elasticity (high degree) — the paper's 9% vs 0.7% effect.
         let ela_frac: f64 = t.rows[0][3].trim_end_matches('%').parse().unwrap();
         let lap_frac: f64 = t.rows[4][3].trim_end_matches('%').parse().unwrap();
-        assert!(lap_frac > 3.0 * ela_frac, "laplace {lap_frac}% vs elasticity {ela_frac}%");
+        assert!(
+            lap_frac > 3.0 * ela_frac,
+            "laplace {lap_frac}% vs elasticity {ela_frac}%"
+        );
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! | Table VI (point vs cluster SGS) | [`experiments::table6`] | `table6` |
 //!
 //! Hardware substitutions (single host CPU instead of V100/MI100/Skylake/
-//! TX2) are documented in DESIGN.md §5; the harness sweeps rayon pool sizes
+//! TX2) are documented in DESIGN.md §5; the harness sweeps worker-pool sizes
 //! where the paper sweeps architectures or OpenMP threads.
 
 pub mod bandwidth;
+pub mod criterion;
 pub mod experiments;
 pub mod tables;
 pub mod timing;
@@ -72,7 +73,11 @@ impl RunOpts {
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { scale: mis2_graph::Scale::Tiny, trials: 3, threads: ThreadSweep::Auto }
+        RunOpts {
+            scale: mis2_graph::Scale::Tiny,
+            trials: 3,
+            threads: ThreadSweep::Auto,
+        }
     }
 }
 
@@ -90,7 +95,10 @@ mod tests {
 
     #[test]
     fn default_sweep_single_entry() {
-        let opts = RunOpts { threads: ThreadSweep::Default, ..Default::default() };
+        let opts = RunOpts {
+            threads: ThreadSweep::Default,
+            ..Default::default()
+        };
         assert_eq!(opts.thread_counts().len(), 1);
     }
 }

@@ -27,7 +27,11 @@ pub struct TimedPrecond<'a> {
 
 impl<'a> TimedPrecond<'a> {
     pub fn new(inner: &'a dyn Preconditioner) -> Self {
-        TimedPrecond { inner, nanos: AtomicU64::new(0), applies: AtomicU64::new(0) }
+        TimedPrecond {
+            inner,
+            nanos: AtomicU64::new(0),
+            applies: AtomicU64::new(0),
+        }
     }
 
     /// Total seconds spent inside `apply`.

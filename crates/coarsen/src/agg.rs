@@ -82,7 +82,10 @@ impl Aggregation {
                 return Err(AggViolation::Unassigned { v: v as VertexId });
             }
             if l as usize >= self.num_aggregates {
-                return Err(AggViolation::BadLabel { v: v as VertexId, label: l });
+                return Err(AggViolation::BadLabel {
+                    v: v as VertexId,
+                    label: l,
+                });
             }
         }
         let sizes = self.sizes();
@@ -133,7 +136,11 @@ mod tests {
     fn valid_partition() {
         // Path 0-1-2-3: aggregates {0,1} and {2,3}.
         let g = gen::path(4);
-        let a = Aggregation { labels: vec![0, 0, 1, 1], num_aggregates: 2, roots: vec![0, 2] };
+        let a = Aggregation {
+            labels: vec![0, 0, 1, 1],
+            num_aggregates: 2,
+            roots: vec![0, 2],
+        };
         a.validate(&g).unwrap();
         assert_eq!(a.sizes(), vec![2, 2]);
         assert_eq!(a.mean_size(), 2.0);
@@ -147,28 +154,49 @@ mod tests {
             num_aggregates: 1,
             roots: vec![0],
         };
-        assert!(matches!(a.validate(&g), Err(AggViolation::Unassigned { v: 1 })));
+        assert!(matches!(
+            a.validate(&g),
+            Err(AggViolation::Unassigned { v: 1 })
+        ));
     }
 
     #[test]
     fn detects_bad_label() {
         let g = gen::path(2);
-        let a = Aggregation { labels: vec![0, 5], num_aggregates: 1, roots: vec![0] };
+        let a = Aggregation {
+            labels: vec![0, 5],
+            num_aggregates: 1,
+            roots: vec![0],
+        };
         assert!(matches!(a.validate(&g), Err(AggViolation::BadLabel { .. })));
     }
 
     #[test]
     fn detects_empty_aggregate() {
         let g = gen::path(2);
-        let a = Aggregation { labels: vec![0, 0], num_aggregates: 2, roots: vec![0, 1] };
-        assert!(matches!(a.validate(&g), Err(AggViolation::EmptyAggregate { agg: 1 })));
+        let a = Aggregation {
+            labels: vec![0, 0],
+            num_aggregates: 2,
+            roots: vec![0, 1],
+        };
+        assert!(matches!(
+            a.validate(&g),
+            Err(AggViolation::EmptyAggregate { agg: 1 })
+        ));
     }
 
     #[test]
     fn detects_disconnected_aggregate() {
         // Path 0-1-2: {0, 2} is not connected.
         let g = gen::path(3);
-        let a = Aggregation { labels: vec![0, 1, 0], num_aggregates: 2, roots: vec![0, 1] };
-        assert!(matches!(a.validate(&g), Err(AggViolation::Disconnected { agg: 0 })));
+        let a = Aggregation {
+            labels: vec![0, 1, 0],
+            num_aggregates: 2,
+            roots: vec![0, 1],
+        };
+        assert!(matches!(
+            a.validate(&g),
+            Err(AggViolation::Disconnected { agg: 0 })
+        ));
     }
 }

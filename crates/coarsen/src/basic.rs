@@ -14,8 +14,8 @@
 use crate::agg::{Aggregation, UNAGGREGATED};
 use mis2_core::Mis2Result;
 use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_prim::SharedMut;
-use rayon::prelude::*;
 
 /// Algorithm 2 with a freshly computed MIS-2.
 pub fn mis2_basic(g: &CsrGraph) -> Aggregation {
@@ -40,7 +40,7 @@ pub fn mis2_basic_from(g: &CsrGraph, m: &Mis2Result) -> Aggregation {
     // vertex has two root neighbors: the assignment is conflict-free.
     {
         let lw = SharedMut::new(&mut labels);
-        (0..n as VertexId).into_par_iter().for_each(|v| {
+        par::for_range(0..n as VertexId, |v| {
             // SAFETY: each vertex writes only its own slot; reads go to
             // root slots which were finalized before this region.
             let cur = unsafe { lw.read(v as usize) };
@@ -63,7 +63,7 @@ pub fn mis2_basic_from(g: &CsrGraph, m: &Mis2Result) -> Aggregation {
     let phase1 = labels.clone();
     {
         let lw = SharedMut::new(&mut labels);
-        (0..n as VertexId).into_par_iter().for_each(|v| {
+        par::for_range(0..n as VertexId, |v| {
             if phase1[v as usize] != UNAGGREGATED {
                 return;
             }
@@ -79,7 +79,11 @@ pub fn mis2_basic_from(g: &CsrGraph, m: &Mis2Result) -> Aggregation {
         });
     }
 
-    Aggregation { labels, num_aggregates, roots: m.in_set.clone() }
+    Aggregation {
+        labels,
+        num_aggregates,
+        roots: m.in_set.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +96,11 @@ mod tests {
         let g = gen::path(20);
         let a = mis2_basic(&g);
         a.validate(&g).unwrap();
-        assert!(a.num_aggregates >= 4 && a.num_aggregates <= 7, "{}", a.num_aggregates);
+        assert!(
+            a.num_aggregates >= 4 && a.num_aggregates <= 7,
+            "{}",
+            a.num_aggregates
+        );
     }
 
     #[test]

@@ -21,8 +21,8 @@
 use crate::agg::{Aggregation, UNAGGREGATED};
 use mis2_color::{color_d2_serial, color_d2_speculative, ColorSets, Coloring};
 use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_prim::SharedMut;
-use rayon::prelude::*;
 
 /// Minimum unaggregated neighbors a root candidate needs (matches the
 /// "sufficiently many unaggregated neighbors" rule of the paper's Serial
@@ -39,23 +39,19 @@ pub fn d2c_aggregation(g: &CsrGraph, coloring: &Coloring) -> Aggregation {
     for c in 0..sets.num_colors() {
         let members = sets.members(c);
         // Root candidates of this color (read-only pass over labels).
-        let candidates: Vec<VertexId> = members
-            .par_iter()
-            .copied()
-            .filter(|&v| {
-                labels[v as usize] == UNAGGREGATED
-                    && g.neighbors(v)
-                        .iter()
-                        .filter(|&&w| labels[w as usize] == UNAGGREGATED)
-                        .count()
-                        >= MIN_UNAGG_NEIGHBORS
-            })
-            .collect();
+        let candidates: Vec<VertexId> = mis2_prim::compact::par_filter(members, |&v| {
+            labels[v as usize] == UNAGGREGATED
+                && g.neighbors(v)
+                    .iter()
+                    .filter(|&&w| labels[w as usize] == UNAGGREGATED)
+                    .count()
+                    >= MIN_UNAGG_NEIGHBORS
+        });
         // Claim aggregates (same-color roots share no neighbors).
         let base = roots.len() as u32;
         {
             let lw = SharedMut::new(&mut labels);
-            candidates.par_iter().enumerate().for_each(|(k, &v)| {
+            par::for_each_indexed(&candidates, |k, &v| {
                 let label = base + k as u32;
                 unsafe { lw.write(v as usize, label) };
                 for &w in g.neighbors(v) {
@@ -84,7 +80,7 @@ pub fn d2c_aggregation(g: &CsrGraph, coloring: &Coloring) -> Aggregation {
         let lw = SharedMut::new(&mut labels);
         let tent_ref: &[u32] = &tent;
         let sizes_ref: &[u32] = &sizes;
-        (0..n as VertexId).into_par_iter().for_each(|v| {
+        par::for_range(0..n as VertexId, |v| {
             if tent_ref[v as usize] != UNAGGREGATED {
                 return;
             }
@@ -133,7 +129,11 @@ pub fn d2c_aggregation(g: &CsrGraph, coloring: &Coloring) -> Aggregation {
     roots.extend_from_slice(&extra);
 
     let num_aggregates = roots.len();
-    Aggregation { labels, num_aggregates, roots }
+    Aggregation {
+        labels,
+        num_aggregates,
+        roots,
+    }
 }
 
 /// "Serial D2C": sequential distance-2 coloring + parallel aggregation.

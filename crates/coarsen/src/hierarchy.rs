@@ -10,26 +10,25 @@
 
 use crate::agg::Aggregation;
 use mis2_graph::{CsrGraph, VertexId};
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// The coarse (quotient) graph of an aggregation: one vertex per aggregate,
 /// an edge between two aggregates iff some original edge crosses them.
 pub fn quotient_graph(g: &CsrGraph, agg: &Aggregation) -> CsrGraph {
     let nc = agg.num_aggregates;
     // Collect cross-aggregate edges per aggregate, then dedup.
-    let edges: Vec<(VertexId, VertexId)> = (0..g.num_vertices() as VertexId)
-        .into_par_iter()
-        .flat_map_iter(|v| {
+    let per_vertex: Vec<Vec<(VertexId, VertexId)>> =
+        par::map_range(0..g.num_vertices() as VertexId, |v| {
             let la = agg.labels[v as usize];
             g.neighbors(v)
                 .iter()
-                .filter_map(move |&w| {
+                .filter_map(|&w| {
                     let lb = agg.labels[w as usize];
                     (la < lb).then_some((la, lb))
                 })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+                .collect()
+        });
+    let edges: Vec<(VertexId, VertexId)> = per_vertex.into_iter().flatten().collect();
     CsrGraph::from_edges(nc, &edges)
 }
 
@@ -54,10 +53,16 @@ pub fn coarsen_recursive(g: &CsrGraph, min_vertices: usize, max_levels: usize) -
             break; // no progress (e.g. edgeless graph)
         }
         let coarse = quotient_graph(&cur, &agg);
-        levels.push(Level { graph: cur, agg: Some(agg) });
+        levels.push(Level {
+            graph: cur,
+            agg: Some(agg),
+        });
         cur = coarse;
     }
-    levels.push(Level { graph: cur, agg: None });
+    levels.push(Level {
+        graph: cur,
+        agg: None,
+    });
     levels
 }
 
@@ -70,7 +75,11 @@ mod tests {
     fn quotient_of_path() {
         // Path 0-1-2-3 with aggregates {0,1}, {2,3} -> coarse path of 2.
         let g = gen::path(4);
-        let agg = Aggregation { labels: vec![0, 0, 1, 1], num_aggregates: 2, roots: vec![0, 2] };
+        let agg = Aggregation {
+            labels: vec![0, 0, 1, 1],
+            num_aggregates: 2,
+            roots: vec![0, 2],
+        };
         let q = quotient_graph(&g, &agg);
         assert_eq!(q.num_vertices(), 2);
         assert_eq!(q.num_edges(), 1);

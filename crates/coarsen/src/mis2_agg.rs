@@ -26,8 +26,8 @@
 use crate::agg::{Aggregation, UNAGGREGATED};
 use mis2_core::{mis2_with_config, Mis2Config};
 use mis2_graph::{ops, CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_prim::SharedMut;
-use rayon::prelude::*;
 
 /// Algorithm 3 with the default MIS-2 configuration.
 ///
@@ -56,7 +56,7 @@ pub fn mis2_aggregation_with(g: &CsrGraph, cfg: &Mis2Config) -> Aggregation {
     }
     {
         let lw = SharedMut::new(&mut labels);
-        (0..n as VertexId).into_par_iter().for_each(|v| {
+        par::for_range(0..n as VertexId, |v| {
             let cur = unsafe { lw.read(v as usize) };
             if cur != UNAGGREGATED {
                 return;
@@ -72,10 +72,13 @@ pub fn mis2_aggregation_with(g: &CsrGraph, cfg: &Mis2Config) -> Aggregation {
     }
 
     // ---- Phase 2: secondary MIS-2 on the unaggregated subgraph ----------
-    let keep: Vec<bool> = labels.par_iter().map(|&l| l == UNAGGREGATED).collect();
+    let keep: Vec<bool> = par::map(&labels, |&l| l == UNAGGREGATED);
     let (sub, new_to_old) = ops::induced_subgraph(g, &keep);
     if sub.num_vertices() > 0 {
-        let cfg2 = Mis2Config { seed: cfg.seed ^ 0xA66E_57A7, ..*cfg };
+        let cfg2 = Mis2Config {
+            seed: cfg.seed ^ 0xA66E_57A7,
+            ..*cfg
+        };
         let m2 = mis2_with_config(&sub, &cfg2);
         // Secondary roots need >= 2 unaggregated neighbors. All neighbors of
         // an unaggregated vertex that are unaggregated appear in `sub`, so
@@ -97,7 +100,7 @@ pub fn mis2_aggregation_with(g: &CsrGraph, cfg: &Mis2Config) -> Aggregation {
         // neighbors two of them: conflict-free.
         {
             let lw = SharedMut::new(&mut labels);
-            accepted.par_iter().enumerate().for_each(|(k, &v2)| {
+            par::for_each_indexed(&accepted, |k, &v2| {
                 let label = base + k as u32;
                 for &w2 in sub.neighbors(v2) {
                     let w = new_to_old[w2 as usize];
@@ -122,7 +125,7 @@ pub fn mis2_aggregation_with(g: &CsrGraph, cfg: &Mis2Config) -> Aggregation {
         let lw = SharedMut::new(&mut labels);
         let tent_ref: &[u32] = &tent;
         let size_ref: &[u32] = &agg_size;
-        (0..n as VertexId).into_par_iter().for_each(|v| {
+        par::for_range(0..n as VertexId, |v| {
             if tent_ref[v as usize] != UNAGGREGATED {
                 return;
             }
@@ -178,7 +181,11 @@ pub fn mis2_aggregation_with(g: &CsrGraph, cfg: &Mis2Config) -> Aggregation {
     roots.extend_from_slice(&extra_roots);
 
     let num_aggregates = roots.len();
-    Aggregation { labels, num_aggregates, roots }
+    Aggregation {
+        labels,
+        num_aggregates,
+        roots,
+    }
 }
 
 #[cfg(test)]
@@ -261,7 +268,10 @@ mod tests {
         let a = mis2_aggregation(&g);
         assert_eq!(a.roots.len(), a.num_aggregates);
         for (idx, &r) in a.roots.iter().enumerate() {
-            assert_eq!(a.labels[r as usize] as usize, idx, "root {r} lost its aggregate");
+            assert_eq!(
+                a.labels[r as usize] as usize, idx,
+                "root {r} lost its aggregate"
+            );
         }
     }
 

@@ -21,7 +21,7 @@
 
 use crate::agg::Aggregation;
 use mis2_graph::{CsrGraph, VertexId};
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// A k-way partition of a graph's vertices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,22 +81,28 @@ struct WLevel {
 /// Compute the quality metrics of a partition.
 pub fn quality(g: &CsrGraph, p: &Partition) -> PartitionQuality {
     assert_eq!(p.parts.len(), g.num_vertices());
-    let cut2: usize = (0..g.num_vertices() as VertexId)
-        .into_par_iter()
-        .map(|v| {
+    let cut2: usize = par::map_reduce_range(
+        0..g.num_vertices() as VertexId,
+        |v| {
             g.neighbors(v)
                 .iter()
                 .filter(|&&w| p.parts[w as usize] != p.parts[v as usize])
                 .count()
-        })
-        .sum();
+        },
+        0,
+        |a, b| a + b,
+    );
     let mut part_weights = vec![0u64; p.num_parts];
     for &pt in &p.parts {
         part_weights[pt as usize] += 1;
     }
     let ideal = g.num_vertices() as f64 / p.num_parts as f64;
     let maxw = part_weights.iter().copied().max().unwrap_or(0) as f64;
-    PartitionQuality { edge_cut: cut2 / 2, imbalance: maxw / ideal.max(1.0), part_weights }
+    PartitionQuality {
+        edge_cut: cut2 / 2,
+        imbalance: maxw / ideal.max(1.0),
+        part_weights,
+    }
 }
 
 /// Recursive-bisection k-way partition (`num_parts` must be a power of
@@ -110,7 +116,10 @@ pub fn quality(g: &CsrGraph, p: &Partition) -> PartitionQuality {
 /// assert!(q.imbalance < 1.1 && q.edge_cut < 64);
 /// ```
 pub fn partition(g: &CsrGraph, num_parts: usize, cfg: &PartitionConfig) -> Partition {
-    assert!(num_parts >= 1 && num_parts.is_power_of_two(), "num_parts must be a power of two");
+    assert!(
+        num_parts >= 1 && num_parts.is_power_of_two(),
+        "num_parts must be a power of two"
+    );
     let n = g.num_vertices();
     let mut parts = vec![0u32; n];
     if num_parts > 1 {
@@ -192,12 +201,12 @@ fn bisect(g: &CsrGraph, cfg: &PartitionConfig) -> Vec<bool> {
     // ---- Phase 3: uncoarsen + refine -------------------------------------
     for li in (0..levels.len() - 1).rev() {
         let fine = &levels[li];
-        let agg = fine.agg.as_ref().expect("non-coarsest level has aggregation");
+        let agg = fine
+            .agg
+            .as_ref()
+            .expect("non-coarsest level has aggregation");
         let mut fine_side = vec![false; fine.graph.num_vertices()];
-        fine_side
-            .par_iter_mut()
-            .zip(agg.labels.par_iter())
-            .for_each(|(s, &l)| *s = side[l as usize]);
+        par::for_each_mut_indexed(&mut fine_side, |i, s| *s = side[agg.labels[i] as usize]);
         side = fine_side;
         refine(fine, &mut side, cfg);
     }
@@ -216,33 +225,30 @@ fn build_weighted_quotient(lvl: &WLevel, agg: &Aggregation) -> WLevel {
     // Coarse adjacency with summed edge weights, built per coarse vertex.
     // Group fine vertices by aggregate first.
     let (counts, members) = mis2_prim::bucket::bucket_by_key(nc, &agg.labels);
-    let rows: Vec<(Vec<VertexId>, Vec<u64>)> = (0..nc)
-        .into_par_iter()
-        .map(|a| {
-            let mut pairs: Vec<(VertexId, u64)> = Vec::new();
-            for &v in &members[counts[a]..counts[a + 1]] {
-                let lo = g.row_ptr()[v as usize];
-                for (k, &w) in g.neighbors(v).iter().enumerate() {
-                    let la = agg.labels[w as usize];
-                    if la as usize != a {
-                        pairs.push((la, lvl.eweights[lo + k]));
-                    }
+    let rows: Vec<(Vec<VertexId>, Vec<u64>)> = par::map_range(0..nc, |a| {
+        let mut pairs: Vec<(VertexId, u64)> = Vec::new();
+        for &v in &members[counts[a]..counts[a + 1]] {
+            let lo = g.row_ptr()[v as usize];
+            for (k, &w) in g.neighbors(v).iter().enumerate() {
+                let la = agg.labels[w as usize];
+                if la as usize != a {
+                    pairs.push((la, lvl.eweights[lo + k]));
                 }
             }
-            pairs.sort_unstable_by_key(|p| p.0);
-            let mut cols = Vec::new();
-            let mut ws: Vec<u64> = Vec::new();
-            for (c, w) in pairs {
-                if cols.last() == Some(&c) {
-                    *ws.last_mut().unwrap() += w;
-                } else {
-                    cols.push(c);
-                    ws.push(w);
-                }
+        }
+        pairs.sort_unstable_by_key(|p| p.0);
+        let mut cols = Vec::new();
+        let mut ws: Vec<u64> = Vec::new();
+        for (c, w) in pairs {
+            if cols.last() == Some(&c) {
+                *ws.last_mut().unwrap() += w;
+            } else {
+                cols.push(c);
+                ws.push(w);
             }
-            (cols, ws)
-        })
-        .collect();
+        }
+        (cols, ws)
+    });
     let mut row_ptr = Vec::with_capacity(nc + 1);
     row_ptr.push(0usize);
     let mut total = 0usize;
@@ -257,7 +263,12 @@ fn build_weighted_quotient(lvl: &WLevel, agg: &Aggregation) -> WLevel {
         eweights.extend_from_slice(&w);
     }
     let graph = CsrGraph::from_csr(nc, row_ptr, col_idx).expect("quotient CSR invariants");
-    WLevel { graph, vweights, eweights, agg: None }
+    WLevel {
+        graph,
+        vweights,
+        eweights,
+        agg: None,
+    }
 }
 
 /// Greedy weighted BFS region growth from a pseudo-peripheral vertex:
@@ -332,25 +343,25 @@ fn refine(lvl: &WLevel, side: &mut [bool], cfg: &PartitionConfig) {
 
     for _ in 0..cfg.refine_passes {
         // Gains of boundary vertices (parallel, read-only).
-        let mut moves: Vec<(i64, VertexId)> = (0..n as VertexId)
-            .into_par_iter()
-            .filter_map(|v| {
-                let sv = side[v as usize];
-                let lo = g.row_ptr()[v as usize];
-                let mut external: i64 = 0;
-                let mut internal: i64 = 0;
-                for (k, &w) in g.neighbors(v).iter().enumerate() {
-                    let ew = lvl.eweights[lo + k] as i64;
-                    if side[w as usize] == sv {
-                        internal += ew;
-                    } else {
-                        external += ew;
-                    }
+        let mut moves: Vec<(i64, VertexId)> = par::map_range(0..n as VertexId, |v| {
+            let sv = side[v as usize];
+            let lo = g.row_ptr()[v as usize];
+            let mut external: i64 = 0;
+            let mut internal: i64 = 0;
+            for (k, &w) in g.neighbors(v).iter().enumerate() {
+                let ew = lvl.eweights[lo + k] as i64;
+                if side[w as usize] == sv {
+                    internal += ew;
+                } else {
+                    external += ew;
                 }
-                let gain = external - internal;
-                (gain > 0).then_some((gain, v))
-            })
-            .collect();
+            }
+            let gain = external - internal;
+            (gain > 0).then_some((gain, v))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         if moves.is_empty() {
             break;
         }
@@ -370,8 +381,11 @@ fn refine(lvl: &WLevel, side: &mut [bool], cfg: &PartitionConfig) {
             if gain <= 0 {
                 continue;
             }
-            let (dst_weight, src_weight) =
-                if sv { (w_false + vw, w_true - vw) } else { (w_true + vw, w_false - vw) };
+            let (dst_weight, src_weight) = if sv {
+                (w_false + vw, w_true - vw)
+            } else {
+                (w_true + vw, w_false - vw)
+            };
             if dst_weight > max_side || src_weight == 0 {
                 continue;
             }
@@ -413,7 +427,11 @@ mod tests {
         let p = partition(&g, 4, &PartitionConfig::default());
         let q = quality(&g, &p);
         assert_eq!(p.num_parts, 4);
-        assert!(q.part_weights.iter().all(|&w| w > 0), "{:?}", q.part_weights);
+        assert!(
+            q.part_weights.iter().all(|&w| w > 0),
+            "{:?}",
+            q.part_weights
+        );
         assert!(q.imbalance <= 1.25, "imbalance {}", q.imbalance);
         assert!(q.edge_cut <= 200, "cut {}", q.edge_cut);
         // All labels in range.
@@ -498,7 +516,10 @@ mod tests {
     fn quality_of_known_partition() {
         // Path 0-1-2-3, parts {0,1} | {2,3}: one cut edge.
         let g = gen::path(4);
-        let p = Partition { parts: vec![0, 0, 1, 1], num_parts: 2 };
+        let p = Partition {
+            parts: vec![0, 0, 1, 1],
+            num_parts: 2,
+        };
         let q = quality(&g, &p);
         assert_eq!(q.edge_cut, 1);
         assert_eq!(q.part_weights, vec![2, 2]);

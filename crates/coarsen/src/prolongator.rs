@@ -8,26 +8,23 @@
 //!   the usual spectral heuristic).
 
 use crate::agg::Aggregation;
+use mis2_prim::par;
 use mis2_sparse::{add_scaled, scale_rows, spgemm, CsrMatrix};
-use rayon::prelude::*;
 
 /// Piecewise-constant tentative prolongator. With `normalize`, each column
 /// has unit 2-norm (so `P_tentᵀ P_tent = I`).
 pub fn tentative_prolongator(agg: &Aggregation, normalize: bool) -> CsrMatrix {
     let n = agg.labels.len();
     let sizes = agg.sizes();
-    let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            let a = agg.labels[v];
-            let w = if normalize {
-                1.0 / (sizes[a as usize] as f64).sqrt()
-            } else {
-                1.0
-            };
-            (vec![a], vec![w])
-        })
-        .collect();
+    let rows: Vec<(Vec<u32>, Vec<f64>)> = par::map_range(0..n, |v| {
+        let a = agg.labels[v];
+        let w = if normalize {
+            1.0 / (sizes[a as usize] as f64).sqrt()
+        } else {
+            1.0
+        };
+        (vec![a], vec![w])
+    });
     CsrMatrix::from_sorted_rows(n, agg.num_aggregates, rows)
 }
 
@@ -46,14 +43,16 @@ pub fn smoothed_prolongator(a: &CsrMatrix, p_tent: &CsrMatrix, omega: Option<f64
     let dinv_a = scale_rows(&dinv, a);
     let omega = omega.unwrap_or_else(|| {
         // rho(D^-1 A) <= max_i sum_j |(D^-1 A)_ij|
-        let rho_hat = (0..dinv_a.nrows())
-            .into_par_iter()
-            .map(|r| {
+        let rho_hat = par::map_reduce_range(
+            0..dinv_a.nrows(),
+            |r| {
                 let (_, vals) = dinv_a.row(r);
                 vals.iter().map(|v| v.abs()).sum::<f64>()
-            })
-            .reduce(|| 0.0, f64::max)
-            .max(1e-12);
+            },
+            0.0,
+            f64::max,
+        )
+        .max(1e-12);
         4.0 / (3.0 * rho_hat)
     });
     let dinv_a_p = spgemm(&dinv_a, p_tent);
@@ -68,7 +67,11 @@ mod tests {
     use mis2_sparse::gen as sgen;
 
     fn toy_agg() -> Aggregation {
-        Aggregation { labels: vec![0, 0, 1, 1, 1], num_aggregates: 2, roots: vec![0, 2] }
+        Aggregation {
+            labels: vec![0, 0, 1, 1, 1],
+            num_aggregates: 2,
+            roots: vec![0, 2],
+        }
     }
 
     #[test]
@@ -129,7 +132,11 @@ mod tests {
         // Interior vertex of the 6x6 grid: id 14 = (2,2).
         let v = 14usize;
         if g.degree(v as u32) == 4 {
-            assert!((px[v] - 1.0).abs() < 0.6, "interior interpolation {}", px[v]);
+            assert!(
+                (px[v] - 1.0).abs() < 0.6,
+                "interior interpolation {}",
+                px[v]
+            );
         }
     }
 

@@ -48,7 +48,10 @@ impl AggScheme {
     /// property of the scheme as deployed and evaluated by the paper; the
     /// D2C schemes race their leftover-join there.)
     pub fn paper_deterministic(self) -> bool {
-        matches!(self, AggScheme::SerialAgg | AggScheme::Mis2Basic | AggScheme::Mis2Agg)
+        matches!(
+            self,
+            AggScheme::SerialAgg | AggScheme::Mis2Basic | AggScheme::Mis2Agg
+        )
     }
 
     /// Run the scheme.
@@ -90,7 +93,13 @@ mod tests {
         let labels: Vec<_> = AggScheme::all().iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
-            vec!["Serial Agg", "Serial D2C", "NB D2C", "MIS2 Basic", "MIS2 Agg"]
+            vec![
+                "Serial Agg",
+                "Serial D2C",
+                "NB D2C",
+                "MIS2 Basic",
+                "MIS2 Agg"
+            ]
         );
     }
 
@@ -112,7 +121,11 @@ mod tests {
             .iter()
             .map(|&s| (s, s.aggregate(&g, 0).num_aggregates))
             .collect();
-        let mis2_agg = nagg.iter().find(|(s, _)| *s == AggScheme::Mis2Agg).unwrap().1;
+        let mis2_agg = nagg
+            .iter()
+            .find(|(s, _)| *s == AggScheme::Mis2Agg)
+            .unwrap()
+            .1;
         let max = nagg.iter().map(|&(_, n)| n).max().unwrap();
         assert!(
             mis2_agg as f64 <= max as f64,

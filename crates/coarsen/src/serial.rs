@@ -22,7 +22,10 @@ pub fn serial_aggregation(g: &CsrGraph) -> Aggregation {
         if labels[v as usize] != UNAGGREGATED {
             continue;
         }
-        if g.neighbors(v).iter().all(|&w| labels[w as usize] == UNAGGREGATED) {
+        if g.neighbors(v)
+            .iter()
+            .all(|&w| labels[w as usize] == UNAGGREGATED)
+        {
             let a = roots.len() as u32;
             labels[v as usize] = a;
             let mut size = 1;
@@ -76,7 +79,11 @@ pub fn serial_aggregation(g: &CsrGraph) -> Aggregation {
     }
 
     let num_aggregates = roots.len();
-    Aggregation { labels, num_aggregates, roots }
+    Aggregation {
+        labels,
+        num_aggregates,
+        roots,
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,11 @@ pub fn aggregate_stats(g: &CsrGraph, agg: &Aggregation) -> AggStats {
     let n = agg.labels.len().max(1);
     let mean = n as f64 / count.max(1) as f64;
     let var = if count > 0 {
-        sizes.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / count as f64
+        sizes
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / count as f64
     } else {
         0.0
     };
@@ -104,7 +108,11 @@ mod tests {
     fn stats_of_known_partition() {
         // Path 0-1-2-3, aggregates {0,1}, {2,3}: 2 internal edges of 3.
         let g = gen::path(4);
-        let agg = Aggregation { labels: vec![0, 0, 1, 1], num_aggregates: 2, roots: vec![0, 2] };
+        let agg = Aggregation {
+            labels: vec![0, 0, 1, 1],
+            num_aggregates: 2,
+            roots: vec![0, 2],
+        };
         let s = aggregate_stats(&g, &agg);
         assert_eq!(s.count, 2);
         assert_eq!(s.mean_size, 2.0);
@@ -118,7 +126,10 @@ mod tests {
     #[test]
     fn algorithms_2_and_3_have_radius_at_most_2() {
         let g = gen::laplace3d(8, 8, 8);
-        for agg in [crate::basic::mis2_basic(&g), crate::mis2_agg::mis2_aggregation(&g)] {
+        for agg in [
+            crate::basic::mis2_basic(&g),
+            crate::mis2_agg::mis2_aggregation(&g),
+        ] {
             let s = aggregate_stats(&g, &agg);
             assert!(
                 s.max_root_radius.unwrap_or(0) <= 2,
@@ -150,13 +161,21 @@ mod tests {
         let g = gen::laplace2d(20, 20);
         let agg = crate::mis2_agg::mis2_aggregation(&g);
         let s = aggregate_stats(&g, &agg);
-        assert!(s.internal_edge_fraction > 0.4, "{}", s.internal_edge_fraction);
+        assert!(
+            s.internal_edge_fraction > 0.4,
+            "{}",
+            s.internal_edge_fraction
+        );
     }
 
     #[test]
     fn empty_graph() {
         let g = mis2_graph::CsrGraph::empty(0);
-        let agg = Aggregation { labels: vec![], num_aggregates: 0, roots: vec![] };
+        let agg = Aggregation {
+            labels: vec![],
+            num_aggregates: 0,
+            roots: vec![],
+        };
         let s = aggregate_stats(&g, &agg);
         assert_eq!(s.count, 0);
         assert_eq!(s.max_root_radius, None);

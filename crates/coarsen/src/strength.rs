@@ -16,34 +16,36 @@
 //! [`crate::scheme::AggScheme`]-based pipelines.
 
 use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_sparse::CsrMatrix;
-use rayon::prelude::*;
 
 /// Build the strength graph of `a` with drop tolerance `theta`
 /// (`theta = 0` keeps every symmetric off-diagonal coupling).
 pub fn strength_graph(a: &CsrMatrix, theta: f64) -> CsrGraph {
-    assert_eq!(a.nrows(), a.ncols(), "strength graph requires square matrix");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "strength graph requires square matrix"
+    );
     let n = a.nrows();
     let diag = a.diag();
     let diag_ref: &[f64] = &diag;
-    let edges: Vec<(VertexId, VertexId)> = (0..n)
-        .into_par_iter()
-        .flat_map_iter(|r| {
-            let (cols, vals) = a.row(r);
-            let dr = diag_ref[r].abs();
-            cols.iter()
-                .zip(vals)
-                .filter_map(move |(&c, &v)| {
-                    if c as usize == r {
-                        return None;
-                    }
-                    let dc = diag_ref[c as usize].abs();
-                    let strong = v.abs() > theta * (dr * dc).sqrt();
-                    strong.then_some((r as VertexId, c))
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    let per_row: Vec<Vec<(VertexId, VertexId)>> = par::map_range(0..n, |r| {
+        let (cols, vals) = a.row(r);
+        let dr = diag_ref[r].abs();
+        cols.iter()
+            .zip(vals)
+            .filter_map(|(&c, &v)| {
+                if c as usize == r {
+                    return None;
+                }
+                let dc = diag_ref[c as usize].abs();
+                let strong = v.abs() > theta * (dr * dc).sqrt();
+                strong.then_some((r as VertexId, c))
+            })
+            .collect::<Vec<_>>()
+    });
+    let edges: Vec<(VertexId, VertexId)> = per_row.into_iter().flatten().collect();
     CsrGraph::from_edges(n, &edges)
 }
 

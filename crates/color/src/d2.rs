@@ -14,8 +14,8 @@
 use crate::jp::{smallest_free, UNCOLORED};
 use crate::Coloring;
 use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_prim::{compact, SharedMut};
-use rayon::prelude::*;
 
 /// Visit every vertex within distance <= 2 of `v` (excluding `v`),
 /// possibly with repeats.
@@ -37,10 +37,9 @@ fn for_two_hop(g: &CsrGraph, v: VertexId, mut f: impl FnMut(VertexId)) {
 pub fn color_d2(g: &CsrGraph, seed: u64) -> Coloring {
     let n = g.num_vertices();
     let mut colors = vec![UNCOLORED; n];
-    let prios: Vec<u64> = (0..n as u64)
-        .into_par_iter()
-        .map(|v| mis2_prim::hash::hash2(mis2_prim::hash::xorshift64_star, seed, v))
-        .collect();
+    let prios: Vec<u64> = par::map_range(0..n as u64, |v| {
+        mis2_prim::hash::hash2(mis2_prim::hash::xorshift64_star, seed, v)
+    });
     let pr = |v: VertexId| (prios[v as usize], v);
     let mut wl: Vec<VertexId> = (0..n as VertexId).collect();
     let mut rounds = 0usize;
@@ -63,7 +62,7 @@ pub fn color_d2(g: &CsrGraph, seed: u64) -> Coloring {
             // other's two-hop sets: concurrent reads below never observe a
             // slot written in this round.
             let cw = SharedMut::new(&mut colors);
-            winners.par_iter().for_each(|&v| {
+            par::for_each(&winners, |&v| {
                 let mut used: Vec<u32> = Vec::new();
                 for_two_hop(g, v, |w| {
                     let c = unsafe { cw.read(w as usize) };
@@ -94,7 +93,7 @@ pub fn color_d2_speculative(g: &CsrGraph, _seed: u64) -> Coloring {
     let mut rounds = 0usize;
     while !wl.is_empty() {
         rounds += 1;
-        wl.par_iter().for_each(|&v| {
+        par::for_each(&wl, |&v| {
             let mut used: Vec<u32> = Vec::new();
             for_two_hop(g, v, |w| {
                 let c = colors[w as usize].load(Ordering::Relaxed);

@@ -12,7 +12,7 @@ use crate::jp::{smallest_free, UNCOLORED};
 use crate::Coloring;
 use mis2_graph::{CsrGraph, VertexId};
 use mis2_prim::compact;
-use rayon::prelude::*;
+use mis2_prim::par;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Speculative greedy coloring with conflict resolution.
@@ -25,7 +25,7 @@ pub fn color_d1_speculative(g: &CsrGraph, _seed: u64) -> Coloring {
     while !wl.is_empty() {
         rounds += 1;
         // Speculative assignment: read neighbor colors racily.
-        wl.par_iter().for_each(|&v| {
+        par::for_each(&wl, |&v| {
             let mut used: Vec<u32> = g
                 .neighbors(v)
                 .iter()

@@ -10,8 +10,8 @@
 use crate::Coloring;
 use mis2_graph::{CsrGraph, VertexId};
 use mis2_prim::hash::{hash2, xorshift64_star};
+use mis2_prim::par;
 use mis2_prim::{compact, SharedMut};
-use rayon::prelude::*;
 
 pub(crate) const UNCOLORED: u32 = u32::MAX;
 
@@ -66,7 +66,7 @@ pub fn color_d1(g: &CsrGraph, seed: u64) -> Coloring {
         // this round by a *neighbor*.
         {
             let cw = SharedMut::new(&mut colors);
-            winners.par_iter().for_each(|&v| {
+            par::for_each(&winners, |&v| {
                 let mut used: Vec<u32> = g
                     .neighbors(v)
                     .iter()

@@ -50,6 +50,10 @@ impl Coloring {
     /// Construct from a raw color array (recomputes `num_colors`).
     pub fn from_colors(colors: Vec<u32>, rounds: usize) -> Self {
         let num_colors = colors.iter().copied().max().map_or(0, |m| m + 1);
-        Coloring { colors, num_colors, rounds }
+        Coloring {
+            colors,
+            num_colors,
+            rounds,
+        }
     }
 }

@@ -17,7 +17,7 @@
 use crate::Coloring;
 use mis2_core::luby_mis1;
 use mis2_graph::{ops, CsrGraph};
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// Distance-2 coloring via repeated MIS extraction on `G²`
 /// (deterministic).
@@ -31,7 +31,7 @@ pub fn color_d2_mis(g: &CsrGraph, seed: u64) -> Coloring {
     let mut rounds = 0usize;
     while uncolored > 0 {
         rounds += 1;
-        let keep: Vec<bool> = colors.par_iter().map(|&c| c == UNCOLORED).collect();
+        let keep: Vec<bool> = par::map(&colors, |&c| c == UNCOLORED);
         let (sub, new_to_old) = ops::induced_subgraph(&g2, &keep);
         let m = luby_mis1(&sub, seed ^ (color as u64).wrapping_mul(0x9E37));
         debug_assert!(!m.in_set.is_empty());
@@ -41,7 +41,11 @@ pub fn color_d2_mis(g: &CsrGraph, seed: u64) -> Coloring {
         uncolored -= m.in_set.len();
         color += 1;
     }
-    Coloring { colors, num_colors: color, rounds }
+    Coloring {
+        colors,
+        num_colors: color,
+        rounds,
+    }
 }
 
 #[cfg(test)]

@@ -1,14 +1,19 @@
 //! Validity checkers for distance-1 and distance-2 colorings.
 
 use mis2_graph::{CsrGraph, VertexId};
-use rayon::prelude::*;
+use mis2_prim::par;
 use std::fmt;
 
 /// A coloring defect.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ColoringViolation {
     /// Two vertices within the forbidden distance share a color.
-    Conflict { u: VertexId, v: VertexId, color: u32, distance: usize },
+    Conflict {
+        u: VertexId,
+        v: VertexId,
+        color: u32,
+        distance: usize,
+    },
     /// A vertex was left uncolored.
     Uncolored { v: VertexId },
     /// Mask length mismatch.
@@ -18,8 +23,16 @@ pub enum ColoringViolation {
 impl fmt::Display for ColoringViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ColoringViolation::Conflict { u, v, color, distance } => {
-                write!(f, "vertices {u} and {v} share color {color} at distance {distance}")
+            ColoringViolation::Conflict {
+                u,
+                v,
+                color,
+                distance,
+            } => {
+                write!(
+                    f,
+                    "vertices {u} and {v} share color {color} at distance {distance}"
+                )
             }
             ColoringViolation::Uncolored { v } => write!(f, "vertex {v} uncolored"),
             ColoringViolation::BadLength { expected, got } => {
@@ -38,9 +51,12 @@ const UNCOLORED: u32 = u32::MAX;
 pub fn verify_coloring_d1(g: &CsrGraph, colors: &[u32]) -> Result<(), ColoringViolation> {
     let n = g.num_vertices();
     if colors.len() != n {
-        return Err(ColoringViolation::BadLength { expected: n, got: colors.len() });
+        return Err(ColoringViolation::BadLength {
+            expected: n,
+            got: colors.len(),
+        });
     }
-    match (0..n as VertexId).into_par_iter().find_map_any(|u| {
+    match par::find_map_range(0..n as VertexId, |u| {
         let cu = colors[u as usize];
         if cu == UNCOLORED {
             return Some(ColoringViolation::Uncolored { v: u });
@@ -48,7 +64,12 @@ pub fn verify_coloring_d1(g: &CsrGraph, colors: &[u32]) -> Result<(), ColoringVi
         g.neighbors(u)
             .iter()
             .find(|&&w| colors[w as usize] == cu)
-            .map(|&w| ColoringViolation::Conflict { u, v: w, color: cu, distance: 1 })
+            .map(|&w| ColoringViolation::Conflict {
+                u,
+                v: w,
+                color: cu,
+                distance: 1,
+            })
     }) {
         Some(v) => Err(v),
         None => Ok(()),
@@ -58,24 +79,22 @@ pub fn verify_coloring_d1(g: &CsrGraph, colors: &[u32]) -> Result<(), ColoringVi
 /// Check a proper distance-2 coloring.
 pub fn verify_coloring_d2(g: &CsrGraph, colors: &[u32]) -> Result<(), ColoringViolation> {
     verify_coloring_d1(g, colors)?;
-    match (0..g.num_vertices() as VertexId)
-        .into_par_iter()
-        .find_map_any(|u| {
-            let cu = colors[u as usize];
-            for &w in g.neighbors(u) {
-                for &x in g.neighbors(w) {
-                    if x != u && colors[x as usize] == cu {
-                        return Some(ColoringViolation::Conflict {
-                            u,
-                            v: x,
-                            color: cu,
-                            distance: 2,
-                        });
-                    }
+    match par::find_map_range(0..g.num_vertices() as VertexId, |u| {
+        let cu = colors[u as usize];
+        for &w in g.neighbors(u) {
+            for &x in g.neighbors(w) {
+                if x != u && colors[x as usize] == cu {
+                    return Some(ColoringViolation::Conflict {
+                        u,
+                        v: x,
+                        color: cu,
+                        distance: 2,
+                    });
                 }
             }
-            None
-        }) {
+        }
+        None
+    }) {
         Some(v) => Err(v),
         None => Ok(()),
     }

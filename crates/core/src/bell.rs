@@ -26,8 +26,8 @@ use crate::engine::{Mis2Result, RoundStats};
 use crate::tuple::{Status3, TupleRepr, Unpacked};
 use mis2_graph::{CsrGraph, VertexId};
 use mis2_prim::hash::{hash2, xorshift64_star};
+use mis2_prim::par;
 use mis2_prim::{compact, SharedMut};
-use rayon::prelude::*;
 
 /// Compute a maximal distance-`k` independent set with Bell's algorithm.
 ///
@@ -37,18 +37,20 @@ pub fn bell_mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
     assert!(k >= 1, "distance must be >= 1");
     let n = g.num_vertices();
     if n == 0 {
-        return Mis2Result { in_set: vec![], is_in: vec![], iterations: 0, history: vec![] };
+        return Mis2Result {
+            in_set: vec![],
+            is_in: vec![],
+            iterations: 0,
+            history: vec![],
+        };
     }
 
     // Fixed random tuples (status starts Undecided).
-    let mut t: Vec<Unpacked> = (0..n as u32)
-        .into_par_iter()
-        .map(|v| Unpacked {
-            status: Status3::Undecided,
-            priority: hash2(xorshift64_star, seed, v as u64),
-            id: v,
-        })
-        .collect();
+    let mut t: Vec<Unpacked> = par::map_range(0..n as u32, |v| Unpacked {
+        status: Status3::Undecided,
+        priority: hash2(xorshift64_star, seed, v as u64),
+        id: v,
+    });
 
     // Propagation buffers.
     let mut cur: Vec<Unpacked> = vec![Unpacked::OUT; n];
@@ -57,19 +59,19 @@ pub fn bell_mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
     let mut iterations = 0usize;
 
     loop {
-        let undecided = t.par_iter().filter(|x| x.is_undecided()).count();
+        let undecided = par::count(&t, |x| x.is_undecided());
         if undecided == 0 {
             break;
         }
 
         // M^0 = T.
-        cur.par_iter_mut().zip(t.par_iter()).for_each(|(c, &tv)| *c = tv);
+        par::for_each_mut_indexed(&mut cur, |i, c| *c = t[i]);
         // k propagation rounds: M^i_v = min(M^{i-1}_w : w in adj(v) ∪ {v}).
         for _ in 0..k {
             {
                 let nw = SharedMut::new(&mut nxt);
                 let cur_ref: &[Unpacked] = &cur;
-                (0..n as VertexId).into_par_iter().for_each(|v| {
+                par::for_range(0..n as VertexId, |v| {
                     let mut mv = cur_ref[v as usize];
                     for &w in g.neighbors(v) {
                         mv = mv.min(cur_ref[w as usize]);
@@ -84,9 +86,9 @@ pub fn bell_mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
         let (newly_in, newly_out) = {
             let tw = SharedMut::new(&mut t);
             let cur_ref: &[Unpacked] = &cur;
-            (0..n as VertexId)
-                .into_par_iter()
-                .map(|v| {
+            par::map_reduce_range(
+                0..n as VertexId,
+                |v| {
                     // SAFETY: slot v is read/written only by this task.
                     let tv = unsafe { tw.read(v as usize) };
                     if !tv.is_undecided() {
@@ -95,32 +97,55 @@ pub fn bell_mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
                     let mv = cur_ref[v as usize];
                     if mv == tv {
                         unsafe {
-                            tw.write(v as usize, Unpacked { status: Status3::In, ..tv })
+                            tw.write(
+                                v as usize,
+                                Unpacked {
+                                    status: Status3::In,
+                                    ..tv
+                                },
+                            )
                         };
                         (1, 0)
                     } else if mv.is_in() {
                         unsafe {
-                            tw.write(v as usize, Unpacked { status: Status3::Out, ..tv })
+                            tw.write(
+                                v as usize,
+                                Unpacked {
+                                    status: Status3::Out,
+                                    ..tv
+                                },
+                            )
                         };
                         (0, 1)
                     } else {
                         (0, 0)
                     }
-                })
-                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+                },
+                (0, 0),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
         };
 
         iterations += 1;
-        history.push(RoundStats { undecided, newly_in, newly_out });
+        history.push(RoundStats {
+            undecided,
+            newly_in,
+            newly_out,
+        });
         // Progress guarantee: the globally minimal undecided tuple either
         // becomes IN (no IN vertex within distance k) or is knocked OUT by
         // one, so at least one vertex is decided per iteration.
         debug_assert!(newly_in + newly_out > 0, "Bell iteration made no progress");
     }
 
-    let is_in: Vec<bool> = t.par_iter().map(|x| x.is_in()).collect();
+    let is_in: Vec<bool> = par::map(&t, |x| x.is_in());
     let in_set = compact::par_filter_indices(&is_in, |&b| b);
-    Mis2Result { in_set, is_in, iterations, history }
+    Mis2Result {
+        in_set,
+        is_in,
+        iterations,
+        history,
+    }
 }
 
 /// Bell's algorithm at k = 2 — the exact configuration CUSP's MIS-2 uses.
@@ -215,7 +240,12 @@ mod tests {
         let b = bell_mis2(&g, 2);
         assert_ne!(a.in_set, b.in_set);
         let ratio = a.size() as f64 / b.size() as f64;
-        assert!(ratio > 0.8 && ratio < 1.25, "sizes {} vs {}", a.size(), b.size());
+        assert!(
+            ratio > 0.8 && ratio < 1.25,
+            "sizes {} vs {}",
+            a.size(),
+            b.size()
+        );
     }
 
     #[test]

@@ -44,8 +44,7 @@
 use crate::priority::PriorityScheme;
 use crate::tuple::{id_bits, Packed, TupleRepr, Unpacked};
 use mis2_graph::{CsrGraph, VertexId};
-use mis2_prim::{compact, SharedMut};
-use rayon::prelude::*;
+use mis2_prim::{compact, par, SharedMut};
 
 /// Neighbor-parallel ("SIMD") mode for the inner loops of Refresh Column
 /// and Decide Set.
@@ -119,7 +118,13 @@ impl Mis2Config {
         };
         vec![
             ("Baseline", base),
-            ("+RandomPriority", Mis2Config { priorities: PriorityScheme::XorStar, ..base }),
+            (
+                "+RandomPriority",
+                Mis2Config {
+                    priorities: PriorityScheme::XorStar,
+                    ..base
+                },
+            ),
             (
                 "+Worklists",
                 Mis2Config {
@@ -169,7 +174,12 @@ pub struct Mis2Result {
 
 impl Mis2Result {
     fn empty() -> Self {
-        Mis2Result { in_set: Vec::new(), is_in: Vec::new(), iterations: 0, history: Vec::new() }
+        Mis2Result {
+            in_set: Vec::new(),
+            is_in: Vec::new(),
+            iterations: 0,
+            history: Vec::new(),
+        }
     }
 
     /// |MIS-2| — the paper's quality metric (Tables III and IV).
@@ -196,7 +206,7 @@ pub fn mis2_with_config(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
 }
 
 /// Chunk size for neighbor-parallel reductions. A GPU warp is 32 lanes; we
-/// use a larger chunk on CPU so rayon task overhead stays negligible.
+/// use a larger chunk on CPU so parallel task overhead stays negligible.
 const SIMD_CHUNK: usize = 256;
 /// Minimum degree before the inner loop actually splits.
 const SIMD_MIN_DEGREE: usize = 2 * SIMD_CHUNK;
@@ -208,8 +218,11 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
     // Both representations see the same truncated priorities so that the
     // packed/unpacked toggle changes memory layout only, never the result
     // (the packed word can only hold 64 - bits priority bits).
-    let prio_mask: u64 =
-        if bits == 0 { u64::MAX } else { ((1u128 << (64 - bits)) - 1) as u64 };
+    let prio_mask: u64 = if bits == 0 {
+        u64::MAX
+    } else {
+        ((1u128 << (64 - bits)) - 1) as u64
+    };
 
     // T and M arrays. M's initial content is never read: every vertex is in
     // worklist2 for iteration 0 and is overwritten by Refresh Column.
@@ -223,7 +236,7 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
     // iterations can skip decided vertices in the no-worklist mode).
     {
         let tw = SharedMut::new(&mut t);
-        wl1.par_iter().for_each(|&v| {
+        par::for_each(&wl1, |&v| {
             let p = cfg.priorities.priority(cfg.seed, 0, v) & prio_mask;
             unsafe { tw.write(v as usize, T::undecided(p, v, bits)) };
         });
@@ -235,7 +248,7 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
         let undecided_at_start = if cfg.use_worklists {
             wl1.len()
         } else {
-            t.par_iter().filter(|x| x.is_undecided()).count()
+            par::count(&t, |x| x.is_undecided())
         };
 
         // --- Refresh Column: M_v = min(T_w : w in adj(v) ∪ {v}) ---------
@@ -243,20 +256,17 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
             let mw = SharedMut::new(&mut m);
             let t_ref: &[T] = &t;
             if simd {
-                wl2.par_iter().for_each(|&v| {
+                par::for_each(&wl2, |&v| {
                     let mut mv = t_ref[v as usize];
                     let nbrs = g.neighbors(v);
                     if nbrs.len() >= SIMD_MIN_DEGREE {
-                        let chunk_min = nbrs
-                            .par_chunks(SIMD_CHUNK)
-                            .map(|c| {
-                                c.iter()
-                                    .map(|&w| t_ref[w as usize])
-                                    .min()
-                                    .unwrap_or(T::OUT)
-                            })
-                            .min()
-                            .unwrap_or(T::OUT);
+                        let chunk_min = par::chunked_reduce(
+                            nbrs,
+                            SIMD_CHUNK,
+                            |c| c.iter().map(|&w| t_ref[w as usize]).min().unwrap_or(T::OUT),
+                            T::OUT,
+                            |a, b| a.min(b),
+                        );
                         mv = mv.min(chunk_min);
                     } else {
                         for &w in nbrs {
@@ -269,7 +279,7 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
                     unsafe { mw.write(v as usize, mv) };
                 });
             } else {
-                wl2.par_iter().for_each(|&v| {
+                par::for_each(&wl2, |&v| {
                     let mut mv = t_ref[v as usize];
                     for &w in g.neighbors(v) {
                         mv = mv.min(t_ref[w as usize]);
@@ -286,7 +296,7 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
         {
             let tw = SharedMut::new(&mut t);
             let m_ref: &[T] = &m;
-            wl1.par_iter().for_each(|&v| {
+            par::for_each(&wl1, |&v| {
                 // SAFETY: each worklist1 vertex appears once; we only read
                 // and write slot v.
                 let tv = unsafe { tw.read(v as usize) };
@@ -302,9 +312,10 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
                 let nbrs = g.neighbors(v);
                 if !any_out {
                     if simd && nbrs.len() >= SIMD_MIN_DEGREE {
-                        let (o, e) = nbrs
-                            .par_chunks(SIMD_CHUNK)
-                            .map(|c| {
+                        let (o, e) = par::chunked_reduce(
+                            nbrs,
+                            SIMD_CHUNK,
+                            |c| {
                                 let mut o = false;
                                 let mut e = true;
                                 for &w in c {
@@ -318,8 +329,10 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
                                     }
                                 }
                                 (o, e)
-                            })
-                            .reduce(|| (false, true), |a, b| (a.0 || b.0, a.1 && b.1));
+                            },
+                            (false, true),
+                            |a, b| (a.0 || b.0, a.1 && b.1),
+                        );
                         any_out = o;
                         all_eq = all_eq && e;
                     } else {
@@ -349,20 +362,24 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
         if cfg.use_worklists {
             // worklist1 held exactly the previously-undecided vertices, so
             // counting decided entries in it gives the per-iteration deltas.
-            newly_in = wl1.par_iter().filter(|&&v| t[v as usize].is_in()).count();
-            newly_out = wl1.par_iter().filter(|&&v| t[v as usize].is_out()).count();
+            newly_in = par::count(&wl1, |&v| t[v as usize].is_in());
+            newly_out = par::count(&wl1, |&v| t[v as usize].is_out());
             wl1 = compact::par_filter(&wl1, |&v| t[v as usize].is_undecided());
             wl2 = compact::par_filter(&wl2, |&v| !m[v as usize].is_out());
             remaining = wl1.len();
         } else {
             // Full sweeps see cumulative totals; derive the deltas.
-            let in_total = t.par_iter().filter(|x| x.is_in()).count();
-            remaining = t.par_iter().filter(|x| x.is_undecided()).count();
+            let in_total = par::count(&t, |x| x.is_in());
+            remaining = par::count(&t, |x| x.is_undecided());
             newly_in = in_total - prev_in_total;
             newly_out = undecided_at_start - remaining - newly_in;
             prev_in_total = in_total;
         }
-        history.push(RoundStats { undecided: undecided_at_start, newly_in, newly_out });
+        history.push(RoundStats {
+            undecided: undecided_at_start,
+            newly_in,
+            newly_out,
+        });
 
         if remaining == 0 {
             break;
@@ -372,12 +389,12 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
         {
             let tw = SharedMut::new(&mut t);
             if cfg.use_worklists {
-                wl1.par_iter().for_each(|&v| {
+                par::for_each(&wl1, |&v| {
                     let p = cfg.priorities.priority(cfg.seed, iter, v) & prio_mask;
                     unsafe { tw.write(v as usize, T::undecided(p, v, bits)) };
                 });
             } else {
-                (0..n as VertexId).into_par_iter().for_each(|v| {
+                par::for_range(0..n as VertexId, |v| {
                     // SAFETY: one write per distinct v.
                     let cur = unsafe { tw.read(v as usize) };
                     if cur.is_undecided() {
@@ -389,9 +406,14 @@ fn run<T: TupleRepr>(g: &CsrGraph, cfg: &Mis2Config) -> Mis2Result {
         }
     }
 
-    let is_in: Vec<bool> = t.par_iter().map(|x| x.is_in()).collect();
+    let is_in: Vec<bool> = par::map(&t, |x| x.is_in());
     let in_set = compact::par_filter_indices(&is_in, |&b| b);
-    Mis2Result { in_set, is_in, iterations: iter as usize, history }
+    Mis2Result {
+        in_set,
+        is_in,
+        iterations: iter as usize,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -402,12 +424,21 @@ mod tests {
 
     fn all_configs() -> Vec<Mis2Config> {
         let mut out = Vec::new();
-        for priorities in [PriorityScheme::Fixed, PriorityScheme::XorHash, PriorityScheme::XorStar]
-        {
+        for priorities in [
+            PriorityScheme::Fixed,
+            PriorityScheme::XorHash,
+            PriorityScheme::XorStar,
+        ] {
             for use_worklists in [false, true] {
                 for packed in [false, true] {
                     for simd in [SimdMode::Off, SimdMode::On] {
-                        out.push(Mis2Config { priorities, use_worklists, packed, simd, seed: 0 });
+                        out.push(Mis2Config {
+                            priorities,
+                            use_worklists,
+                            packed,
+                            simd,
+                            seed: 0,
+                        });
                     }
                 }
             }
@@ -470,10 +501,7 @@ mod tests {
     fn paper_example_graph() {
         // The 6-vertex graph of the paper's Figure 1:
         // 1-2, 2-3, 3-4, 4-5, 4-6 (1-based) — a path with a fork at 4.
-        let g = mis2_graph::CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)],
-        );
+        let g = mis2_graph::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)]);
         let r = mis2(&g);
         verify_mis2(&g, &r.is_in).unwrap();
         // The MIS-2 of this graph has exactly 2 vertices (e.g. {1,4} in the
@@ -486,8 +514,7 @@ mod tests {
         let g = gen::erdos_renyi(500, 1500, 7);
         for cfg in all_configs() {
             let r = mis2_with_config(&g, &cfg);
-            verify_mis2(&g, &r.is_in)
-                .unwrap_or_else(|e| panic!("invalid MIS-2 for {cfg:?}: {e}"));
+            verify_mis2(&g, &r.is_in).unwrap_or_else(|e| panic!("invalid MIS-2 for {cfg:?}: {e}"));
             assert!(r.iterations > 0);
             assert_eq!(r.history.len(), r.iterations);
         }
@@ -498,8 +525,7 @@ mod tests {
         let g = gen::laplace3d(8, 8, 8);
         for cfg in all_configs() {
             let r = mis2_with_config(&g, &cfg);
-            verify_mis2(&g, &r.is_in)
-                .unwrap_or_else(|e| panic!("invalid MIS-2 for {cfg:?}: {e}"));
+            verify_mis2(&g, &r.is_in).unwrap_or_else(|e| panic!("invalid MIS-2 for {cfg:?}: {e}"));
         }
     }
 
@@ -507,8 +533,20 @@ mod tests {
     fn packed_and_unpacked_agree() {
         // Same priorities => same set, regardless of representation.
         let g = gen::erdos_renyi(400, 1200, 3);
-        let a = mis2_with_config(&g, &Mis2Config { packed: true, ..Default::default() });
-        let b = mis2_with_config(&g, &Mis2Config { packed: false, ..Default::default() });
+        let a = mis2_with_config(
+            &g,
+            &Mis2Config {
+                packed: true,
+                ..Default::default()
+            },
+        );
+        let b = mis2_with_config(
+            &g,
+            &Mis2Config {
+                packed: false,
+                ..Default::default()
+            },
+        );
         // Note: packed truncates priorities to (64 - b) bits, which can in
         // principle change comparisons, but only when two 44+-bit truncated
         // priorities collide — not with these sizes.
@@ -519,8 +557,20 @@ mod tests {
     #[test]
     fn worklists_do_not_change_result() {
         let g = gen::laplace2d(40, 40);
-        let a = mis2_with_config(&g, &Mis2Config { use_worklists: true, ..Default::default() });
-        let b = mis2_with_config(&g, &Mis2Config { use_worklists: false, ..Default::default() });
+        let a = mis2_with_config(
+            &g,
+            &Mis2Config {
+                use_worklists: true,
+                ..Default::default()
+            },
+        );
+        let b = mis2_with_config(
+            &g,
+            &Mis2Config {
+                use_worklists: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.in_set, b.in_set);
         assert_eq!(a.iterations, b.iterations);
     }
@@ -528,8 +578,20 @@ mod tests {
     #[test]
     fn simd_does_not_change_result() {
         let g = gen::elasticity3d(6, 6, 6, 3);
-        let a = mis2_with_config(&g, &Mis2Config { simd: SimdMode::On, ..Default::default() });
-        let b = mis2_with_config(&g, &Mis2Config { simd: SimdMode::Off, ..Default::default() });
+        let a = mis2_with_config(
+            &g,
+            &Mis2Config {
+                simd: SimdMode::On,
+                ..Default::default()
+            },
+        );
+        let b = mis2_with_config(
+            &g,
+            &Mis2Config {
+                simd: SimdMode::Off,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.in_set, b.in_set);
     }
 
@@ -555,8 +617,20 @@ mod tests {
     #[test]
     fn different_seeds_usually_differ() {
         let g = gen::laplace3d(10, 10, 10);
-        let a = mis2_with_config(&g, &Mis2Config { seed: 1, ..Default::default() });
-        let b = mis2_with_config(&g, &Mis2Config { seed: 2, ..Default::default() });
+        let a = mis2_with_config(
+            &g,
+            &Mis2Config {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = mis2_with_config(
+            &g,
+            &Mis2Config {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         verify_mis2(&g, &a.is_in).unwrap();
         verify_mis2(&g, &b.is_in).unwrap();
         assert_ne!(a.in_set, b.in_set);

@@ -11,8 +11,8 @@
 use crate::engine::RoundStats;
 use mis2_graph::{CsrGraph, VertexId};
 use mis2_prim::hash::{hash2, xorshift64_star};
+use mis2_prim::par;
 use mis2_prim::{compact, SharedMut};
-use rayon::prelude::*;
 
 /// Result of an MIS-1 computation (same shape as [`crate::Mis2Result`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +44,12 @@ enum S {
 pub fn luby_mis1(g: &CsrGraph, seed: u64) -> Mis1Result {
     let n = g.num_vertices();
     if n == 0 {
-        return Mis1Result { in_set: vec![], is_in: vec![], iterations: 0, history: vec![] };
+        return Mis1Result {
+            in_set: vec![],
+            is_in: vec![],
+            iterations: 0,
+            history: vec![],
+        };
     }
     let mut status = vec![S::Undecided; n];
     let mut wl: Vec<VertexId> = (0..n as VertexId).collect();
@@ -56,7 +61,10 @@ pub fn luby_mis1(g: &CsrGraph, seed: u64) -> Mis1Result {
         let undecided = wl.len();
         // Priorities for this round: (hash, id) with the id as tiebreak.
         let prio = |v: VertexId| -> (u64, VertexId) {
-            (hash2(xorshift64_star, iter_seed ^ (iterations as u64), v as u64), v)
+            (
+                hash2(xorshift64_star, iter_seed ^ (iterations as u64), v as u64),
+                v,
+            )
         };
 
         // Phase A: v wins if it is the strict minimum among undecided
@@ -65,7 +73,7 @@ pub fn luby_mis1(g: &CsrGraph, seed: u64) -> Mis1Result {
             let status_ref: &[S] = &status;
             let mut w = vec![false; n];
             let ww = SharedMut::new(&mut w);
-            wl.par_iter().for_each(|&v| {
+            par::for_each(&wl, |&v| {
                 let pv = prio(v);
                 let mut win = true;
                 for &u in g.neighbors(v) {
@@ -83,8 +91,9 @@ pub fn luby_mis1(g: &CsrGraph, seed: u64) -> Mis1Result {
         let (newly_in, newly_out) = {
             let winners_ref: &[bool] = &winners;
             let sw = SharedMut::new(&mut status);
-            wl.par_iter()
-                .map(|&v| {
+            par::map_reduce(
+                &wl,
+                |&v| {
                     // SAFETY: slot v touched only by its own task. Reads of
                     // neighbors go through `winners_ref` (previous phase).
                     if winners_ref[v as usize] {
@@ -96,20 +105,31 @@ pub fn luby_mis1(g: &CsrGraph, seed: u64) -> Mis1Result {
                     } else {
                         (0, 0)
                     }
-                })
-                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+                },
+                (0, 0),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
         };
 
         wl = compact::par_filter(&wl, |&v| status[v as usize] == S::Undecided);
         iterations += 1;
-        history.push(RoundStats { undecided, newly_in, newly_out });
+        history.push(RoundStats {
+            undecided,
+            newly_in,
+            newly_out,
+        });
         debug_assert!(newly_in > 0, "Luby round made no progress");
         iter_seed = seed; // seed is mixed via `iterations` inside prio
     }
 
-    let is_in: Vec<bool> = status.par_iter().map(|&s| s == S::In).collect();
+    let is_in: Vec<bool> = par::map(&status, |&s| s == S::In);
     let in_set = compact::par_filter_indices(&is_in, |&b| b);
-    Mis1Result { in_set, is_in, iterations, history }
+    Mis1Result {
+        in_set,
+        is_in,
+        iterations,
+        history,
+    }
 }
 
 #[cfg(test)]

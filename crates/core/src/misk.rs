@@ -18,8 +18,8 @@ use crate::engine::{Mis2Result, RoundStats};
 use crate::priority::PriorityScheme;
 use crate::tuple::{id_bits, Packed, TupleRepr};
 use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_prim::{compact, SharedMut};
-use rayon::prelude::*;
 
 /// Compute a maximal distance-`k` independent set with per-iteration
 /// priorities (deterministic, parallel).
@@ -34,7 +34,12 @@ pub fn mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
     assert!(k >= 1, "distance must be >= 1");
     let n = g.num_vertices();
     if n == 0 {
-        return Mis2Result { in_set: vec![], is_in: vec![], iterations: 0, history: vec![] };
+        return Mis2Result {
+            in_set: vec![],
+            is_in: vec![],
+            iterations: 0,
+            history: vec![],
+        };
     }
     let bits = id_bits(n);
     let prio_mask: u64 = ((1u128 << (64 - bits)) - 1) as u64;
@@ -49,14 +54,14 @@ pub fn mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
     // Initial priorities.
     {
         let tw = SharedMut::new(&mut t);
-        (0..n as VertexId).into_par_iter().for_each(|v| {
+        par::for_range(0..n as VertexId, |v| {
             let p = scheme.priority(seed, 0, v) & prio_mask;
             unsafe { tw.write(v as usize, Packed::undecided(p, v, bits)) };
         });
     }
 
     loop {
-        let undecided = t.par_iter().filter(|x| x.is_undecided()).count();
+        let undecided = par::count(&t, |x| x.is_undecided());
         if undecided == 0 {
             break;
         }
@@ -73,7 +78,7 @@ pub fn mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
             {
                 let mw = SharedMut::new(&mut m_next);
                 let m_ref: &[Packed] = &m;
-                (0..n as VertexId).into_par_iter().for_each(|v| {
+                par::for_range(0..n as VertexId, |v| {
                     let mut mv = m_ref[v as usize];
                     for &w in g.neighbors(v) {
                         mv = mv.min(m_ref[w as usize]);
@@ -85,7 +90,7 @@ pub fn mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
         }
         // Translate "saw an IN tuple" into the permanent OUT broadcast,
         // exactly like Algorithm 1's line 19-21.
-        m.par_iter_mut().for_each(|mv| {
+        par::for_each_mut(&mut m, |mv| {
             if mv.is_in() {
                 *mv = Packed::OUT;
             }
@@ -97,9 +102,9 @@ pub fn mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
         let (newly_in, newly_out) = {
             let tw = SharedMut::new(&mut t);
             let m_ref: &[Packed] = &m;
-            (0..n as VertexId)
-                .into_par_iter()
-                .map(|v| {
+            par::map_reduce_range(
+                0..n as VertexId,
+                |v| {
                     let tv = unsafe { tw.read(v as usize) };
                     if !tv.is_undecided() {
                         return (0usize, 0usize);
@@ -130,18 +135,24 @@ pub fn mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
                     } else {
                         (0, 0)
                     }
-                })
-                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+                },
+                (0, 0),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
         };
 
         iter += 1;
-        history.push(RoundStats { undecided, newly_in, newly_out });
+        history.push(RoundStats {
+            undecided,
+            newly_in,
+            newly_out,
+        });
         debug_assert!(newly_in + newly_out > 0, "MIS-k iteration stalled");
 
         // Fresh priorities for the still-undecided.
         {
             let tw = SharedMut::new(&mut t);
-            (0..n as VertexId).into_par_iter().for_each(|v| {
+            par::for_range(0..n as VertexId, |v| {
                 let cur = unsafe { tw.read(v as usize) };
                 if cur.is_undecided() {
                     let p = scheme.priority(seed, iter, v) & prio_mask;
@@ -151,9 +162,14 @@ pub fn mis_k(g: &CsrGraph, k: usize, seed: u64) -> Mis2Result {
         }
     }
 
-    let is_in: Vec<bool> = t.par_iter().map(|x| x.is_in()).collect();
+    let is_in: Vec<bool> = par::map(&t, |x| x.is_in());
     let in_set = compact::par_filter_indices(&is_in, |&b| b);
-    Mis2Result { in_set, is_in, iterations: iter as usize, history }
+    Mis2Result {
+        in_set,
+        is_in,
+        iterations: iter as usize,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +184,10 @@ mod tests {
             let near = ops::neighborhood(g, u, k);
             if is_in[u as usize] {
                 for &w in &near {
-                    assert!(!is_in[w as usize], "{u} and {w} both IN within distance {k}");
+                    assert!(
+                        !is_in[w as usize],
+                        "{u} and {w} both IN within distance {k}"
+                    );
                 }
             } else {
                 let covered = near.iter().any(|&w| is_in[w as usize]);

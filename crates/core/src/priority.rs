@@ -53,9 +53,7 @@ impl PriorityScheme {
             _ => iter ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         };
         match self {
-            PriorityScheme::Fixed | PriorityScheme::XorStar => {
-                hash2(xorshift64_star, it, v as u64)
-            }
+            PriorityScheme::Fixed | PriorityScheme::XorStar => hash2(xorshift64_star, it, v as u64),
             PriorityScheme::XorHash => hash2(xorshift64, it, v as u64),
         }
     }
@@ -87,8 +85,12 @@ mod tests {
     #[test]
     fn schemes_differ() {
         // Xor and Xor* should produce different streams.
-        let a: Vec<u64> = (0..50).map(|v| PriorityScheme::XorHash.priority(0, 3, v)).collect();
-        let b: Vec<u64> = (0..50).map(|v| PriorityScheme::XorStar.priority(0, 3, v)).collect();
+        let a: Vec<u64> = (0..50)
+            .map(|v| PriorityScheme::XorHash.priority(0, 3, v))
+            .collect();
+        let b: Vec<u64> = (0..50)
+            .map(|v| PriorityScheme::XorStar.priority(0, 3, v))
+            .collect();
         assert_ne!(a, b);
     }
 

@@ -61,7 +61,11 @@ impl TupleRepr for Packed {
         // Keep only the priority bits that fit above the id field; the id
         // (+1, so it is nonzero) functions as the tiebreak in the low bits.
         let prio_bits = 64 - bits;
-        let masked = if prio_bits == 64 { priority } else { priority & ((1u64 << prio_bits) - 1) };
+        let masked = if prio_bits == 64 {
+            priority
+        } else {
+            priority & ((1u64 << prio_bits) - 1)
+        };
         (masked << bits) | (id as u64 + 1)
     }
 
@@ -104,12 +108,24 @@ pub struct Unpacked {
 }
 
 impl TupleRepr for Unpacked {
-    const IN: Self = Unpacked { status: Status3::In, priority: 0, id: 0 };
-    const OUT: Self = Unpacked { status: Status3::Out, priority: u64::MAX, id: u32::MAX };
+    const IN: Self = Unpacked {
+        status: Status3::In,
+        priority: 0,
+        id: 0,
+    };
+    const OUT: Self = Unpacked {
+        status: Status3::Out,
+        priority: u64::MAX,
+        id: u32::MAX,
+    };
 
     #[inline]
     fn undecided(priority: u64, id: u32, _bits: u32) -> Self {
-        Unpacked { status: Status3::Undecided, priority, id }
+        Unpacked {
+            status: Status3::Undecided,
+            priority,
+            id,
+        }
     }
 
     #[inline]

@@ -11,14 +11,18 @@
 //!   neighbor, or have a neighbor with an `IN` neighbor.
 
 use mis2_graph::{CsrGraph, VertexId};
-use rayon::prelude::*;
+use mis2_prim::par;
 use std::fmt;
 
 /// A verification failure, pinpointing a witness.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MisViolation {
     /// Two set members within the forbidden distance.
-    NotIndependent { u: VertexId, v: VertexId, distance: usize },
+    NotIndependent {
+        u: VertexId,
+        v: VertexId,
+        distance: usize,
+    },
     /// A vertex that could still be added to the set.
     NotMaximal { v: VertexId },
     /// Mask length does not match the graph.
@@ -45,28 +49,37 @@ impl std::error::Error for MisViolation {}
 
 /// Count of IN vertices among each vertex's neighbors.
 fn in_neighbor_counts(g: &CsrGraph, is_in: &[bool]) -> Vec<u32> {
-    (0..g.num_vertices() as VertexId)
-        .into_par_iter()
-        .map(|v| g.neighbors(v).iter().filter(|&&w| is_in[w as usize]).count() as u32)
-        .collect()
+    par::map_range(0..g.num_vertices() as VertexId, |v| {
+        g.neighbors(v)
+            .iter()
+            .filter(|&&w| is_in[w as usize])
+            .count() as u32
+    })
 }
 
 /// Verify that `is_in` is a maximal distance-2 independent set of `g`.
 pub fn verify_mis2(g: &CsrGraph, is_in: &[bool]) -> Result<(), MisViolation> {
     let n = g.num_vertices();
     if is_in.len() != n {
-        return Err(MisViolation::BadMask { expected: n, got: is_in.len() });
+        return Err(MisViolation::BadMask {
+            expected: n,
+            got: is_in.len(),
+        });
     }
     let cnt = in_neighbor_counts(g, is_in);
 
     // Independence.
-    if let Some(viol) = (0..n as VertexId).into_par_iter().find_map_any(|u| {
+    if let Some(viol) = par::find_map_range(0..n as VertexId, |u| {
         if !is_in[u as usize] {
             return None;
         }
         for &w in g.neighbors(u) {
             if is_in[w as usize] {
-                return Some(MisViolation::NotIndependent { u, v: w, distance: 1 });
+                return Some(MisViolation::NotIndependent {
+                    u,
+                    v: w,
+                    distance: 1,
+                });
             }
             if cnt[w as usize] > 1 {
                 // Find the concrete distance-2 witness.
@@ -76,7 +89,11 @@ pub fn verify_mis2(g: &CsrGraph, is_in: &[bool]) -> Result<(), MisViolation> {
                     .copied()
                     .find(|&x| x != u && is_in[x as usize])
                     .expect("cnt > 1 implies another IN neighbor");
-                return Some(MisViolation::NotIndependent { u, v: other, distance: 2 });
+                return Some(MisViolation::NotIndependent {
+                    u,
+                    v: other,
+                    distance: 2,
+                });
             }
         }
         None
@@ -85,7 +102,7 @@ pub fn verify_mis2(g: &CsrGraph, is_in: &[bool]) -> Result<(), MisViolation> {
     }
 
     // Maximality.
-    if let Some(viol) = (0..n as VertexId).into_par_iter().find_map_any(|v| {
+    if let Some(viol) = par::find_map_range(0..n as VertexId, |v| {
         if is_in[v as usize] || cnt[v as usize] > 0 {
             return None;
         }
@@ -103,14 +120,21 @@ pub fn verify_mis2(g: &CsrGraph, is_in: &[bool]) -> Result<(), MisViolation> {
 pub fn verify_mis1(g: &CsrGraph, is_in: &[bool]) -> Result<(), MisViolation> {
     let n = g.num_vertices();
     if is_in.len() != n {
-        return Err(MisViolation::BadMask { expected: n, got: is_in.len() });
+        return Err(MisViolation::BadMask {
+            expected: n,
+            got: is_in.len(),
+        });
     }
-    if let Some(viol) = (0..n as VertexId).into_par_iter().find_map_any(|u| {
+    if let Some(viol) = par::find_map_range(0..n as VertexId, |u| {
         if is_in[u as usize] {
             g.neighbors(u)
                 .iter()
                 .find(|&&w| is_in[w as usize])
-                .map(|&w| MisViolation::NotIndependent { u, v: w, distance: 1 })
+                .map(|&w| MisViolation::NotIndependent {
+                    u,
+                    v: w,
+                    distance: 1,
+                })
         } else if !g.neighbors(u).iter().any(|&w| is_in[w as usize]) {
             Some(MisViolation::NotMaximal { v: u })
         } else {
@@ -146,14 +170,20 @@ mod tests {
     fn rejects_distance1_violation() {
         let g = gen::path(7);
         let err = verify_mis2(&g, &mask(7, &[0, 1])).unwrap_err();
-        assert!(matches!(err, MisViolation::NotIndependent { distance: 1, .. }), "{err}");
+        assert!(
+            matches!(err, MisViolation::NotIndependent { distance: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_distance2_violation() {
         let g = gen::path(7);
         let err = verify_mis2(&g, &mask(7, &[0, 2, 5])).unwrap_err();
-        assert!(matches!(err, MisViolation::NotIndependent { distance: 2, .. }), "{err}");
+        assert!(
+            matches!(err, MisViolation::NotIndependent { distance: 2, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   self-loops; storing them would only waste bandwidth);
 //! * the graph is symmetric (undirected): `(u,v)` present iff `(v,u)` is.
 
-use rayon::prelude::*;
+use mis2_prim::par;
 use std::fmt;
 
 /// Vertex index type. The paper packs vertex ids into 32 bits; all supported
@@ -69,7 +69,11 @@ pub struct CsrGraph {
 impl CsrGraph {
     /// Graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        CsrGraph { n, row_ptr: vec![0; n + 1], col_idx: Vec::new() }
+        CsrGraph {
+            n,
+            row_ptr: vec![0; n + 1],
+            col_idx: Vec::new(),
+        }
     }
 
     /// Build from raw CSR arrays, validating every invariant except symmetry
@@ -98,9 +102,7 @@ impl CsrGraph {
         }
         for v in 0..n {
             if row_ptr[v] > row_ptr[v + 1] {
-                return Err(GraphError::BadRowPtr(format!(
-                    "row_ptr decreases at {v}"
-                )));
+                return Err(GraphError::BadRowPtr(format!("row_ptr decreases at {v}")));
             }
             let row = &col_idx[row_ptr[v]..row_ptr[v + 1]];
             for (k, &c) in row.iter().enumerate() {
@@ -115,7 +117,11 @@ impl CsrGraph {
                 }
             }
         }
-        Ok(CsrGraph { n, row_ptr, col_idx })
+        Ok(CsrGraph {
+            n,
+            row_ptr,
+            col_idx,
+        })
     }
 
     /// Build from an edge list. Edges are interpreted as undirected: both
@@ -152,15 +158,12 @@ impl CsrGraph {
         }
         // Sort + dedup each row in parallel, then recompact.
         let row_ptr = counts; // exclusive offsets, len n+1 with row_ptr[n] = total
-        let mut rows: Vec<Vec<VertexId>> = (0..n)
-            .into_par_iter()
-            .map(|v| {
-                let mut r = col_idx[row_ptr[v]..row_ptr[v + 1]].to_vec();
-                r.sort_unstable();
-                r.dedup();
-                r
-            })
-            .collect();
+        let mut rows: Vec<Vec<VertexId>> = par::map_range(0..n, |v| {
+            let mut r = col_idx[row_ptr[v]..row_ptr[v + 1]].to_vec();
+            r.sort_unstable();
+            r.dedup();
+            r
+        });
         Self::from_rows_unchecked(n, &mut rows)
     }
 
@@ -179,7 +182,7 @@ impl CsrGraph {
         let mut col_idx = vec![0 as VertexId; total];
         {
             let ptr = SendSlice(col_idx.as_mut_ptr());
-            rows.par_iter().enumerate().for_each(|(v, src)| {
+            par::for_each_indexed(rows, |v, src| {
                 // SAFETY: each row writes the disjoint range
                 // [row_ptr[v], row_ptr[v+1]).
                 unsafe {
@@ -191,7 +194,11 @@ impl CsrGraph {
                 }
             });
         }
-        CsrGraph { n, row_ptr, col_idx }
+        CsrGraph {
+            n,
+            row_ptr,
+            col_idx,
+        }
     }
 
     /// Number of vertices.
@@ -248,20 +255,14 @@ impl CsrGraph {
 
     /// Maximum degree (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n)
-            .into_par_iter()
-            .map(|v| self.row_ptr[v + 1] - self.row_ptr[v])
-            .max()
-            .unwrap_or(0)
+        let degrees = par::map_range(0..self.n, |v| self.row_ptr[v + 1] - self.row_ptr[v]);
+        mis2_prim::det_max(&degrees).unwrap_or(0)
     }
 
     /// Minimum degree (0 for an empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.n)
-            .into_par_iter()
-            .map(|v| self.row_ptr[v + 1] - self.row_ptr[v])
-            .min()
-            .unwrap_or(0)
+        let degrees = par::map_range(0..self.n, |v| self.row_ptr[v + 1] - self.row_ptr[v]);
+        mis2_prim::det_min(&degrees).unwrap_or(0)
     }
 
     /// True if edge `(u, v)` exists (binary search in `u`'s row).
@@ -271,14 +272,12 @@ impl CsrGraph {
 
     /// Check structural symmetry: `(u,v)` present implies `(v,u)` present.
     pub fn validate_symmetric(&self) -> Result<(), GraphError> {
-        let bad = (0..self.n as VertexId)
-            .into_par_iter()
-            .find_map_any(|u| {
-                self.neighbors(u)
-                    .iter()
-                    .find(|&&v| !self.has_edge(v, u))
-                    .map(|&v| GraphError::NotSymmetric { u, v })
-            });
+        let bad = par::find_map_range(0..self.n as VertexId, |u| {
+            self.neighbors(u)
+                .iter()
+                .find(|&&v| !self.has_edge(v, u))
+                .map(|&v| GraphError::NotSymmetric { u, v })
+        });
         match bad {
             Some(e) => Err(e),
             None => Ok(()),

@@ -19,7 +19,7 @@
 
 use crate::csr::{CsrGraph, VertexId};
 use mis2_prim::hash::splitmix64;
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// 3D stencil offsets: the 6 face neighbors (7-point stencil minus center).
 pub const OFFSETS_7PT: [(i32, i32, i32); 6] = [
@@ -53,13 +53,12 @@ pub fn offsets_27pt() -> Vec<(i32, i32, i32)> {
 /// count. Used by [`mesh3d`] to hit a target average degree.
 pub fn offsets_nearest(k: usize) -> Vec<(i32, i32, i32)> {
     let r = 4i32; // radius 4 gives (9^3 - 1)/2 = 364 pairs, plenty
-    // Enumerate only the lexicographically-positive half space.
+                  // Enumerate only the lexicographically-positive half space.
     let mut cand: Vec<(i32, (i32, i32, i32))> = Vec::new();
     for dz in -r..=r {
         for dy in -r..=r {
             for dx in -r..=r {
-                let positive =
-                    dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0);
+                let positive = dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0);
                 if positive {
                     cand.push((dx * dx + dy * dy + dz * dz, (dx, dy, dz)));
                 }
@@ -88,29 +87,30 @@ fn grid_id(nx: usize, ny: usize, x: usize, y: usize, z: usize) -> VertexId {
 /// result to be undirected; all built-in offset sets are.
 pub fn stencil3d(nx: usize, ny: usize, nz: usize, offsets: &[(i32, i32, i32)]) -> CsrGraph {
     let n = nx * ny * nz;
-    let mut rows: Vec<Vec<VertexId>> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            let x = v % nx;
-            let y = (v / nx) % ny;
-            let z = v / (nx * ny);
-            let mut nbrs = Vec::with_capacity(offsets.len());
-            for &(dx, dy, dz) in offsets {
-                let (xx, yy, zz) = (x as i64 + dx as i64, y as i64 + dy as i64, z as i64 + dz as i64);
-                if xx >= 0
-                    && (xx as usize) < nx
-                    && yy >= 0
-                    && (yy as usize) < ny
-                    && zz >= 0
-                    && (zz as usize) < nz
-                {
-                    nbrs.push(grid_id(nx, ny, xx as usize, yy as usize, zz as usize));
-                }
+    let mut rows: Vec<Vec<VertexId>> = par::map_range(0..n, |v| {
+        let x = v % nx;
+        let y = (v / nx) % ny;
+        let z = v / (nx * ny);
+        let mut nbrs = Vec::with_capacity(offsets.len());
+        for &(dx, dy, dz) in offsets {
+            let (xx, yy, zz) = (
+                x as i64 + dx as i64,
+                y as i64 + dy as i64,
+                z as i64 + dz as i64,
+            );
+            if xx >= 0
+                && (xx as usize) < nx
+                && yy >= 0
+                && (yy as usize) < ny
+                && zz >= 0
+                && (zz as usize) < nz
+            {
+                nbrs.push(grid_id(nx, ny, xx as usize, yy as usize, zz as usize));
             }
-            nbrs.sort_unstable();
-            nbrs
-        })
-        .collect();
+        }
+        nbrs.sort_unstable();
+        nbrs
+    });
     CsrGraph::from_rows_unchecked(n, &mut rows)
 }
 
@@ -142,41 +142,41 @@ pub fn elasticity3d(nx: usize, ny: usize, nz: usize, dof: usize) -> CsrGraph {
     let nodes = nx * ny * nz;
     let n = nodes * dof;
     let offsets = offsets_27pt();
-    let mut rows: Vec<Vec<VertexId>> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            let node = v / dof;
-            let my_dof = v % dof;
-            let x = node % nx;
-            let y = (node / nx) % ny;
-            let z = node / (nx * ny);
-            let mut nbrs = Vec::with_capacity(27 * dof);
-            // Other dofs of my own node.
-            for d in 0..dof {
-                if d != my_dof {
-                    nbrs.push((node * dof + d) as VertexId);
+    let mut rows: Vec<Vec<VertexId>> = par::map_range(0..n, |v| {
+        let node = v / dof;
+        let my_dof = v % dof;
+        let x = node % nx;
+        let y = (node / nx) % ny;
+        let z = node / (nx * ny);
+        let mut nbrs = Vec::with_capacity(27 * dof);
+        // Other dofs of my own node.
+        for d in 0..dof {
+            if d != my_dof {
+                nbrs.push((node * dof + d) as VertexId);
+            }
+        }
+        for &(dx, dy, dz) in &offsets {
+            let (xx, yy, zz) = (
+                x as i64 + dx as i64,
+                y as i64 + dy as i64,
+                z as i64 + dz as i64,
+            );
+            if xx >= 0
+                && (xx as usize) < nx
+                && yy >= 0
+                && (yy as usize) < ny
+                && zz >= 0
+                && (zz as usize) < nz
+            {
+                let nb = grid_id(nx, ny, xx as usize, yy as usize, zz as usize) as usize;
+                for d in 0..dof {
+                    nbrs.push((nb * dof + d) as VertexId);
                 }
             }
-            for &(dx, dy, dz) in &offsets {
-                let (xx, yy, zz) =
-                    (x as i64 + dx as i64, y as i64 + dy as i64, z as i64 + dz as i64);
-                if xx >= 0
-                    && (xx as usize) < nx
-                    && yy >= 0
-                    && (yy as usize) < ny
-                    && zz >= 0
-                    && (zz as usize) < nz
-                {
-                    let nb = grid_id(nx, ny, xx as usize, yy as usize, zz as usize) as usize;
-                    for d in 0..dof {
-                        nbrs.push((nb * dof + d) as VertexId);
-                    }
-                }
-            }
-            nbrs.sort_unstable();
-            nbrs
-        })
-        .collect();
+        }
+        nbrs.sort_unstable();
+        nbrs
+    });
     CsrGraph::from_rows_unchecked(n, &mut rows)
 }
 
@@ -184,44 +184,46 @@ pub fn elasticity3d(nx: usize, ny: usize, nz: usize, dof: usize) -> CsrGraph {
 /// around, so every vertex has the full stencil degree — useful for
 /// boundary-free algorithmic studies (iteration counts, scaling laws).
 pub fn torus3d(nx: usize, ny: usize, nz: usize, offsets: &[(i32, i32, i32)]) -> CsrGraph {
-    assert!(nx >= 3 && ny >= 3 && nz >= 1, "torus needs >= 3 cells per periodic dim");
+    assert!(
+        nx >= 3 && ny >= 3 && nz >= 1,
+        "torus needs >= 3 cells per periodic dim"
+    );
     let n = nx * ny * nz;
-    let mut rows: Vec<Vec<VertexId>> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            let x = v % nx;
-            let y = (v / nx) % ny;
-            let z = v / (nx * ny);
-            let mut nbrs: Vec<VertexId> = offsets
-                .iter()
-                .map(|&(dx, dy, dz)| {
-                    let xx = (x as i64 + dx as i64).rem_euclid(nx as i64) as usize;
-                    let yy = (y as i64 + dy as i64).rem_euclid(ny as i64) as usize;
-                    let zz = (z as i64 + dz as i64).rem_euclid(nz as i64) as usize;
-                    grid_id(nx, ny, xx, yy, zz)
-                })
-                .filter(|&w| w as usize != v)
-                .collect();
-            nbrs.sort_unstable();
-            nbrs.dedup();
-            nbrs
-        })
-        .collect();
+    let mut rows: Vec<Vec<VertexId>> = par::map_range(0..n, |v| {
+        let x = v % nx;
+        let y = (v / nx) % ny;
+        let z = v / (nx * ny);
+        let mut nbrs: Vec<VertexId> = offsets
+            .iter()
+            .map(|&(dx, dy, dz)| {
+                let xx = (x as i64 + dx as i64).rem_euclid(nx as i64) as usize;
+                let yy = (y as i64 + dy as i64).rem_euclid(ny as i64) as usize;
+                let zz = (z as i64 + dz as i64).rem_euclid(nz as i64) as usize;
+                grid_id(nx, ny, xx, yy, zz)
+            })
+            .filter(|&w| w as usize != v)
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        nbrs
+    });
     CsrGraph::from_rows_unchecked(n, &mut rows)
 }
 
 /// Path graph `0 - 1 - ... - (n-1)`.
 pub fn path(n: usize) -> CsrGraph {
-    let edges: Vec<(VertexId, VertexId)> =
-        (0..n.saturating_sub(1)).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (0..n.saturating_sub(1))
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
     CsrGraph::from_edges(n, &edges)
 }
 
 /// Cycle graph.
 pub fn cycle(n: usize) -> CsrGraph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
-    let mut edges: Vec<(VertexId, VertexId)> =
-        (0..n - 1).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+    let mut edges: Vec<(VertexId, VertexId)> = (0..n - 1)
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
     edges.push(((n - 1) as VertexId, 0));
     CsrGraph::from_edges(n, &edges)
 }
@@ -297,29 +299,26 @@ pub fn random_regular_ish(n: usize, d: usize, seed: u64) -> CsrGraph {
 pub fn rmat(scale: u32, edge_factor: usize, a: f64, b: f64, c: f64, seed: u64) -> CsrGraph {
     let n = 1usize << scale;
     let m = edge_factor * n;
-    let edges: Vec<(VertexId, VertexId)> = (0..m as u64)
-        .into_par_iter()
-        .map(|e| {
-            let mut u = 0usize;
-            let mut v = 0usize;
-            for lvl in 0..scale {
-                let h = splitmix64(seed ^ splitmix64(e * 64 + lvl as u64));
-                let r = (h >> 11) as f64 / (1u64 << 53) as f64;
-                let (du, dv) = if r < a {
-                    (0, 0)
-                } else if r < a + b {
-                    (0, 1)
-                } else if r < a + b + c {
-                    (1, 0)
-                } else {
-                    (1, 1)
-                };
-                u = (u << 1) | du;
-                v = (v << 1) | dv;
-            }
-            (u as VertexId, v as VertexId)
-        })
-        .collect();
+    let edges: Vec<(VertexId, VertexId)> = par::map_range(0..m as u64, |e| {
+        let mut u = 0usize;
+        let mut v = 0usize;
+        for lvl in 0..scale {
+            let h = splitmix64(seed ^ splitmix64(e * 64 + lvl as u64));
+            let r = (h >> 11) as f64 / (1u64 << 53) as f64;
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        (u as VertexId, v as VertexId)
+    });
     CsrGraph::from_edges(n, &edges)
 }
 
@@ -390,16 +389,13 @@ pub fn merge_edges(g: &CsrGraph, extra: &[(VertexId, VertexId)]) -> CsrGraph {
             extra_per[v as usize].push(u);
         }
     }
-    let mut rows: Vec<Vec<VertexId>> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            let mut r: Vec<VertexId> = g.neighbors(v as VertexId).to_vec();
-            r.extend_from_slice(&extra_per[v]);
-            r.sort_unstable();
-            r.dedup();
-            r
-        })
-        .collect();
+    let mut rows: Vec<Vec<VertexId>> = par::map_range(0..n, |v| {
+        let mut r: Vec<VertexId> = g.neighbors(v as VertexId).to_vec();
+        r.extend_from_slice(&extra_per[v]);
+        r.sort_unstable();
+        r.dedup();
+        r
+    });
     CsrGraph::from_rows_unchecked(n, &mut rows)
 }
 

@@ -21,7 +21,10 @@ pub enum MmError {
     /// Malformed header or unsupported format variant.
     Format(String),
     /// Entry line failed to parse.
-    Parse { line: usize, msg: String },
+    Parse {
+        line: usize,
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for MmError {
@@ -60,7 +63,10 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
         .next()
         .ok_or_else(|| MmError::Format("empty file".into()))?;
     let header = header?;
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(MmError::Format(format!("bad header: {header}")));
     }
@@ -117,7 +123,11 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
         }
     }
     let (nrows, ncols, _) = dims.ok_or_else(|| MmError::Format("missing size line".into()))?;
-    Ok(CooMatrix { nrows, ncols, entries })
+    Ok(CooMatrix {
+        nrows,
+        ncols,
+        entries,
+    })
 }
 
 fn parse_tok<'a, T: std::str::FromStr>(
@@ -126,9 +136,15 @@ fn parse_tok<'a, T: std::str::FromStr>(
     what: &str,
 ) -> Result<T, MmError> {
     it.next()
-        .ok_or_else(|| MmError::Parse { line: lineno + 1, msg: format!("missing {what}") })?
+        .ok_or_else(|| MmError::Parse {
+            line: lineno + 1,
+            msg: format!("missing {what}"),
+        })?
         .parse()
-        .map_err(|_| MmError::Parse { line: lineno + 1, msg: format!("bad {what}") })
+        .map_err(|_| MmError::Parse {
+            line: lineno + 1,
+            msg: format!("bad {what}"),
+        })
 }
 
 /// Read a Matrix Market file as an undirected structural graph: the pattern
@@ -241,8 +257,10 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         assert!(read_graph(Cursor::new("%%NotMatrixMarket\n")).is_err());
-        assert!(read_graph(Cursor::new("%%MatrixMarket matrix array real general\n2 2\n1.0\n"))
-            .is_err());
+        assert!(read_graph(Cursor::new(
+            "%%MatrixMarket matrix array real general\n2 2\n1.0\n"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! the theory experiments use it as an oracle for Algorithm 1.
 
 use crate::csr::{CsrGraph, VertexId};
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// `G²`: vertices `u != v` adjacent iff a path of length 1 or 2 connects
 /// them in `g` (self-loops excluded, consistent with [`CsrGraph`]'s
@@ -17,23 +17,20 @@ use rayon::prelude::*;
 /// is the point of Bell's direct MIS-k scheme the paper builds on).
 pub fn square(g: &CsrGraph) -> CsrGraph {
     let n = g.num_vertices();
-    let mut rows: Vec<Vec<VertexId>> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            let v = v as VertexId;
-            let mut nbrs: Vec<VertexId> = g.neighbors(v).to_vec();
-            for &w in g.neighbors(v) {
-                nbrs.extend_from_slice(g.neighbors(w));
-            }
-            nbrs.sort_unstable();
-            nbrs.dedup();
-            // Drop the self entry introduced via w -> v paths.
-            if let Ok(pos) = nbrs.binary_search(&v) {
-                nbrs.remove(pos);
-            }
-            nbrs
-        })
-        .collect();
+    let mut rows: Vec<Vec<VertexId>> = par::map_range(0..n, |v| {
+        let v = v as VertexId;
+        let mut nbrs: Vec<VertexId> = g.neighbors(v).to_vec();
+        for &w in g.neighbors(v) {
+            nbrs.extend_from_slice(g.neighbors(w));
+        }
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        // Drop the self entry introduced via w -> v paths.
+        if let Ok(pos) = nbrs.binary_search(&v) {
+            nbrs.remove(pos);
+        }
+        nbrs
+    });
     CsrGraph::from_rows_unchecked(n, &mut rows)
 }
 
@@ -51,17 +48,14 @@ pub fn induced_subgraph(g: &CsrGraph, keep: &[bool]) -> (CsrGraph, Vec<VertexId>
         old_to_new[old as usize] = new as VertexId;
     }
     let m = new_to_old.len();
-    let mut rows: Vec<Vec<VertexId>> = new_to_old
-        .par_iter()
-        .map(|&old| {
-            g.neighbors(old)
-                .iter()
-                .filter(|&&w| keep[w as usize])
-                .map(|&w| old_to_new[w as usize])
-                .collect::<Vec<_>>()
-            // rows inherit sorted order because old_to_new is monotone
-        })
-        .collect();
+    let mut rows: Vec<Vec<VertexId>> = par::map(&new_to_old, |&old| {
+        g.neighbors(old)
+            .iter()
+            .filter(|&&w| keep[w as usize])
+            .map(|&w| old_to_new[w as usize])
+            .collect::<Vec<_>>()
+        // rows inherit sorted order because old_to_new is monotone
+    });
     (CsrGraph::from_rows_unchecked(m, &mut rows), new_to_old)
 }
 

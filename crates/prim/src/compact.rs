@@ -15,10 +15,10 @@
 //! version re-evaluated the predicate in the write pass; combined with a
 //! racy predicate that could leave uninitialized slots in the output.)
 
-use rayon::prelude::*;
+use crate::par;
 
 /// Fixed block size (thread-count independent for determinism).
-const BLOCK: usize = 1 << 13;
+const BLOCK: usize = par::DET_BLOCK;
 /// Below this length a sequential filter is faster.
 const SEQ_CUTOFF: usize = 1 << 14;
 
@@ -51,7 +51,7 @@ where
     if input.len() < SEQ_CUTOFF {
         return input.iter().filter(|x| pred(x)).copied().collect();
     }
-    let keep: Vec<bool> = input.par_iter().map(|x| pred(x)).collect();
+    let keep: Vec<bool> = par::map(input, |x| pred(x));
     compact_by_flags(input, &keep)
 }
 
@@ -70,15 +70,12 @@ where
             .map(|(i, _)| i as u32)
             .collect();
     }
-    let keep: Vec<bool> = input.par_iter().map(|x| pred(x)).collect();
-    let counts: Vec<usize> = keep
-        .par_chunks(BLOCK)
-        .map(|c| c.iter().filter(|&&k| k).count())
-        .collect();
+    let keep: Vec<bool> = par::map(input, |x| pred(x));
+    let counts: Vec<usize> = par::map_chunks(&keep, BLOCK, |c| c.iter().filter(|&&k| k).count());
     let (offsets, total) = crate::scan::exclusive_scan(&counts);
     let mut out: Vec<u32> = Vec::with_capacity(total);
     let ptr = SendPtr(out.as_mut_ptr());
-    keep.par_chunks(BLOCK).enumerate().for_each(|(b, chunk)| {
+    par::for_chunks(&keep, BLOCK, |b, chunk| {
         let mut w = offsets[b];
         let base = b * BLOCK;
         for (i, &k) in chunk.iter().enumerate() {
@@ -104,24 +101,18 @@ where
     F: Fn(&T) -> Option<U> + Send + Sync,
 {
     if input.len() < SEQ_CUTOFF {
-        return input.iter().filter_map(|x| f(x)).collect();
+        return input.iter().filter_map(&f).collect();
     }
-    let vals: Vec<Option<U>> = input.par_iter().map(|x| f(x)).collect();
-    let counts: Vec<usize> = vals
-        .par_chunks(BLOCK)
-        .map(|c| c.iter().filter(|v| v.is_some()).count())
-        .collect();
+    let vals: Vec<Option<U>> = par::map(input, |x| f(x));
+    let counts: Vec<usize> =
+        par::map_chunks(&vals, BLOCK, |c| c.iter().filter(|v| v.is_some()).count());
     let (offsets, total) = crate::scan::exclusive_scan(&counts);
     let mut out: Vec<U> = Vec::with_capacity(total);
     let ptr = SendPtr(out.as_mut_ptr());
-    vals.par_chunks(BLOCK).enumerate().for_each(|(b, chunk)| {
-        let mut w = offsets[b];
-        for v in chunk {
-            if let Some(u) = v {
-                // SAFETY: disjoint ranges per block, within capacity.
-                unsafe { ptr.get().add(w).write(*u) };
-                w += 1;
-            }
+    par::for_chunks(&vals, BLOCK, |b, chunk| {
+        for (w, u) in (offsets[b]..).zip(chunk.iter().flatten()) {
+            // SAFETY: disjoint ranges per block, within capacity.
+            unsafe { ptr.get().add(w).write(*u) };
         }
     });
     // SAFETY: exactly `total` slots were initialized above.
@@ -132,27 +123,22 @@ where
 /// Compact `input` keeping positions where `keep` is true (both length n).
 fn compact_by_flags<T: Copy + Send + Sync>(input: &[T], keep: &[bool]) -> Vec<T> {
     debug_assert_eq!(input.len(), keep.len());
-    let counts: Vec<usize> = keep
-        .par_chunks(BLOCK)
-        .map(|c| c.iter().filter(|&&k| k).count())
-        .collect();
+    let counts: Vec<usize> = par::map_chunks(keep, BLOCK, |c| c.iter().filter(|&&k| k).count());
     let (offsets, total) = crate::scan::exclusive_scan(&counts);
     let mut out: Vec<T> = Vec::with_capacity(total);
     let ptr = SendPtr(out.as_mut_ptr());
-    input
-        .par_chunks(BLOCK)
-        .zip(keep.par_chunks(BLOCK))
-        .enumerate()
-        .for_each(|(b, (ic, kc))| {
-            let mut w = offsets[b];
-            for (x, &k) in ic.iter().zip(kc) {
-                if k {
-                    // SAFETY: disjoint ranges per block, within capacity.
-                    unsafe { ptr.get().add(w).write(*x) };
-                    w += 1;
-                }
+    par::for_chunks(keep, BLOCK, |b, kc| {
+        let lo = b * BLOCK;
+        let ic = &input[lo..lo + kc.len()];
+        let mut w = offsets[b];
+        for (x, &k) in ic.iter().zip(kc) {
+            if k {
+                // SAFETY: disjoint ranges per block, within capacity.
+                unsafe { ptr.get().add(w).write(*x) };
+                w += 1;
             }
-        });
+        }
+    });
     // SAFETY: exactly `total` slots were initialized above.
     unsafe { out.set_len(total) };
     out
@@ -183,9 +169,7 @@ mod tests {
 
     #[test]
     fn matches_sequential_filter() {
-        let input: Vec<u64> = (0..200_000)
-            .map(crate::hash::splitmix64)
-            .collect();
+        let input: Vec<u64> = (0..200_000).map(crate::hash::splitmix64).collect();
         let got = par_filter(&input, |&x| x % 3 == 0);
         let want: Vec<u64> = input.iter().copied().filter(|&x| x % 3 == 0).collect();
         assert_eq!(got, want);
@@ -223,8 +207,7 @@ mod tests {
         let input: Vec<u64> = (0..300_000)
             .map(|i| crate::hash::splitmix64(i * 17))
             .collect();
-        let baseline =
-            crate::pool::with_pool(1, || par_filter(&input, |&x| x & 1 == 0));
+        let baseline = crate::pool::with_pool(1, || par_filter(&input, |&x| x & 1 == 0));
         for t in [2, 4, 7] {
             let got = crate::pool::with_pool(t, || par_filter(&input, |&x| x & 1 == 0));
             assert_eq!(got, baseline, "compaction differs at {t} threads");

@@ -107,10 +107,7 @@ mod tests {
         // f(a) ^ f(b) is symmetric, so h(a,b) == h(b,a).
         for a in 0..50u64 {
             for b in 0..50u64 {
-                assert_eq!(
-                    hash2(xorshift64_star, a, b),
-                    hash2(xorshift64_star, b, a)
-                );
+                assert_eq!(hash2(xorshift64_star, a, b), hash2(xorshift64_star, b, a));
             }
         }
     }

@@ -2,19 +2,24 @@
 //!
 //! Low-level building blocks shared by every other crate in the workspace:
 //!
+//! * [`par`] — the portable execution layer: parallel for/map/reduce with a
+//!   serial backend and a threaded backend selected by the `parallel` cargo
+//!   feature, bitwise-identical results on both. Every algorithm crate
+//!   expresses its parallelism through this module — the Rust analogue of
+//!   the paper's Kokkos execution-space portability.
 //! * [`hash`] — the Marsaglia xorshift family of hash functions used by the
 //!   paper's Algorithm 1 to derive fresh pseudo-random priorities each
 //!   iteration (Section V-A of the paper), plus splitmix64 for seeding.
 //! * [`scan`] — deterministic parallel prefix sums ("scan"). The paper uses
 //!   Kokkos' `parallel_scan` to compact worklists (Section V-B); this module
-//!   is the Rust/rayon equivalent with identical output for any thread count.
+//!   is the Rust equivalent with identical output for any thread count.
 //! * [`compact`] — order-preserving parallel stream compaction (filter)
 //!   built on the scan, used to maintain the two worklists of Algorithm 1.
 //! * [`bucket`] — stable counting sort by small integer key (color sets,
 //!   cluster membership, aggregate members).
 //! * [`reduce`] — deterministic parallel reductions (sums, min/max) whose
 //!   results do not depend on the number of worker threads.
-//! * [`pool`] — helpers to run closures inside rayon pools of a fixed size
+//! * [`pool`] — helpers to run closures with the execution layer capped to a fixed size
 //!   (for the strong-scaling experiments of Figures 4 and 5).
 //! * [`timer`] — wall-clock timing and sample statistics used by the
 //!   benchmark harness.
@@ -25,6 +30,7 @@
 pub mod bucket;
 pub mod compact;
 pub mod hash;
+pub mod par;
 pub mod pool;
 pub mod ptr;
 pub mod reduce;
@@ -34,8 +40,8 @@ pub mod timer;
 pub use bucket::bucket_by_key;
 pub use compact::{par_filter, par_filter_indices, par_map_filter};
 pub use hash::{hash2, splitmix64, xorshift64, xorshift64_star};
-pub use ptr::SharedMut;
 pub use pool::{max_threads, with_pool};
+pub use ptr::SharedMut;
 pub use reduce::{det_max, det_min, det_sum_f64, det_sum_usize};
 pub use scan::{exclusive_scan, exclusive_scan_in_place, inclusive_scan};
 pub use timer::{geometric_mean, SampleStats, Timer};

@@ -1,0 +1,685 @@
+//! Portable parallel execution layer — the workspace's single substrate for
+//! data parallelism.
+//!
+//! The paper's central claim is *portability*: one expression of Algorithm 1
+//! running unchanged on serial and parallel substrates (Kokkos backends in
+//! the original; here, cargo features). Every hot loop in the workspace —
+//! the Algorithm 1 phases in `mis2-core`, aggregation in `mis2-coarsen`,
+//! the colorings in `mis2-color`, the multicolor Gauss-Seidel sweeps in
+//! `mis2-solver` — calls through this module instead of a concrete
+//! threading library, so swapping the backend never touches algorithm code.
+//!
+//! Two backends, selected at compile time by the `parallel` cargo feature:
+//!
+//! * **serial** (`--no-default-features`): every operation is a plain loop.
+//!   No threads are ever created and no synchronization is performed.
+//! * **threads** (default): operations split their index space into blocks
+//!   executed by `std::thread::scope` workers that claim blocks from an
+//!   atomic counter. The worker count honors [`crate::pool::with_pool`].
+//!
+//! ## Determinism contract
+//!
+//! Both backends produce **bitwise-identical results** for every operation
+//! in this module, at every thread count:
+//!
+//! * maps and for-eachs write disjoint slots, so scheduling cannot reorder
+//!   anything observable;
+//! * reductions ([`map_reduce`], [`chunked_reduce`]) decompose the input
+//!   into **fixed-size blocks independent of the thread count**, compute
+//!   per-block partials in index order, and fold the partials sequentially
+//!   in block order — the exact decomposition the serial backend uses, so
+//!   even non-associative `f64` reductions match bit-for-bit;
+//! * [`find_map_range`] always returns the *globally first* match.
+//!
+//! Nested parallel regions (a `par` call made from inside a worker) run
+//! serially on the calling worker — same results, no oversubscription.
+
+use std::ops::Range;
+
+/// Fixed block size shared by every deterministic reduction in the
+/// workspace (scans, compaction counts, f64 sums). Chosen once — never per
+/// thread count — so partial results are bitwise-stable across pool sizes
+/// and across the serial/threads backends.
+pub const DET_BLOCK: usize = 1 << 13;
+
+/// Below this many elements a parallel dispatch costs more than it saves.
+const PAR_CUTOFF: usize = 2048;
+/// Minimum elements per block for adaptive (order-insensitive) operations.
+const MIN_GRAIN: usize = 256;
+
+/// Index types the range-based operations accept (`u32` vertex ids, `usize`
+/// row indices, `u64` counters).
+pub trait ParIndex: Copy + Send + Sync {
+    /// Convert from a `usize` offset.
+    fn from_usize(i: usize) -> Self;
+    /// Convert to a `usize` offset.
+    fn to_usize(self) -> usize;
+}
+
+macro_rules! impl_par_index {
+    ($($t:ty),*) => {$(
+        impl ParIndex for $t {
+            #[inline]
+            fn from_usize(i: usize) -> Self {
+                i as $t
+            }
+            #[inline]
+            fn to_usize(self) -> usize {
+                self as usize
+            }
+        }
+    )*};
+}
+impl_par_index!(u32, u64, usize);
+
+/// Raw-pointer wrapper so disjoint parallel writes into one buffer are
+/// `Send + Sync`. The accessor keeps closures capturing the wrapper, not
+/// the raw pointer field.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    #[inline]
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backends. `run_blocks(nblocks, body)` executes `body(b)` for every
+// `b in 0..nblocks`, each exactly once; that is the entire backend surface.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "parallel")]
+mod backend {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    thread_local! {
+        /// Set while this thread is executing inside a parallel region, so
+        /// nested `par` calls degrade to serial instead of oversubscribing.
+        static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(super) fn is_nested() -> bool {
+        IN_PARALLEL_REGION.with(|c| c.get())
+    }
+
+    pub(super) fn run_blocks(nblocks: usize, body: &(dyn Fn(usize) + Sync)) {
+        if nblocks == 0 {
+            return;
+        }
+        let workers = crate::pool::current_threads().min(nblocks);
+        if workers <= 1 || is_nested() {
+            for b in 0..nblocks {
+                body(b);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let drain = || {
+            IN_PARALLEL_REGION.with(|c| c.set(true));
+            loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= nblocks {
+                    break;
+                }
+                body(b);
+            }
+        };
+        // Reset the nesting flag even if `body` panics on the calling
+        // thread (a caller catching the unwind must not be left degraded
+        // to permanent serial execution).
+        struct ResetNested;
+        impl Drop for ResetNested {
+            fn drop(&mut self) {
+                IN_PARALLEL_REGION.with(|c| c.set(false));
+            }
+        }
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(drain);
+            }
+            let _reset = ResetNested;
+            drain();
+        });
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+mod backend {
+    pub(super) fn is_nested() -> bool {
+        false
+    }
+
+    pub(super) fn run_blocks(nblocks: usize, body: &(dyn Fn(usize) + Sync)) {
+        for b in 0..nblocks {
+            body(b);
+        }
+    }
+}
+
+/// Whether the current thread is already inside a parallel region (nested
+/// `par` calls run serially).
+pub fn in_parallel_region() -> bool {
+    backend::is_nested()
+}
+
+/// Adaptive block size for order-insensitive operations: enough blocks to
+/// load-balance across the pool, but never tiny.
+fn adaptive_block(n: usize) -> usize {
+    let threads = crate::pool::current_threads().max(1);
+    n.div_ceil(threads * 4).max(MIN_GRAIN)
+}
+
+#[inline]
+fn run_ranges(n: usize, block: usize, body: impl Fn(usize, usize, usize) + Sync) {
+    let block = block.max(1);
+    let nblocks = n.div_ceil(block);
+    backend::run_blocks(nblocks, &|b| {
+        let lo = b * block;
+        let hi = (lo + block).min(n);
+        body(b, lo, hi);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel for
+// ---------------------------------------------------------------------------
+
+/// Parallel for over an index range: `f(i)` for every `i in range`, each
+/// exactly once.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// let acc = AtomicU64::new(0);
+/// mis2_prim::par::for_range(0u32..100, |i| {
+///     acc.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(acc.into_inner(), 4950);
+/// ```
+pub fn for_range<I: ParIndex>(range: Range<I>, f: impl Fn(I) + Sync) {
+    let start = range.start.to_usize();
+    let n = range.end.to_usize().saturating_sub(start);
+    if n < PAR_CUTOFF || backend::is_nested() {
+        for i in 0..n {
+            f(I::from_usize(start + i));
+        }
+        return;
+    }
+    run_ranges(n, adaptive_block(n), |_, lo, hi| {
+        for i in lo..hi {
+            f(I::from_usize(start + i));
+        }
+    });
+}
+
+/// Parallel for over a slice.
+pub fn for_each<T: Sync>(items: &[T], f: impl Fn(&T) + Sync) {
+    for_range(0..items.len(), |i| f(&items[i]));
+}
+
+/// Parallel for over a slice of *expensive* items: parallelizes whenever
+/// more than `grain` items exist, with `grain` items per block.
+///
+/// [`for_each`] assumes items are cheap and serializes below a few
+/// thousand elements; use this when each element is itself a large unit of
+/// work (a cluster row-range in the multicolor Gauss-Seidel sweeps, a
+/// matrix row block), passing the number of items worth one task — often
+/// just 1.
+pub fn for_each_grain<T: Sync>(items: &[T], grain: usize, f: impl Fn(&T) + Sync) {
+    let n = items.len();
+    if n <= grain.max(1) || backend::is_nested() {
+        for x in items {
+            f(x);
+        }
+        return;
+    }
+    run_ranges(n, grain, |_, lo, hi| {
+        for x in &items[lo..hi] {
+            f(x);
+        }
+    });
+}
+
+/// Parallel for over a slice with the element index.
+pub fn for_each_indexed<T: Sync>(items: &[T], f: impl Fn(usize, &T) + Sync) {
+    for_range(0..items.len(), |i| f(i, &items[i]));
+}
+
+/// Parallel for over a mutable slice (each element visited exactly once).
+pub fn for_each_mut<T: Send>(items: &mut [T], f: impl Fn(&mut T) + Sync) {
+    for_each_mut_indexed(items, |_, x| f(x));
+}
+
+/// Parallel for over a mutable slice with the element index.
+pub fn for_each_mut_indexed<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    let n = items.len();
+    if n < PAR_CUTOFF || backend::is_nested() {
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    let ptr = SendPtr(items.as_mut_ptr());
+    run_ranges(n, adaptive_block(n), |_, lo, hi| {
+        for i in lo..hi {
+            // SAFETY: blocks partition 0..n, so each index is visited by
+            // exactly one worker; the SendPtr borrows `items` mutably.
+            f(i, unsafe { &mut *ptr.get().add(i) });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel map
+// ---------------------------------------------------------------------------
+
+/// Parallel map over an index range into a fresh vector:
+/// `out[i] = f(range.start + i)`.
+///
+/// ```
+/// let sq = mis2_prim::par::map_range(0usize..5, |i| i * i);
+/// assert_eq!(sq, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn map_range<I: ParIndex, U: Send>(range: Range<I>, f: impl Fn(I) -> U + Sync) -> Vec<U> {
+    let start = range.start.to_usize();
+    let n = range.end.to_usize().saturating_sub(start);
+    if n < PAR_CUTOFF || backend::is_nested() {
+        return (0..n).map(|i| f(I::from_usize(start + i))).collect();
+    }
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let ptr = SendPtr(out.as_mut_ptr());
+    run_ranges(n, adaptive_block(n), |_, lo, hi| {
+        for i in lo..hi {
+            // SAFETY: disjoint indices within capacity; every slot in 0..n
+            // is written exactly once before set_len.
+            unsafe { ptr.get().add(i).write(f(I::from_usize(start + i))) };
+        }
+    });
+    // SAFETY: all n slots initialized above.
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Parallel map over a slice into a fresh vector.
+pub fn map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    map_range(0..items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map over a slice with the element index.
+pub fn map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U> {
+    map_range(0..items.len(), |i| f(i, &items[i]))
+}
+
+// ---------------------------------------------------------------------------
+// Chunked operations (explicit, fixed block size — deterministic building
+// blocks for scans, compaction and reductions)
+// ---------------------------------------------------------------------------
+
+/// Parallel for over fixed-size chunks of a slice; `f(b, chunk)` receives
+/// the chunk index. The last chunk may be short.
+pub fn for_chunks<T: Sync>(items: &[T], chunk: usize, f: impl Fn(usize, &[T]) + Sync) {
+    run_ranges(items.len(), chunk, |b, lo, hi| f(b, &items[lo..hi]));
+}
+
+/// Parallel for over fixed-size mutable chunks of a slice.
+pub fn for_chunks_mut<T: Send>(items: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
+    let n = items.len();
+    let ptr = SendPtr(items.as_mut_ptr());
+    run_ranges(n, chunk, |b, lo, hi| {
+        // SAFETY: chunks [lo, hi) partition the slice; each is handed to
+        // exactly one worker.
+        let slice = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+        f(b, slice);
+    });
+}
+
+/// Parallel map over fixed-size chunks: `out[b] = f(chunk_b)`. With a fixed
+/// `chunk` the output is identical for every thread count and backend.
+pub fn map_chunks<T: Sync, U: Send>(
+    items: &[T],
+    chunk: usize,
+    f: impl Fn(&[T]) -> U + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    let nblocks = n.div_ceil(chunk.max(1));
+    map_range(0..nblocks, |b| {
+        let lo = b * chunk;
+        let hi = (lo + chunk).min(n);
+        f(&items[lo..hi])
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Deterministic parallel reduction: per-chunk partials (each computed
+/// serially in index order) folded sequentially in chunk order. Because the
+/// decomposition is a fixed `chunk` size, the result is bitwise-identical
+/// for any thread count and backend — even for non-associative `f64` ops.
+pub fn chunked_reduce<T: Sync, U: Send>(
+    items: &[T],
+    chunk: usize,
+    map_chunk: impl Fn(&[T]) -> U + Sync,
+    identity: U,
+    combine: impl Fn(U, U) -> U,
+) -> U {
+    let n = items.len();
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return identity;
+    }
+    // One block, a nested context, or a single worker: still fold in the
+    // same per-chunk structure so results match the parallel path exactly.
+    if n <= chunk || backend::is_nested() || crate::pool::current_threads() <= 1 {
+        return items
+            .chunks(chunk)
+            .fold(identity, |acc, c| combine(acc, map_chunk(c)));
+    }
+    let partials = map_chunks(items, chunk, map_chunk);
+    partials.into_iter().fold(identity, combine)
+}
+
+/// Deterministic map + reduce over a slice using the workspace-wide
+/// [`DET_BLOCK`] decomposition.
+pub fn map_reduce<T: Sync, U: Send + Sync + Clone>(
+    items: &[T],
+    map: impl Fn(&T) -> U + Sync,
+    identity: U,
+    combine: impl Fn(U, U) -> U + Sync,
+) -> U {
+    chunked_reduce(
+        items,
+        DET_BLOCK,
+        |c| c.iter().map(&map).fold(identity.clone(), &combine),
+        identity.clone(),
+        &combine,
+    )
+}
+
+/// Deterministic map + reduce over an index range: fixed [`DET_BLOCK`]
+/// sub-ranges folded serially in index order, partials folded in block
+/// order — bitwise-identical for any thread count and backend.
+pub fn map_reduce_range<I: ParIndex, U: Send + Sync + Clone>(
+    range: Range<I>,
+    map: impl Fn(I) -> U + Sync,
+    identity: U,
+    combine: impl Fn(U, U) -> U + Sync,
+) -> U {
+    let start = range.start.to_usize();
+    let n = range.end.to_usize().saturating_sub(start);
+    if n == 0 {
+        return identity;
+    }
+    let nblocks = n.div_ceil(DET_BLOCK);
+    let block_partial = |b: usize| {
+        let lo = start + b * DET_BLOCK;
+        let hi = (lo + DET_BLOCK).min(start + n);
+        (lo..hi)
+            .map(|i| map(I::from_usize(i)))
+            .fold(identity.clone(), &combine)
+    };
+    if nblocks == 1 || backend::is_nested() || crate::pool::current_threads() <= 1 {
+        return (0..nblocks).fold(identity.clone(), |acc, b| combine(acc, block_partial(b)));
+    }
+    let partials = map_range(0..nblocks, block_partial);
+    partials.into_iter().fold(identity, combine)
+}
+
+/// Number of elements satisfying `pred` (deterministic, parallel).
+pub fn count<T: Sync>(items: &[T], pred: impl Fn(&T) -> bool + Sync) -> usize {
+    chunked_reduce(
+        items,
+        DET_BLOCK,
+        |c| c.iter().filter(|x| pred(x)).count(),
+        0usize,
+        |a, b| a + b,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Searches
+// ---------------------------------------------------------------------------
+
+/// Parallel first-match search: returns `f(i)` for the smallest `i` with
+/// `f(i).is_some()`, or `None`. Deterministic on both backends: the
+/// *globally first* match is returned, never an arbitrary one.
+pub fn find_map_range<I: ParIndex, U: Send>(
+    range: Range<I>,
+    f: impl Fn(I) -> Option<U> + Sync,
+) -> Option<U> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let start = range.start.to_usize();
+    let n = range.end.to_usize().saturating_sub(start);
+    if n < PAR_CUTOFF || backend::is_nested() || crate::pool::current_threads() <= 1 {
+        return (0..n).find_map(|i| f(I::from_usize(start + i)));
+    }
+    let block = adaptive_block(n);
+    // Lowest block index that produced a match so far; blocks above it can
+    // be skipped entirely (their match could never win).
+    let best_block = AtomicUsize::new(usize::MAX);
+    let best: Mutex<Option<(usize, U)>> = Mutex::new(None);
+    run_ranges(n, block, |b, lo, hi| {
+        if b >= best_block.load(Ordering::Relaxed) {
+            return;
+        }
+        for i in lo..hi {
+            if let Some(u) = f(I::from_usize(start + i)) {
+                let mut guard = best.lock().unwrap();
+                if b < best_block.load(Ordering::Relaxed) {
+                    best_block.store(b, Ordering::Relaxed);
+                    *guard = Some((b, u));
+                }
+                return;
+            }
+        }
+    });
+    best.into_inner().unwrap().map(|(_, u)| u)
+}
+
+/// Parallel universal quantifier over an index range.
+pub fn all_range<I: ParIndex>(range: Range<I>, pred: impl Fn(I) -> bool + Sync) -> bool {
+    find_map_range(range, |i| (!pred(i)).then_some(())).is_none()
+}
+
+/// Parallel existential quantifier over an index range.
+pub fn any_range<I: ParIndex>(range: Range<I>, pred: impl Fn(I) -> bool + Sync) -> bool {
+    find_map_range(range, |i| pred(i).then_some(())).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_range_visits_every_index_once() {
+        for n in [0usize, 1, 100, PAR_CUTOFF + 1234] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            for_range(0..n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_range_u32_offsets() {
+        let n = 10_000u32;
+        let acc = AtomicUsize::new(0);
+        for_range(100u32..n, |i| {
+            acc.fetch_add(i as usize, Ordering::Relaxed);
+        });
+        let want: usize = (100..n as usize).sum();
+        assert_eq!(acc.into_inner(), want);
+    }
+
+    #[test]
+    fn map_range_matches_sequential() {
+        let n = PAR_CUTOFF * 3 + 17;
+        let got = map_range(0..n, |i| crate::hash::splitmix64(i as u64));
+        let want: Vec<u64> = (0..n).map(|i| crate::hash::splitmix64(i as u64)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_over_slice() {
+        let items: Vec<u32> = (0..50_000).collect();
+        let got = map(&items, |&x| x * 2);
+        assert!(got.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
+    }
+
+    #[test]
+    fn map_indexed_sees_right_elements() {
+        let items: Vec<u32> = (0..30_000).rev().collect();
+        let got = map_indexed(&items, |i, &x| i as u32 + x);
+        assert!(got.iter().all(|&v| v == items.len() as u32 - 1));
+    }
+
+    #[test]
+    fn for_each_mut_updates_in_place() {
+        let mut items: Vec<u64> = (0..40_000).collect();
+        for_each_mut_indexed(&mut items, |i, x| *x += i as u64);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn count_matches_sequential() {
+        let items: Vec<u64> = (0..123_457).map(crate::hash::splitmix64).collect();
+        let got = count(&items, |&x| x % 5 == 0);
+        let want = items.iter().filter(|&&x| x % 5 == 0).count();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chunked_reduce_f64_bitwise_matches_serial_fold() {
+        let data: Vec<f64> = (0..100_000)
+            .map(|i| (crate::hash::splitmix64(i) as f64) / 1e15)
+            .collect();
+        let got = chunked_reduce(
+            &data,
+            DET_BLOCK,
+            |c| c.iter().sum::<f64>(),
+            0.0,
+            |a, b| a + b,
+        );
+        let want = data
+            .chunks(DET_BLOCK)
+            .fold(0.0f64, |acc, c| acc + c.iter().sum::<f64>());
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn map_reduce_max() {
+        let items: Vec<u64> = (0..77_777)
+            .map(|i| crate::hash::xorshift64_star(i + 1))
+            .collect();
+        let got = map_reduce(&items, |&x| x, 0u64, |a, b| a.max(b));
+        assert_eq!(got, *items.iter().max().unwrap());
+    }
+
+    #[test]
+    fn find_map_returns_globally_first_match() {
+        let n = 500_000usize;
+        // Matches at several positions; the first is what must come back.
+        let positions = [123_456usize, 200_000, 499_999];
+        let got = find_map_range(0..n, |i| positions.contains(&i).then_some(i));
+        assert_eq!(got, Some(123_456));
+        let none = find_map_range(0..n, |_| Option::<usize>::None);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn all_and_any() {
+        let n = 100_000usize;
+        assert!(all_range(0..n, |_| true));
+        assert!(!all_range(0..n, |i| i != 99_999));
+        assert!(any_range(0..n, |i| i == 99_999));
+        assert!(!any_range(0..n, |_| false));
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        let items: Vec<u32> = (0..100_001).collect();
+        let sums = map_chunks(&items, 1 << 10, |c| {
+            c.iter().map(|&x| x as u64).sum::<u64>()
+        });
+        assert_eq!(sums.len(), items.len().div_ceil(1 << 10));
+        let total: u64 = sums.iter().sum();
+        assert_eq!(total, 100_000u64 * 100_001 / 2);
+    }
+
+    #[test]
+    fn for_chunks_mut_sees_disjoint_chunks() {
+        let mut items = vec![0u32; 50_000];
+        for_chunks_mut(&mut items, 777, |b, chunk| {
+            for x in chunk.iter_mut() {
+                *x = b as u32;
+            }
+        });
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, (i / 777) as u32);
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_serially_and_correctly() {
+        let n = 20_000usize;
+        let outer: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for_range(0..n, |i| {
+            // Nested par call from inside a region: must still visit
+            // everything exactly once.
+            let s = count(&[1u8, 2, 3, 4, 5], |&x| x % 2 == 1);
+            outer[i].fetch_add(s, Ordering::Relaxed);
+        });
+        assert!(outer.iter().all(|h| h.load(Ordering::Relaxed) == 3));
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let n = 300_000usize;
+        let baseline = crate::pool::with_pool(1, || {
+            map_range(0..n, |i| crate::hash::splitmix64(i as u64 * 31))
+        });
+        for t in [2, 3, 8] {
+            let got = crate::pool::with_pool(t, || {
+                map_range(0..n, |i| crate::hash::splitmix64(i as u64 * 31))
+            });
+            assert_eq!(got, baseline, "map differs at {t} threads");
+        }
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let base_sum = crate::pool::with_pool(1, || {
+            chunked_reduce(
+                &data,
+                DET_BLOCK,
+                |c| c.iter().sum::<f64>(),
+                0.0,
+                |a, b| a + b,
+            )
+        });
+        for t in [2, 5] {
+            let got = crate::pool::with_pool(t, || {
+                chunked_reduce(
+                    &data,
+                    DET_BLOCK,
+                    |c| c.iter().sum::<f64>(),
+                    0.0,
+                    |a, b| a + b,
+                )
+            });
+            assert_eq!(
+                got.to_bits(),
+                base_sum.to_bits(),
+                "sum differs at {t} threads"
+            );
+        }
+    }
+}

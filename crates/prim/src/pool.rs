@@ -1,46 +1,104 @@
-//! Thread-pool helpers.
+//! Thread-pool sizing.
 //!
 //! The strong-scaling experiments (Figures 4 and 5 of the paper) sweep the
 //! number of OpenMP threads; here the analogue is running the algorithm
-//! inside rayon pools of varying size. `with_pool` builds a dedicated pool,
-//! installs the closure, and tears the pool down, so sweeps are isolated
-//! from the global pool.
+//! with the [`crate::par`] execution layer capped to a worker count.
+//! `with_pool` installs the cap for the duration of a closure, so sweeps
+//! are isolated from each other and from the ambient default.
+//!
+//! The cap is per-thread state: it applies to every `par` operation the
+//! closure performs on the calling thread (nested parallel regions inside
+//! worker threads run serially regardless, see [`crate::par`]).
 
-/// Number of logical CPUs rayon would use by default.
-pub fn max_threads() -> usize {
-    rayon::current_num_threads().max(
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    )
+use std::cell::Cell;
+
+thread_local! {
+    /// 0 = no override (use all logical CPUs).
+    static THREAD_CAP: Cell<usize> = const { Cell::new(0) };
 }
 
-/// Run `f` on a dedicated rayon pool with exactly `num_threads` workers.
+/// Number of logical CPUs the parallel backend uses by default.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Worker count the next `par` operation on this thread will use: the
+/// `with_pool` cap if one is installed, else [`max_threads`]. Always 1 on
+/// the serial backend (`parallel` feature disabled).
+pub fn current_threads() -> usize {
+    if cfg!(not(feature = "parallel")) {
+        return 1;
+    }
+    let cap = THREAD_CAP.with(|c| c.get());
+    if cap == 0 {
+        max_threads()
+    } else {
+        cap
+    }
+}
+
+/// Run `f` with the `par` execution layer capped to exactly `num_threads`
+/// workers.
 ///
-/// All rayon parallelism inside `f` (including nested `par_iter`s in other
-/// crates of this workspace) executes on that pool.
+/// All `par` parallelism inside `f` (including calls in other crates of
+/// this workspace) executes on at most that many threads, and — by the
+/// determinism contract of [`crate::par`] — produces results identical to
+/// every other pool size. On the serial backend the cap is irrelevant and
+/// `f` simply runs.
 pub fn with_pool<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Send) -> R {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(num_threads.max(1))
-        .build()
-        .expect("failed to build rayon pool");
-    pool.install(f)
+    let prev = THREAD_CAP.with(|c| c.replace(num_threads.max(1)));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
 
     #[test]
     fn pool_size_is_respected() {
-        let n = with_pool(3, rayon::current_num_threads);
-        assert_eq!(n, 3);
+        let n = with_pool(3, current_threads);
+        if cfg!(feature = "parallel") {
+            assert_eq!(n, 3);
+        } else {
+            assert_eq!(n, 1);
+        }
+    }
+
+    #[test]
+    fn cap_is_restored_after_with_pool() {
+        let ambient = current_threads();
+        with_pool(2, || {
+            with_pool(5, || {
+                if cfg!(feature = "parallel") {
+                    assert_eq!(current_threads(), 5);
+                }
+            });
+            if cfg!(feature = "parallel") {
+                assert_eq!(current_threads(), 2);
+            }
+        });
+        assert_eq!(current_threads(), ambient);
     }
 
     #[test]
     fn single_thread_pool_works() {
-        let sum: u64 = with_pool(1, || (0..1000u64).into_par_iter().sum());
+        let sum = with_pool(1, || {
+            crate::par::map_reduce(
+                &(0..1000u64).collect::<Vec<_>>(),
+                |&x| x,
+                0u64,
+                |a, b| a + b,
+            )
+        });
         assert_eq!(sum, 499_500);
     }
 

@@ -3,7 +3,7 @@
 //! Algorithm 1's phases are parallel maps that write each vertex's slot
 //! exactly once (`T[v]` in Refresh Row / Decide, `M[v]` in Refresh Column)
 //! while iterating over a *worklist* of vertex ids, so the write indices are
-//! disjoint but not expressible as `par_iter_mut` over the array. This
+//! disjoint but not expressible as a mutable iteration over the array. This
 //! wrapper makes the (safe-in-aggregate) pattern explicit and keeps every
 //! `unsafe` block small and auditable.
 
@@ -25,7 +25,11 @@ unsafe impl<T: Send> Sync for SharedMut<'_, T> {}
 impl<'a, T> SharedMut<'a, T> {
     /// Wrap a mutable slice.
     pub fn new(slice: &'a mut [T]) -> Self {
-        SharedMut { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+        SharedMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
     }
 
     /// Length of the underlying slice.
@@ -68,7 +72,7 @@ impl<'a, T> SharedMut<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rayon::prelude::*;
+    use crate::par;
 
     #[test]
     #[allow(clippy::needless_range_loop)]
@@ -77,7 +81,7 @@ mod tests {
         let idx: Vec<usize> = (0..10_000).step_by(3).collect();
         {
             let w = SharedMut::new(&mut data);
-            idx.par_iter().for_each(|&i| unsafe { w.write(i, i as u64 * 2) });
+            par::for_each(&idx, |&i| unsafe { w.write(i, i as u64 * 2) });
         }
         for i in 0..10_000 {
             let want = if i % 3 == 0 { i as u64 * 2 } else { 0 };
@@ -89,9 +93,8 @@ mod tests {
     fn read_back_previous_region() {
         let mut data: Vec<u32> = (0..100).collect();
         let w = SharedMut::new(&mut data);
-        let sum: u32 = (0..100usize)
-            .into_par_iter()
-            .map(|i| unsafe { w.read(i) })
+        let sum: u32 = par::map_range(0..100usize, |i| unsafe { w.read(i) })
+            .into_iter()
             .sum();
         assert_eq!(sum, 4950);
         assert_eq!(w.len(), 100);

@@ -1,18 +1,18 @@
 //! Deterministic parallel reductions.
 //!
-//! Floating-point addition is not associative, so a naive
-//! `par_iter().sum::<f64>()` can return different values depending on how
-//! rayon splits the work. The solver stack (dot products inside CG/GMRES)
+//! Floating-point addition is not associative, so a naive parallel sum can
+//! return different values depending on how the runtime splits the work.
+//! The solver stack (dot products inside CG/GMRES)
 //! must be bitwise reproducible for the paper's determinism claims to carry
 //! through end-to-end, so the f64 reductions here use a fixed block
 //! decomposition: block partial sums are computed in parallel (each block
 //! sequentially, in index order) and the short vector of block sums is then
 //! folded sequentially. The result is identical for any thread count.
 
-use rayon::prelude::*;
+use crate::par;
 
 /// Fixed block size (thread-count independent).
-const BLOCK: usize = 1 << 13;
+const BLOCK: usize = par::DET_BLOCK;
 const SEQ_CUTOFF: usize = 1 << 14;
 
 /// Deterministic parallel sum of `f64` values.
@@ -20,8 +20,7 @@ pub fn det_sum_f64(data: &[f64]) -> f64 {
     if data.len() < SEQ_CUTOFF {
         return data.iter().sum();
     }
-    let partials: Vec<f64> = data.par_chunks(BLOCK).map(|c| c.iter().sum()).collect();
-    partials.iter().sum()
+    par::chunked_reduce(data, BLOCK, |c| c.iter().sum::<f64>(), 0.0, |a, b| a + b)
 }
 
 /// Deterministic parallel dot product.
@@ -30,11 +29,12 @@ pub fn det_dot(a: &[f64], b: &[f64]) -> f64 {
     if a.len() < SEQ_CUTOFF {
         return a.iter().zip(b).map(|(x, y)| x * y).sum();
     }
-    let partials: Vec<f64> = a
-        .par_chunks(BLOCK)
-        .zip(b.par_chunks(BLOCK))
-        .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum())
-        .collect();
+    let nblocks = a.len().div_ceil(BLOCK);
+    let partials: Vec<f64> = par::map_range(0..nblocks, |blk| {
+        let lo = blk * BLOCK;
+        let hi = (lo + BLOCK).min(a.len());
+        a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum()
+    });
     partials.iter().sum()
 }
 
@@ -44,20 +44,36 @@ pub fn det_sum_usize(data: &[usize]) -> usize {
     if data.len() < SEQ_CUTOFF {
         return data.iter().sum();
     }
-    data.par_chunks(BLOCK)
-        .map(|c| c.iter().sum::<usize>())
-        .sum()
+    par::chunked_reduce(data, BLOCK, |c| c.iter().sum::<usize>(), 0, |a, b| a + b)
 }
 
 /// Parallel minimum; `None` on empty input. Min is commutative and
 /// idempotent so any reduction order gives the same result.
 pub fn det_min<T: Copy + Ord + Send + Sync>(data: &[T]) -> Option<T> {
-    data.par_iter().copied().min()
+    par::chunked_reduce(
+        data,
+        BLOCK,
+        |c| c.iter().copied().min(),
+        None,
+        |a, b| match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        },
+    )
 }
 
 /// Parallel maximum; `None` on empty input.
 pub fn det_max<T: Copy + Ord + Send + Sync>(data: &[T]) -> Option<T> {
-    data.par_iter().copied().max()
+    par::chunked_reduce(
+        data,
+        BLOCK,
+        |c| c.iter().copied().max(),
+        None,
+        |a, b| match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        },
+    )
 }
 
 #[cfg(test)]

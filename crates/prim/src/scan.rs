@@ -14,7 +14,7 @@
 //! The block size is **independent of the number of worker threads**, so the
 //! result — and every intermediate value — is identical for any pool size.
 
-use rayon::prelude::*;
+use crate::par;
 
 /// Element type usable in a scan: a copyable additive monoid.
 pub trait ScanElem: Copy + Send + Sync {
@@ -40,7 +40,7 @@ impl_scan_elem!(usize, u32, u64, i64);
 const SEQ_CUTOFF: usize = 1 << 14;
 /// Fixed block size for the parallel scan. Chosen once (not per-pool) so
 /// output is bitwise-stable across thread counts.
-const BLOCK: usize = 1 << 13;
+const BLOCK: usize = par::DET_BLOCK;
 
 /// Exclusive prefix sum of `input` into a fresh vector; returns the total.
 ///
@@ -70,10 +70,8 @@ pub fn exclusive_scan_to<T: ScanElem>(input: &[T], out: &mut [T]) -> T {
     }
     // Phase 1: block sums.
     let nblocks = n.div_ceil(BLOCK);
-    let mut block_sums: Vec<T> = input
-        .par_chunks(BLOCK)
-        .map(|c| c.iter().fold(T::ZERO, |a, &b| a.add(b)))
-        .collect();
+    let mut block_sums: Vec<T> =
+        par::map_chunks(input, BLOCK, |c| c.iter().fold(T::ZERO, |a, &b| a.add(b)));
     // Phase 2: sequential exclusive scan of the block sums.
     let mut run = T::ZERO;
     for bs in block_sums.iter_mut().take(nblocks) {
@@ -83,16 +81,15 @@ pub fn exclusive_scan_to<T: ScanElem>(input: &[T], out: &mut [T]) -> T {
     }
     let total = run;
     // Phase 3: per-block exclusive scans seeded by the block offset.
-    out.par_chunks_mut(BLOCK)
-        .zip(input.par_chunks(BLOCK))
-        .zip(block_sums.par_iter())
-        .for_each(|((oc, ic), &seed)| {
-            let mut acc = seed;
-            for (o, &i) in oc.iter_mut().zip(ic) {
-                *o = acc;
-                acc = acc.add(i);
-            }
-        });
+    par::for_chunks_mut(out, BLOCK, |b, oc| {
+        let lo = b * BLOCK;
+        let ic = &input[lo..lo + oc.len()];
+        let mut acc = block_sums[b];
+        for (o, &i) in oc.iter_mut().zip(ic) {
+            *o = acc;
+            acc = acc.add(i);
+        }
+    });
     total
 }
 
@@ -111,10 +108,8 @@ pub fn exclusive_scan_in_place<T: ScanElem>(data: &mut [T]) -> T {
         }
         return run;
     }
-    let mut block_sums: Vec<T> = data
-        .par_chunks(BLOCK)
-        .map(|c| c.iter().fold(T::ZERO, |a, &b| a.add(b)))
-        .collect();
+    let mut block_sums: Vec<T> =
+        par::map_chunks(data, BLOCK, |c| c.iter().fold(T::ZERO, |a, &b| a.add(b)));
     let mut run = T::ZERO;
     for bs in block_sums.iter_mut() {
         let s = *bs;
@@ -122,25 +117,21 @@ pub fn exclusive_scan_in_place<T: ScanElem>(data: &mut [T]) -> T {
         run = run.add(s);
     }
     let total = run;
-    data.par_chunks_mut(BLOCK)
-        .zip(block_sums.par_iter())
-        .for_each(|(chunk, &seed)| {
-            let mut acc = seed;
-            for x in chunk.iter_mut() {
-                let v = *x;
-                *x = acc;
-                acc = acc.add(v);
-            }
-        });
+    par::for_chunks_mut(data, BLOCK, |b, chunk| {
+        let mut acc = block_sums[b];
+        for x in chunk.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc = acc.add(v);
+        }
+    });
     total
 }
 
 /// Inclusive prefix sum: `out[i] = input[0] + ... + input[i]`.
 pub fn inclusive_scan<T: ScanElem>(input: &[T]) -> Vec<T> {
     let (mut out, _) = exclusive_scan(input);
-    out.par_iter_mut()
-        .zip(input.par_iter())
-        .for_each(|(o, &i)| *o = o.add(i));
+    par::for_each_mut_indexed(&mut out, |i, o| *o = o.add(input[i]));
     out
 }
 

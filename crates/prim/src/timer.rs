@@ -14,7 +14,9 @@ pub struct Timer {
 impl Timer {
     /// Start timing now.
     pub fn start() -> Self {
-        Timer { start: Instant::now() }
+        Timer {
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed milliseconds since `start`.
@@ -51,7 +53,13 @@ impl SampleStats {
     pub fn from_samples(samples: &[f64]) -> Self {
         let n = samples.len();
         if n == 0 {
-            return SampleStats { n: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+            return SampleStats {
+                n: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
@@ -61,7 +69,13 @@ impl SampleStats {
         } else {
             0.0
         };
-        SampleStats { n, mean, min, max, stddev: var.sqrt() }
+        SampleStats {
+            n,
+            mean,
+            min,
+            max,
+            stddev: var.sqrt(),
+        }
     }
 }
 

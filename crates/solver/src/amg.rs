@@ -16,7 +16,7 @@ use crate::precond::{JacobiSmoother, Preconditioner};
 use mis2_coarsen::{smoothed_prolongator, tentative_prolongator, AggScheme};
 use mis2_sparse::kernels::{axpy, sub};
 use mis2_sparse::{galerkin_product, CsrMatrix, LuFactors};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Which smoother the V-cycle uses on every level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,7 +157,11 @@ impl AmgHierarchy {
             };
             level_sizes.push(coarse.nrows());
             nnz_total += coarse.nnz() as f64;
-            levels.push(AmgLevel { a: cur, p, smoother });
+            levels.push(AmgLevel {
+                a: cur,
+                p,
+                smoother,
+            });
             cur = coarse;
         }
 
@@ -249,7 +253,7 @@ fn transpose_spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
 impl Preconditioner for AmgHierarchy {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         z.iter_mut().for_each(|v| *v = 0.0);
-        let mut scratch = self.scratch.lock();
+        let mut scratch = self.scratch.lock().unwrap();
         self.v_cycle(0, r, z, &mut scratch);
     }
 
@@ -268,7 +272,13 @@ mod tests {
     #[test]
     fn builds_multilevel_hierarchy() {
         let a = sgen::laplace3d_matrix(12, 12, 12);
-        let amg = AmgHierarchy::build(&a, &AmgConfig { min_coarse_size: 50, ..Default::default() });
+        let amg = AmgHierarchy::build(
+            &a,
+            &AmgConfig {
+                min_coarse_size: 50,
+                ..Default::default()
+            },
+        );
         assert!(amg.num_levels() >= 2, "only {} levels", amg.num_levels());
         assert!(amg.stats.operator_complexity >= 1.0);
         assert!(amg.stats.level_sizes.windows(2).all(|w| w[1] < w[0]));
@@ -279,11 +289,24 @@ mod tests {
         // The Table V effect: AMG cuts CG iterations dramatically.
         let a = sgen::laplace3d_matrix(10, 10, 10);
         let b = vec![1.0; 1000];
-        let opts = SolveOpts { tol: 1e-10, max_iters: 600 };
+        let opts = SolveOpts {
+            tol: 1e-10,
+            max_iters: 600,
+        };
         let (_, plain) = pcg(&a, &b, &Identity, &opts);
-        let amg = AmgHierarchy::build(&a, &AmgConfig { min_coarse_size: 64, ..Default::default() });
+        let amg = AmgHierarchy::build(
+            &a,
+            &AmgConfig {
+                min_coarse_size: 64,
+                ..Default::default()
+            },
+        );
         let (_, pre) = pcg(&a, &b, &amg, &opts);
-        assert!(pre.converged, "AMG-CG did not converge: rel {}", pre.relative_residual);
+        assert!(
+            pre.converged,
+            "AMG-CG did not converge: rel {}",
+            pre.relative_residual
+        );
         assert!(
             pre.iterations * 2 < plain.iterations,
             "AMG {} vs plain {}",
@@ -296,11 +319,18 @@ mod tests {
     fn all_schemes_give_working_preconditioners() {
         let a = sgen::laplace3d_matrix(8, 8, 8);
         let b = vec![1.0; 512];
-        let opts = SolveOpts { tol: 1e-10, max_iters: 300 };
+        let opts = SolveOpts {
+            tol: 1e-10,
+            max_iters: 300,
+        };
         for scheme in AggScheme::all() {
             let amg = AmgHierarchy::build(
                 &a,
-                &AmgConfig { scheme, min_coarse_size: 40, ..Default::default() },
+                &AmgConfig {
+                    scheme,
+                    min_coarse_size: 40,
+                    ..Default::default()
+                },
             );
             let (_, res) = pcg(&a, &b, &amg, &opts);
             assert!(
@@ -316,29 +346,52 @@ mod tests {
     fn unsmoothed_prolongator_works_but_converges_slower() {
         let a = sgen::laplace3d_matrix(8, 8, 8);
         let b = vec![1.0; 512];
-        let opts = SolveOpts { tol: 1e-10, max_iters: 400 };
+        let opts = SolveOpts {
+            tol: 1e-10,
+            max_iters: 400,
+        };
         let sa = AmgHierarchy::build(
             &a,
-            &AmgConfig { min_coarse_size: 40, ..Default::default() },
+            &AmgConfig {
+                min_coarse_size: 40,
+                ..Default::default()
+            },
         );
         let plain = AmgHierarchy::build(
             &a,
-            &AmgConfig { min_coarse_size: 40, smooth_prolongator: false, ..Default::default() },
+            &AmgConfig {
+                min_coarse_size: 40,
+                smooth_prolongator: false,
+                ..Default::default()
+            },
         );
         let (_, rs) = pcg(&a, &b, &sa, &opts);
         let (_, rp) = pcg(&a, &b, &plain, &opts);
         assert!(rs.converged && rp.converged);
-        assert!(rs.iterations <= rp.iterations, "SA {} vs plain {}", rs.iterations, rp.iterations);
+        assert!(
+            rs.iterations <= rp.iterations,
+            "SA {} vs plain {}",
+            rs.iterations,
+            rp.iterations
+        );
     }
 
     #[test]
     fn deterministic_across_threads() {
         let a = sgen::laplace2d_matrix(16, 16);
         let b = vec![1.0; 256];
-        let opts = SolveOpts { tol: 1e-10, max_iters: 200 };
+        let opts = SolveOpts {
+            tol: 1e-10,
+            max_iters: 200,
+        };
         let run = || {
-            let amg =
-                AmgHierarchy::build(&a, &AmgConfig { min_coarse_size: 30, ..Default::default() });
+            let amg = AmgHierarchy::build(
+                &a,
+                &AmgConfig {
+                    min_coarse_size: 30,
+                    ..Default::default()
+                },
+            );
             pcg(&a, &b, &amg, &opts)
         };
         let (x1, r1) = mis2_prim::pool::with_pool(1, run);

@@ -32,7 +32,10 @@ pub struct SolveOpts {
 
 impl Default for SolveOpts {
     fn default() -> Self {
-        SolveOpts { tol: 1e-8, max_iters: 1000 }
+        SolveOpts {
+            tol: 1e-8,
+            max_iters: 1000,
+        }
     }
 }
 
@@ -99,7 +102,12 @@ pub fn pcg(
     let iterations = history.len();
     (
         x,
-        SolveResult { iterations, converged: true_rel < opts.tol, relative_residual: true_rel, history },
+        SolveResult {
+            iterations,
+            converged: true_rel < opts.tol,
+            relative_residual: true_rel,
+            history,
+        },
     )
 }
 
@@ -124,7 +132,15 @@ mod tests {
     fn solves_laplace2d() {
         let a = sgen::laplace2d_matrix(10, 10);
         let b = vec![1.0; 100];
-        let (x, res) = pcg(&a, &b, &Identity, &SolveOpts { tol: 1e-10, max_iters: 500 });
+        let (x, res) = pcg(
+            &a,
+            &b,
+            &Identity,
+            &SolveOpts {
+                tol: 1e-10,
+                max_iters: 500,
+            },
+        );
         assert!(res.converged, "rel {}", res.relative_residual);
         let check = mis2_sparse::kernels::residual(&a, &x, &b);
         assert!(mis2_sparse::kernels::norm2(&check) < 1e-8 * 10.0);
@@ -147,7 +163,10 @@ mod tests {
         }
         let a = CsrMatrix::from_coo(n, n, &entries);
         let b = vec![1.0; n];
-        let opts = SolveOpts { tol: 1e-10, max_iters: 5000 };
+        let opts = SolveOpts {
+            tol: 1e-10,
+            max_iters: 5000,
+        };
         let (_, plain) = pcg(&a, &b, &Identity, &opts);
         let (_, jac) = pcg(&a, &b, &Jacobi::new(&a), &opts);
         assert!(jac.converged);
@@ -163,7 +182,15 @@ mod tests {
     fn history_is_monotoneish_and_final_small() {
         let a = sgen::laplace3d_matrix(6, 6, 6);
         let b = vec![1.0; 216];
-        let (_, res) = pcg(&a, &b, &Identity, &SolveOpts { tol: 1e-12, max_iters: 600 });
+        let (_, res) = pcg(
+            &a,
+            &b,
+            &Identity,
+            &SolveOpts {
+                tol: 1e-12,
+                max_iters: 600,
+            },
+        );
         assert!(res.converged);
         assert!(res.history.first().unwrap() > res.history.last().unwrap());
     }
@@ -172,12 +199,10 @@ mod tests {
     fn deterministic_across_threads() {
         let a = sgen::laplace2d_matrix(12, 12);
         let b: Vec<f64> = (0..144).map(|i| ((i % 7) as f64) - 3.0).collect();
-        let (x1, r1) = mis2_prim::pool::with_pool(1, || {
-            pcg(&a, &b, &Jacobi::new(&a), &SolveOpts::default())
-        });
-        let (x2, r2) = mis2_prim::pool::with_pool(4, || {
-            pcg(&a, &b, &Jacobi::new(&a), &SolveOpts::default())
-        });
+        let (x1, r1) =
+            mis2_prim::pool::with_pool(1, || pcg(&a, &b, &Jacobi::new(&a), &SolveOpts::default()));
+        let (x2, r2) =
+            mis2_prim::pool::with_pool(4, || pcg(&a, &b, &Jacobi::new(&a), &SolveOpts::default()));
         assert_eq!(r1.iterations, r2.iterations);
         assert_eq!(x1, x2, "CG iterates diverged across thread counts");
     }
@@ -186,7 +211,15 @@ mod tests {
     fn max_iters_respected() {
         let a = sgen::laplace2d_matrix(20, 20);
         let b = vec![1.0; 400];
-        let (_, res) = pcg(&a, &b, &Identity, &SolveOpts { tol: 1e-30, max_iters: 5 });
+        let (_, res) = pcg(
+            &a,
+            &b,
+            &Identity,
+            &SolveOpts {
+                tol: 1e-30,
+                max_iters: 5,
+            },
+        );
         assert!(!res.converged);
         assert!(res.iterations <= 5);
     }

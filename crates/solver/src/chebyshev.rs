@@ -7,9 +7,9 @@
 //! — keeps AMG applications bitwise reproducible. Offered as an `AmgConfig`
 //! smoother option and benchmarked against Jacobi in the ablation bench.
 
+use mis2_prim::par;
 use mis2_sparse::kernels::axpy;
 use mis2_sparse::CsrMatrix;
-use rayon::prelude::*;
 
 /// Chebyshev smoother state (diagonal + spectrum estimate).
 pub struct ChebyshevSmoother {
@@ -39,15 +39,20 @@ impl ChebyshevSmoother {
         let mut av = vec![0.0; n];
         for _ in 0..12 {
             a.spmv_into(&v, &mut av);
-            av.par_iter_mut().zip(dinv.par_iter()).for_each(|(x, &d)| *x *= d);
+            par::for_each_mut_indexed(&mut av, |i, x| *x *= dinv[i]);
             let norm = mis2_sparse::kernels::norm2(&av).max(1e-300);
             lambda = norm / mis2_sparse::kernels::norm2(&v).max(1e-300);
             let inv = 1.0 / norm;
-            v.par_iter_mut().zip(av.par_iter()).for_each(|(x, &y)| *x = y * inv);
+            par::for_each_mut_indexed(&mut v, |i, x| *x = av[i] * inv);
         }
         // Safety margin, as in MueLu.
         let lambda_max = lambda * 1.1;
-        ChebyshevSmoother { dinv, lambda_max, eig_ratio, degree }
+        ChebyshevSmoother {
+            dinv,
+            lambda_max,
+            eig_ratio,
+            degree,
+        }
     }
 
     /// Apply `degree` Chebyshev steps to `A x ≈ b`, updating `x` in place.
@@ -65,27 +70,19 @@ impl ChebyshevSmoother {
         // r = D^-1 (b - A x)
         let mut ax = vec![0.0; n];
         a.spmv_into(x, &mut ax);
-        let mut r: Vec<f64> = (0..n)
-            .into_par_iter()
-            .map(|i| self.dinv[i] * (b[i] - ax[i]))
-            .collect();
+        let mut r: Vec<f64> = par::map_range(0..n, |i| self.dinv[i] * (b[i] - ax[i]));
         // d = r / theta
-        let mut d: Vec<f64> = r.par_iter().map(|&v| v / theta).collect();
+        let mut d: Vec<f64> = par::map(&r, |&v| v / theta);
 
         for _k in 0..self.degree {
             axpy(1.0, &d, x);
             // r -= D^-1 A d
             a.spmv_into(&d, &mut ax);
-            r.par_iter_mut()
-                .zip(ax.par_iter())
-                .zip(self.dinv.par_iter())
-                .for_each(|((r, &ad), &di)| *r -= di * ad);
+            par::for_each_mut_indexed(&mut r, |i, r| *r -= self.dinv[i] * ax[i]);
             let rho = 1.0 / (2.0 * sigma - rho_old);
             let c1 = rho * rho_old;
             let c2 = 2.0 * rho / delta;
-            d.par_iter_mut()
-                .zip(r.par_iter())
-                .for_each(|(d, &r)| *d = c1 * *d + c2 * r);
+            par::for_each_mut_indexed(&mut d, |i, d| *d = c1 * *d + c2 * r[i]);
             rho_old = rho;
         }
     }
@@ -102,7 +99,11 @@ mod tests {
         // D^-1 A for the 2D Laplacian has eigenvalues in (0, 2).
         let a = sgen::laplace2d_matrix(16, 16);
         let ch = ChebyshevSmoother::new(&a, 2, 20.0);
-        assert!(ch.lambda_max > 0.8 && ch.lambda_max < 2.5, "{}", ch.lambda_max);
+        assert!(
+            ch.lambda_max > 0.8 && ch.lambda_max < 2.5,
+            "{}",
+            ch.lambda_max
+        );
     }
 
     #[test]
@@ -110,8 +111,15 @@ mod tests {
         // A smoother targets the upper spectral band; a checkerboard RHS
         // is concentrated there and must shrink substantially.
         let a = sgen::laplace2d_matrix(12, 12);
-        let b: Vec<f64> =
-            (0..144).map(|i| if (i / 12 + i % 12) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f64> = (0..144)
+            .map(|i| {
+                if (i / 12 + i % 12) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
         let mut x = vec![0.0; 144];
         let ch = ChebyshevSmoother::new(&a, 3, 20.0);
         let r0 = norm2(&residual(&a, &x, &b));
@@ -130,14 +138,25 @@ mod tests {
         use crate::cg::{pcg, SolveOpts};
         let a = sgen::laplace3d_matrix(10, 10, 10);
         let b = vec![1.0; 1000];
-        let opts = SolveOpts { tol: 1e-10, max_iters: 300 };
+        let opts = SolveOpts {
+            tol: 1e-10,
+            max_iters: 300,
+        };
         let iters = |smoother: SmootherKind| {
             let amg = AmgHierarchy::build(
                 &a,
-                &AmgConfig { min_coarse_size: 64, smoother, ..Default::default() },
+                &AmgConfig {
+                    min_coarse_size: 64,
+                    smoother,
+                    ..Default::default()
+                },
             );
             let (_, res) = pcg(&a, &b, &amg, &opts);
-            assert!(res.converged, "{smoother:?} failed: {}", res.relative_residual);
+            assert!(
+                res.converged,
+                "{smoother:?} failed: {}",
+                res.relative_residual
+            );
             res.iterations
         };
         let cheb = iters(SmootherKind::Chebyshev);
@@ -159,7 +178,15 @@ mod tests {
                 ..Default::default()
             },
         );
-        let (_, res) = pcg(&a, &b, &amg, &SolveOpts { tol: 1e-10, max_iters: 300 });
+        let (_, res) = pcg(
+            &a,
+            &b,
+            &amg,
+            &SolveOpts {
+                tol: 1e-10,
+                max_iters: 300,
+            },
+        );
         assert!(res.converged, "rel {}", res.relative_residual);
         assert!(res.iterations < 60, "{} iterations", res.iterations);
     }

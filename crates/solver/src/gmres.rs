@@ -160,7 +160,16 @@ mod tests {
     fn solves_laplace2d() {
         let a = sgen::laplace2d_matrix(10, 10);
         let b = vec![1.0; 100];
-        let (_, res) = gmres(&a, &b, &Identity, 30, &SolveOpts { tol: 1e-10, max_iters: 400 });
+        let (_, res) = gmres(
+            &a,
+            &b,
+            &Identity,
+            30,
+            &SolveOpts {
+                tol: 1e-10,
+                max_iters: 400,
+            },
+        );
         assert!(res.converged, "rel {}", res.relative_residual);
     }
 
@@ -178,7 +187,16 @@ mod tests {
         }
         let a = CsrMatrix::from_coo(n as usize, n as usize, &entries);
         let b = vec![1.0; n as usize];
-        let (x, res) = gmres(&a, &b, &Identity, 25, &SolveOpts { tol: 1e-10, max_iters: 300 });
+        let (x, res) = gmres(
+            &a,
+            &b,
+            &Identity,
+            25,
+            &SolveOpts {
+                tol: 1e-10,
+                max_iters: 300,
+            },
+        );
         assert!(res.converged);
         let r = mis2_sparse::kernels::residual(&a, &x, &b);
         assert!(mis2_sparse::kernels::norm2(&r) < 1e-8);
@@ -189,7 +207,16 @@ mod tests {
         let a = sgen::laplace2d_matrix(12, 12);
         let b = vec![1.0; 144];
         // Tiny restart forces multiple outer cycles.
-        let (_, res) = gmres(&a, &b, &Jacobi::new(&a), 5, &SolveOpts { tol: 1e-8, max_iters: 2000 });
+        let (_, res) = gmres(
+            &a,
+            &b,
+            &Jacobi::new(&a),
+            5,
+            &SolveOpts {
+                tol: 1e-8,
+                max_iters: 2000,
+            },
+        );
         assert!(res.converged, "rel {}", res.relative_residual);
     }
 
@@ -200,9 +227,18 @@ mod tests {
         let a = sgen::laplace2d_matrix(24, 24);
         let n = 24 * 24;
         let b: Vec<f64> = (0..n)
-            .map(|i| if mis2_prim::hash::splitmix64(i as u64).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .map(|i| {
+                if mis2_prim::hash::splitmix64(i as u64).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
-        let opts = SolveOpts { tol: 1e-8, max_iters: 600 };
+        let opts = SolveOpts {
+            tol: 1e-8,
+            max_iters: 600,
+        };
         let (_, plain) = gmres(&a, &b, &Identity, 60, &opts);
         let gs = crate::gs::PointMcSgs::new(&a, 0);
         let (_, pre) = gmres(&a, &b, &gs, 60, &opts);
@@ -219,7 +255,16 @@ mod tests {
     fn max_iters_respected() {
         let a = sgen::laplace2d_matrix(16, 16);
         let b = vec![1.0; 256];
-        let (_, res) = gmres(&a, &b, &Identity, 10, &SolveOpts { tol: 1e-30, max_iters: 7 });
+        let (_, res) = gmres(
+            &a,
+            &b,
+            &Identity,
+            10,
+            &SolveOpts {
+                tol: 1e-30,
+                max_iters: 7,
+            },
+        );
         assert!(res.iterations <= 10); // one restart cycle may finish
         assert!(!res.converged);
     }
@@ -228,7 +273,10 @@ mod tests {
     fn deterministic_across_threads() {
         let a = sgen::laplace2d_matrix(10, 10);
         let b: Vec<f64> = (0..100).map(|i| ((i * 13) % 11) as f64 - 5.0).collect();
-        let opts = SolveOpts { tol: 1e-9, max_iters: 300 };
+        let opts = SolveOpts {
+            tol: 1e-9,
+            max_iters: 300,
+        };
         let (x1, _) = mis2_prim::pool::with_pool(1, || gmres(&a, &b, &Jacobi::new(&a), 20, &opts));
         let (x2, _) = mis2_prim::pool::with_pool(4, || gmres(&a, &b, &Jacobi::new(&a), 20, &opts));
         assert_eq!(x1, x2);

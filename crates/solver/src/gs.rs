@@ -21,9 +21,9 @@ use crate::precond::Preconditioner;
 use mis2_coarsen::{quotient_graph, AggScheme, Aggregation};
 use mis2_color::{color_d1, ColorSets, Coloring};
 use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_prim::SharedMut;
 use mis2_sparse::CsrMatrix;
-use rayon::prelude::*;
 
 /// How many forward(+backward) applications per preconditioner apply.
 const DEFAULT_SWEEPS: usize = 1;
@@ -92,7 +92,7 @@ impl PointMcSgs {
         let a = &self.a;
         let dinv = &self.dinv;
         let xw = SharedMut::new(x);
-        members.par_iter().for_each(|&i| {
+        par::for_each_grain(members, 64, |&i| {
             let i = i as usize;
             let (cols, vals) = a.row(i);
             let mut acc = b[i];
@@ -170,7 +170,10 @@ impl ClusterMcSgs {
         let coarse = quotient_graph(&g, &agg);
         let coloring = color_d1(&coarse, seed);
         let built = Self::from_parts(a, &g, &agg, &coloring);
-        ClusterMcSgs { setup_seconds: t.elapsed_s(), ..built }
+        ClusterMcSgs {
+            setup_seconds: t.elapsed_s(),
+            ..built
+        }
     }
 
     /// Assemble from precomputed parts (used by benchmarks that time the
@@ -245,14 +248,14 @@ impl ClusterMcSgs {
         {
             let xw = SharedMut::new(&mut *x);
             for color in 0..self.color_clusters.len() {
-                self.color_clusters[color].par_iter().for_each(|&(lo, hi)| {
+                par::for_each_grain(&self.color_clusters[color], 1, |&(lo, hi)| {
                     for &i in &rows[lo..hi] {
                         self.update_row(i as usize, b, &xw);
                     }
                 });
             }
             for color in (0..self.color_clusters.len()).rev() {
-                self.color_clusters[color].par_iter().for_each(|&(lo, hi)| {
+                par::for_each_grain(&self.color_clusters[color], 1, |&(lo, hi)| {
                     for &i in rows[lo..hi].iter().rev() {
                         self.update_row(i as usize, b, &xw);
                     }
@@ -266,7 +269,7 @@ impl ClusterMcSgs {
         let rows = &self.cluster_rows;
         let xw = SharedMut::new(&mut *x);
         for color in 0..self.color_clusters.len() {
-            self.color_clusters[color].par_iter().for_each(|&(lo, hi)| {
+            par::for_each_grain(&self.color_clusters[color], 1, |&(lo, hi)| {
                 for &i in &rows[lo..hi] {
                     self.update_row(i as usize, b, &xw);
                 }
@@ -386,7 +389,10 @@ mod tests {
     fn forward_mode_and_extra_sweeps_converge() {
         let a = sgen::laplace2d_matrix(10, 10);
         let b = vec![1.0; 100];
-        let opts = crate::cg::SolveOpts { tol: 1e-8, max_iters: 600 };
+        let opts = crate::cg::SolveOpts {
+            tol: 1e-8,
+            max_iters: 600,
+        };
         // Forward-only GS still preconditions GMRES effectively.
         let fwd = ClusterMcSgs::new(&a, AggScheme::Mis2Agg, 0).with_mode(GsMode::Forward);
         let (_, rf) = crate::gmres::gmres(&a, &b, &fwd, 40, &opts);
@@ -397,7 +403,12 @@ mod tests {
         let (_, r1) = crate::gmres::gmres(&a, &b, &one, 40, &opts);
         let (_, r2) = crate::gmres::gmres(&a, &b, &two, 40, &opts);
         assert!(r1.converged && r2.converged);
-        assert!(r2.iterations <= r1.iterations, "{} vs {}", r2.iterations, r1.iterations);
+        assert!(
+            r2.iterations <= r1.iterations,
+            "{} vs {}",
+            r2.iterations,
+            r1.iterations
+        );
     }
 
     #[test]

@@ -13,17 +13,17 @@
 //!   the weighted-Jacobi smoother.
 
 pub mod amg;
-pub mod chebyshev;
 pub mod cg;
+pub mod chebyshev;
 pub mod gmres;
 pub mod gs;
 pub mod precond;
 pub mod seq_gs;
 
 pub use amg::{AmgConfig, AmgHierarchy, AmgSetupStats, SmootherKind};
-pub use chebyshev::ChebyshevSmoother;
-pub use seq_gs::SeqSgs;
 pub use cg::{pcg, SolveOpts, SolveResult};
+pub use chebyshev::ChebyshevSmoother;
 pub use gmres::{gmres, DEFAULT_RESTART};
 pub use gs::{ClusterMcSgs, GsMode, PointMcSgs};
 pub use precond::{Identity, Jacobi, JacobiSmoother, Preconditioner};
+pub use seq_gs::SeqSgs;

@@ -2,8 +2,8 @@
 //! Jacobi). The interesting preconditioners live in [`crate::gs`]
 //! (point/cluster multicolor Gauss-Seidel) and [`crate::amg`] (SA-AMG).
 
+use mis2_prim::par;
 use mis2_sparse::CsrMatrix;
-use rayon::prelude::*;
 
 /// Application of `z = M⁻¹ r` for a fixed matrix.
 pub trait Preconditioner: Send + Sync {
@@ -48,10 +48,7 @@ impl Jacobi {
 
 impl Preconditioner for Jacobi {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        z.par_iter_mut()
-            .zip(r.par_iter())
-            .zip(self.dinv.par_iter())
-            .for_each(|((z, &r), &d)| *z = r * d);
+        par::for_each_mut_indexed(z, |i, z| *z = r[i] * self.dinv[i]);
     }
 
     fn name(&self) -> &'static str {
@@ -75,7 +72,11 @@ impl JacobiSmoother {
             .into_iter()
             .map(|d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
             .collect();
-        JacobiSmoother { omega, sweeps, dinv }
+        JacobiSmoother {
+            omega,
+            sweeps,
+            dinv,
+        }
     }
 
     /// Run the sweeps in place.
@@ -84,11 +85,8 @@ impl JacobiSmoother {
         for _ in 0..self.sweeps {
             a.spmv_into(x, scratch);
             let omega = self.omega;
-            x.par_iter_mut()
-                .zip(b.par_iter())
-                .zip(scratch.par_iter())
-                .zip(self.dinv.par_iter())
-                .for_each(|(((x, &b), &ax), &d)| *x += omega * d * (b - ax));
+            let ax: &[f64] = scratch;
+            par::for_each_mut_indexed(x, |i, x| *x += omega * self.dinv[i] * (b[i] - ax[i]));
         }
     }
 }

@@ -23,7 +23,11 @@ impl SeqSgs {
             .into_iter()
             .map(|d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
             .collect();
-        SeqSgs { a: a.clone(), dinv, sweeps: 1 }
+        SeqSgs {
+            a: a.clone(),
+            dinv,
+            sweeps: 1,
+        }
     }
 
     fn update_row(&self, i: usize, b: &[f64], x: &mut [f64]) {
@@ -94,7 +98,10 @@ mod tests {
         // cluster multicolor sits between it and point multicolor.
         let a = sgen::laplace3d_matrix(8, 8, 8);
         let b = vec![1.0; 512];
-        let opts = SolveOpts { tol: 1e-8, max_iters: 500 };
+        let opts = SolveOpts {
+            tol: 1e-8,
+            max_iters: 500,
+        };
         let iters = |p: &dyn crate::precond::Preconditioner| {
             let (_, r) = gmres(&a, &b, p, 50, &opts);
             assert!(r.converged);

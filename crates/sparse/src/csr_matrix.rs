@@ -7,8 +7,8 @@
 //! zeros are allowed (they arise in Galerkin products and are harmless).
 
 use mis2_graph::{CsrGraph, VertexId};
+use mis2_prim::par;
 use mis2_prim::SharedMut;
-use rayon::prelude::*;
 
 /// A sparse matrix in CSR format.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +71,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Build from COO triplets; duplicate entries are summed.
@@ -100,27 +106,27 @@ impl CsrMatrix {
             cursor[r as usize] += 1;
         }
         // Sort + combine duplicates per row.
-        let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..nrows)
-            .into_par_iter()
-            .map(|r| {
-                let lo = counts[r];
-                let hi = counts[r + 1];
-                let mut pairs: Vec<(u32, f64)> =
-                    cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()).collect();
-                pairs.sort_by_key(|p| p.0);
-                let mut rc = Vec::with_capacity(pairs.len());
-                let mut rv: Vec<f64> = Vec::with_capacity(pairs.len());
-                for (c, v) in pairs {
-                    if rc.last() == Some(&c) {
-                        *rv.last_mut().unwrap() += v;
-                    } else {
-                        rc.push(c);
-                        rv.push(v);
-                    }
+        let rows: Vec<(Vec<u32>, Vec<f64>)> = par::map_range(0..nrows, |r| {
+            let lo = counts[r];
+            let hi = counts[r + 1];
+            let mut pairs: Vec<(u32, f64)> = cols[lo..hi]
+                .iter()
+                .copied()
+                .zip(vals[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_by_key(|p| p.0);
+            let mut rc = Vec::with_capacity(pairs.len());
+            let mut rv: Vec<f64> = Vec::with_capacity(pairs.len());
+            for (c, v) in pairs {
+                if rc.last() == Some(&c) {
+                    *rv.last_mut().unwrap() += v;
+                } else {
+                    rc.push(c);
+                    rv.push(v);
                 }
-                (rc, rv)
-            })
-            .collect();
+            }
+            (rc, rv)
+        });
         Self::from_sorted_rows(nrows, ncols, rows)
     }
 
@@ -141,7 +147,7 @@ impl CsrMatrix {
         {
             let cw = SharedMut::new(&mut col_idx);
             let vw = SharedMut::new(&mut values);
-            rows.par_iter().enumerate().for_each(|(r, (rc, rv))| {
+            par::for_each_indexed(&rows, |r, (rc, rv)| {
                 let base = row_ptr[r];
                 for (k, (&c, &v)) in rc.iter().zip(rv.iter()).enumerate() {
                     // SAFETY: row ranges are disjoint.
@@ -152,7 +158,13 @@ impl CsrMatrix {
                 }
             });
         }
-        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Identity matrix.
@@ -224,7 +236,7 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "x length mismatch");
         assert_eq!(y.len(), self.nrows, "y length mismatch");
-        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+        par::for_each_mut_indexed(y, |r, yr| {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
@@ -259,15 +271,18 @@ impl CsrMatrix {
         }
         let mut row_ptr = offsets;
         row_ptr[self.ncols] = total;
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// The diagonal as a dense vector (0 where no diagonal entry stored).
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.nrows)
-            .into_par_iter()
-            .map(|r| self.get(r, r as u32))
-            .collect()
+        par::map_range(0..self.nrows, |r| self.get(r, r as u32))
     }
 
     /// Structural graph: off-diagonal pattern, symmetrized, as a
@@ -295,22 +310,28 @@ impl CsrMatrix {
         let t = self.transpose();
         if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
             // Pattern asymmetry: compare entrywise the slow way.
-            return (0..self.nrows).into_par_iter().all(|r| {
+            return par::all_range(0..self.nrows, |r| {
                 let (cols, vals) = self.row(r);
                 cols.iter()
                     .zip(vals)
                     .all(|(&c, &v)| (self.get(c as usize, r as u32) - v).abs() <= tol)
             });
         }
-        t.values
-            .par_iter()
-            .zip(self.values.par_iter())
-            .all(|(a, b)| (a - b).abs() <= tol)
+        par::all_range(0..t.values.len(), |i| {
+            (t.values[i] - self.values[i]).abs() <= tol
+        })
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.values.par_iter().map(|v| v * v).sum::<f64>().sqrt()
+        par::chunked_reduce(
+            &self.values,
+            par::DET_BLOCK,
+            |c| c.iter().map(|v| v * v).sum::<f64>(),
+            0.0,
+            |a, b| a + b,
+        )
+        .sqrt()
     }
 
     /// Dense representation (small matrices / tests / coarsest AMG level).
@@ -372,11 +393,7 @@ mod tests {
 
     #[test]
     fn transpose_roundtrip() {
-        let m = CsrMatrix::from_coo(
-            2,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)],
-        );
+        let m = CsrMatrix::from_coo(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
         let t = m.transpose();
         assert_eq!(t.nrows(), 3);
         assert_eq!(t.ncols(), 2);
@@ -405,11 +422,7 @@ mod tests {
 
     #[test]
     fn to_graph_drops_diag_and_symmetrizes() {
-        let m = CsrMatrix::from_coo(
-            3,
-            3,
-            &[(0, 0, 5.0), (0, 1, 1.0), (2, 1, 1.0)],
-        );
+        let m = CsrMatrix::from_coo(3, 3, &[(0, 0, 5.0), (0, 1, 1.0), (2, 1, 1.0)]);
         let g = m.to_graph();
         assert_eq!(g.num_edges(), 2);
         assert!(g.has_edge(0, 1) && g.has_edge(1, 0));

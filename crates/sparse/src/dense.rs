@@ -15,7 +15,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Identity matrix.

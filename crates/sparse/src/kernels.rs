@@ -5,23 +5,23 @@
 //! whole solve is bitwise reproducible across thread counts — extending the
 //! paper's determinism property through the solver stack.
 
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// `y += alpha * x`.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len());
-    y.par_iter_mut().zip(x.par_iter()).for_each(|(y, &x)| *y += alpha * x);
+    par::for_each_mut_indexed(y, |i, y| *y += alpha * x[i]);
 }
 
 /// `y = x + beta * y` (xpay — the CG direction update).
 pub fn xpay(x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len());
-    y.par_iter_mut().zip(x.par_iter()).for_each(|(y, &x)| *y = x + beta * *y);
+    par::for_each_mut_indexed(y, |i, y| *y = x[i] + beta * *y);
 }
 
 /// `x *= alpha`.
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    x.par_iter_mut().for_each(|v| *v *= alpha);
+    par::for_each_mut(x, |v| *v *= alpha);
 }
 
 /// Deterministic dot product.
@@ -36,13 +36,13 @@ pub fn norm2(x: &[f64]) -> f64 {
 
 /// Infinity norm.
 pub fn norm_inf(x: &[f64]) -> f64 {
-    x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+    par::map_reduce(x, |v| v.abs(), 0.0, f64::max)
 }
 
 /// `z = a - b` elementwise.
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len());
-    a.par_iter().zip(b.par_iter()).map(|(x, y)| x - y).collect()
+    par::map_range(0..a.len(), |i| a[i] - b[i])
 }
 
 /// Residual `r = b - A x`.

@@ -10,7 +10,7 @@
 //! are bitwise deterministic for any thread count.
 
 use crate::csr_matrix::CsrMatrix;
-use rayon::prelude::*;
+use mis2_prim::par;
 
 /// Per-thread sparse accumulator: dense value array with generation-tagged
 /// occupancy markers, so clearing between rows is O(nnz(row)).
@@ -22,7 +22,11 @@ struct Accumulator {
 
 impl Accumulator {
     fn new(ncols: usize) -> Self {
-        Accumulator { values: vec![0.0; ncols], tag: vec![0; ncols], current: 0 }
+        Accumulator {
+            values: vec![0.0; ncols],
+            tag: vec![0; ncols],
+            current: 0,
+        }
     }
 
     #[inline]
@@ -57,29 +61,36 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     assert_eq!(a.ncols(), b.nrows(), "spgemm dimension mismatch");
     let nrows = a.nrows();
     let ncols = b.ncols();
-    let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..nrows)
-        .into_par_iter()
-        .map_init(
-            || Accumulator::new(ncols),
-            |acc, r| {
-                acc.begin_row();
-                let (acols, avals) = a.row(r);
-                let mut touched: Vec<u32> = Vec::new();
-                for (&k, &av) in acols.iter().zip(avals) {
-                    let (bcols, bvals) = b.row(k as usize);
-                    for (&j, &bv) in bcols.iter().zip(bvals) {
-                        if !acc.occupied(j as usize) {
-                            touched.push(j);
-                        }
-                        acc.add(j as usize, av * bv);
+    // Row blocks amortize the dense accumulator: one per block (ex
+    // map_init-per-thread), which keeps allocation O(blocks * ncols) while
+    // the per-row accumulation order stays fixed and deterministic.
+    const ROW_BLOCK: usize = 256;
+    let nblocks = nrows.div_ceil(ROW_BLOCK);
+    let blocks: Vec<Vec<(Vec<u32>, Vec<f64>)>> = par::map_range(0..nblocks, |blk| {
+        let lo = blk * ROW_BLOCK;
+        let hi = (lo + ROW_BLOCK).min(nrows);
+        let mut acc = Accumulator::new(ncols);
+        let mut out = Vec::with_capacity(hi - lo);
+        for r in lo..hi {
+            acc.begin_row();
+            let (acols, avals) = a.row(r);
+            let mut touched: Vec<u32> = Vec::new();
+            for (&k, &av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = b.row(k as usize);
+                for (&j, &bv) in bcols.iter().zip(bvals) {
+                    if !acc.occupied(j as usize) {
+                        touched.push(j);
                     }
+                    acc.add(j as usize, av * bv);
                 }
-                touched.sort_unstable();
-                let vals: Vec<f64> = touched.iter().map(|&j| acc.get(j as usize)).collect();
-                (touched, vals)
-            },
-        )
-        .collect();
+            }
+            touched.sort_unstable();
+            let vals: Vec<f64> = touched.iter().map(|&j| acc.get(j as usize)).collect();
+            out.push((touched, vals));
+        }
+        out
+    });
+    let rows: Vec<(Vec<u32>, Vec<f64>)> = blocks.into_iter().flatten().collect();
     CsrMatrix::from_sorted_rows(nrows, ncols, rows)
 }
 
@@ -95,35 +106,32 @@ pub fn galerkin_product(a: &CsrMatrix, p: &CsrMatrix) -> CsrMatrix {
 pub fn add_scaled(alpha: f64, a: &CsrMatrix, beta: f64, b: &CsrMatrix) -> CsrMatrix {
     assert_eq!(a.nrows(), b.nrows(), "add_scaled row mismatch");
     assert_eq!(a.ncols(), b.ncols(), "add_scaled col mismatch");
-    let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..a.nrows())
-        .into_par_iter()
-        .map(|r| {
-            let (ac, av) = a.row(r);
-            let (bc, bv) = b.row(r);
-            let mut cols = Vec::with_capacity(ac.len() + bc.len());
-            let mut vals = Vec::with_capacity(ac.len() + bc.len());
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < ac.len() || j < bc.len() {
-                let ca = ac.get(i).copied().unwrap_or(u32::MAX);
-                let cb = bc.get(j).copied().unwrap_or(u32::MAX);
-                if ca < cb {
-                    cols.push(ca);
-                    vals.push(alpha * av[i]);
-                    i += 1;
-                } else if cb < ca {
-                    cols.push(cb);
-                    vals.push(beta * bv[j]);
-                    j += 1;
-                } else {
-                    cols.push(ca);
-                    vals.push(alpha * av[i] + beta * bv[j]);
-                    i += 1;
-                    j += 1;
-                }
+    let rows: Vec<(Vec<u32>, Vec<f64>)> = par::map_range(0..a.nrows(), |r| {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let mut cols = Vec::with_capacity(ac.len() + bc.len());
+        let mut vals = Vec::with_capacity(ac.len() + bc.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            let ca = ac.get(i).copied().unwrap_or(u32::MAX);
+            let cb = bc.get(j).copied().unwrap_or(u32::MAX);
+            if ca < cb {
+                cols.push(ca);
+                vals.push(alpha * av[i]);
+                i += 1;
+            } else if cb < ca {
+                cols.push(cb);
+                vals.push(beta * bv[j]);
+                j += 1;
+            } else {
+                cols.push(ca);
+                vals.push(alpha * av[i] + beta * bv[j]);
+                i += 1;
+                j += 1;
             }
-            (cols, vals)
-        })
-        .collect();
+        }
+        (cols, vals)
+    });
     CsrMatrix::from_sorted_rows(a.nrows(), a.ncols(), rows)
 }
 
@@ -131,13 +139,10 @@ pub fn add_scaled(alpha: f64, a: &CsrMatrix, beta: f64, b: &CsrMatrix) -> CsrMat
 /// smoothing and Jacobi).
 pub fn scale_rows(s: &[f64], a: &CsrMatrix) -> CsrMatrix {
     assert_eq!(s.len(), a.nrows());
-    let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..a.nrows())
-        .into_par_iter()
-        .map(|r| {
-            let (cols, vals) = a.row(r);
-            (cols.to_vec(), vals.iter().map(|&v| s[r] * v).collect())
-        })
-        .collect();
+    let rows: Vec<(Vec<u32>, Vec<f64>)> = par::map_range(0..a.nrows(), |r| {
+        let (cols, vals) = a.row(r);
+        (cols.to_vec(), vals.iter().map(|&v| s[r] * v).collect())
+    });
     CsrMatrix::from_sorted_rows(a.nrows(), a.ncols(), rows)
 }
 
@@ -241,11 +246,7 @@ mod tests {
     #[test]
     fn galerkin_small() {
         // A = diag(1, 2, 3, 4); P aggregates {0,1} and {2,3}.
-        let a = CsrMatrix::from_coo(
-            4,
-            4,
-            &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0)],
-        );
+        let a = CsrMatrix::from_coo(4, 4, &[(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (3, 3, 4.0)]);
         let p = CsrMatrix::from_coo(4, 2, &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 1.0), (3, 1, 1.0)]);
         let ac = galerkin_product(&a, &p);
         assert_eq!(ac.nrows(), 2);

@@ -9,11 +9,20 @@
 use mis2::prelude::*;
 
 fn main() {
-    let d: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
-    println!("Laplace3D {d}^3 ({} unknowns), CG tol 1e-12, 2 Jacobi sweeps\n", d * d * d);
+    let d: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    println!(
+        "Laplace3D {d}^3 ({} unknowns), CG tol 1e-12, 2 Jacobi sweeps\n",
+        d * d * d
+    );
     let a = mis2::sparse::gen::laplace3d_matrix(d, d, d);
     let b = vec![1.0; a.nrows()];
-    let opts = SolveOpts { tol: 1e-12, max_iters: 500 };
+    let opts = SolveOpts {
+        tol: 1e-12,
+        max_iters: 500,
+    };
 
     println!(
         "{:<12} {:>6} {:>10} {:>10} {:>10} {:>8} {:>7}",
@@ -22,7 +31,11 @@ fn main() {
     for scheme in AggScheme::all() {
         let amg = AmgHierarchy::build(
             &a,
-            &AmgConfig { scheme, min_coarse_size: 200, ..Default::default() },
+            &AmgConfig {
+                scheme,
+                min_coarse_size: 200,
+                ..Default::default()
+            },
         );
         let t = std::time::Instant::now();
         let (x, res) = pcg(&a, &b, &amg, &opts);

@@ -15,8 +15,14 @@ use mis2::coarsen::{anisotropic2d_matrix, strength_graph};
 use mis2::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
-    let eps: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    let eps: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
     println!("anisotropic 2D operator: {n}x{n} grid, eps = {eps}\n");
 
     let a = anisotropic2d_matrix(n, n, eps);
@@ -49,9 +55,23 @@ fn main() {
     // pipeline; the filtered variant demonstrates the geometry that a
     // production strength-aware AMG would aggregate).
     let b = vec![1.0; a.nrows()];
-    let amg = AmgHierarchy::build(&a, &AmgConfig { min_coarse_size: 100, ..Default::default() });
+    let amg = AmgHierarchy::build(
+        &a,
+        &AmgConfig {
+            min_coarse_size: 100,
+            ..Default::default()
+        },
+    );
     let t = std::time::Instant::now();
-    let (_, res) = pcg(&a, &b, &amg, &SolveOpts { tol: 1e-10, max_iters: 500 });
+    let (_, res) = pcg(
+        &a,
+        &b,
+        &amg,
+        &SolveOpts {
+            tol: 1e-10,
+            max_iters: 500,
+        },
+    );
     println!(
         "\nAMG-CG on the anisotropic system: {} iterations in {:.3}s (converged: {})",
         res.iterations,

@@ -8,11 +8,20 @@
 use mis2::prelude::*;
 
 fn main() {
-    let d: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let d: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
     let a = mis2::sparse::gen::laplace3d_matrix(d, d, d);
     let b = vec![1.0; a.nrows()];
-    let opts = SolveOpts { tol: 1e-8, max_iters: 800 };
-    println!("Laplace3D {d}^3 ({} unknowns), GMRES(50) tol 1e-8\n", a.nrows());
+    let opts = SolveOpts {
+        tol: 1e-8,
+        max_iters: 800,
+    };
+    println!(
+        "Laplace3D {d}^3 ({} unknowns), GMRES(50) tol 1e-8\n",
+        a.nrows()
+    );
 
     // Point multicolor SGS: colors the full matrix graph.
     let point = PointMcSgs::new(&a, 0);

@@ -34,9 +34,15 @@ fn main() {
     let agg_ref = mis2_coarsen::mis2_aggregation(&g);
     for threads in [1usize, 4] {
         let a = mis2::prim::pool::with_pool(threads, || mis2_coarsen::mis2_aggregation(&g));
-        assert_eq!(a.labels, agg_ref.labels, "aggregation differed at {threads} threads");
+        assert_eq!(
+            a.labels, agg_ref.labels,
+            "aggregation differed at {threads} threads"
+        );
     }
-    println!("Algorithm 3: identical {} aggregates across thread counts", agg_ref.num_aggregates);
+    println!(
+        "Algorithm 3: identical {} aggregates across thread counts",
+        agg_ref.num_aggregates
+    );
 
     // 3. End-to-end bitwise-identical solve.
     let a = mis2::sparse::gen::spd_from_graph(&g, 7);
@@ -45,9 +51,20 @@ fn main() {
         mis2::prim::pool::with_pool(threads, || {
             let amg = AmgHierarchy::build(
                 &a,
-                &AmgConfig { min_coarse_size: 100, ..Default::default() },
+                &AmgConfig {
+                    min_coarse_size: 100,
+                    ..Default::default()
+                },
             );
-            pcg(&a, &b, &amg, &SolveOpts { tol: 1e-10, max_iters: 300 })
+            pcg(
+                &a,
+                &b,
+                &amg,
+                &SolveOpts {
+                    tol: 1e-10,
+                    max_iters: 300,
+                },
+            )
         })
     };
     let (x1, r1) = solve(1);
@@ -64,7 +81,13 @@ fn main() {
     );
 
     // 4. Different seeds -> different (but equally valid) sets.
-    let alt = mis2::mis2_with_config(&g, &Mis2Config { seed: 99, ..Default::default() });
+    let alt = mis2::mis2_with_config(
+        &g,
+        &Mis2Config {
+            seed: 99,
+            ..Default::default()
+        },
+    );
     verify_mis2(&g, &alt.is_in).unwrap();
     assert_ne!(alt.in_set, reference.in_set);
     println!(

@@ -43,8 +43,16 @@ fn main() {
         .unwrap_or(4)
         .next_power_of_two();
 
-    report("grid 64x64      ", &mis2::graph::gen::laplace2d(64, 64), parts);
-    report("grid 20x20x20   ", &mis2::graph::gen::laplace3d(20, 20, 20), parts);
+    report(
+        "grid 64x64      ",
+        &mis2::graph::gen::laplace2d(64, 64),
+        parts,
+    );
+    report(
+        "grid 20x20x20   ",
+        &mis2::graph::gen::laplace3d(20, 20, 20),
+        parts,
+    );
     report(
         "af_shell7 (tiny)",
         &mis2::graph::suite::build("af_shell7", Scale::Tiny),

@@ -1,0 +1,116 @@
+//! Cross-backend determinism: the serial backend (`--no-default-features`)
+//! and the threaded backend (default, at any pool size) must produce
+//! **bitwise-identical** MIS-2 and aggregation output.
+//!
+//! The two backends cannot coexist in one binary (they are selected by a
+//! compile-time feature), so equality is asserted transitively through
+//! golden fingerprints: each backend must reproduce the exact same
+//! fingerprint for the same input, therefore they match each other. CI
+//! runs this file under both feature sets.
+
+use mis2::prelude::*;
+use mis2_prim::hash::splitmix64;
+use mis2_prim::pool::with_pool;
+
+/// Order-sensitive 64-bit fingerprint of a u32 sequence.
+fn fingerprint(data: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for x in data {
+        h = splitmix64(h ^ x as u64);
+    }
+    h
+}
+
+fn mis2_fingerprint(g: &CsrGraph) -> u64 {
+    let r = mis2::mis2(g);
+    verify_mis2(g, &r.is_in).unwrap();
+    fingerprint(
+        r.in_set
+            .iter()
+            .copied()
+            .chain([r.iterations as u32, r.size() as u32]),
+    )
+}
+
+fn aggregation_fingerprint(g: &CsrGraph) -> u64 {
+    let a = mis2_aggregation(g);
+    a.validate(g).unwrap();
+    fingerprint(a.labels.iter().copied().chain([a.num_aggregates as u32]))
+}
+
+/// The three generator graphs the golden values are pinned on.
+fn graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("laplace3d_12", mis2_graph::gen::laplace3d(12, 12, 12)),
+        (
+            "erdos_renyi_1500",
+            mis2_graph::gen::erdos_renyi(1500, 6000, 42),
+        ),
+        ("rmat_11", mis2_graph::gen::rmat(11, 8, 0.57, 0.19, 0.19, 7)),
+    ]
+}
+
+/// Golden `(mis2, aggregation)` fingerprints per graph. Identical on the
+/// serial and threaded backends — that identity *is* the portability claim.
+/// If an intentional algorithm change shifts these, regenerate via
+/// `cargo test -q --test cross_backend -- --nocapture print_fingerprints`.
+const GOLDEN: [(&str, u64, u64); 3] = [
+    ("laplace3d_12", 0xbf72e302a7d8b8ad, 0x7a14a7e6a30d6637),
+    ("erdos_renyi_1500", 0xb525515fc33f2d43, 0x60af2bd9dd1ed679),
+    ("rmat_11", 0x4d1000cf150fb1bb, 0xf2f1e0bc0fb6ea27),
+];
+
+#[test]
+fn backends_reproduce_golden_fingerprints() {
+    for (name, g) in graphs() {
+        let (_, want_mis, want_agg) = GOLDEN
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .copied()
+            .unwrap_or_else(|| panic!("no golden entry for {name}"));
+        assert_eq!(
+            mis2_fingerprint(&g),
+            want_mis,
+            "MIS-2 fingerprint for {name} differs from golden \
+             (backend divergence or intentional algorithm change)"
+        );
+        assert_eq!(
+            aggregation_fingerprint(&g),
+            want_agg,
+            "aggregation fingerprint for {name} differs from golden"
+        );
+    }
+}
+
+#[test]
+fn fingerprints_stable_across_pool_sizes() {
+    for (name, g) in graphs() {
+        let base_mis = with_pool(1, || mis2_fingerprint(&g));
+        let base_agg = with_pool(1, || aggregation_fingerprint(&g));
+        for threads in [2usize, 3, 5, 8] {
+            assert_eq!(
+                with_pool(threads, || mis2_fingerprint(&g)),
+                base_mis,
+                "{name}: MIS-2 differs at {threads} threads"
+            );
+            assert_eq!(
+                with_pool(threads, || aggregation_fingerprint(&g)),
+                base_agg,
+                "{name}: aggregation differs at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Not a check — prints the fingerprints so the GOLDEN table above can be
+/// regenerated after an intentional algorithm change.
+#[test]
+fn print_fingerprints() {
+    for (name, g) in graphs() {
+        println!(
+            "    (\"{name}\", {:#018x}, {:#018x}),",
+            mis2_fingerprint(&g),
+            aggregation_fingerprint(&g)
+        );
+    }
+}

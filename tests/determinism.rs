@@ -48,7 +48,12 @@ fn aggregation_identical_across_thread_counts() {
             a2.validate(&g).unwrap();
             continue;
         }
-        assert_eq!(a1.labels, a2.labels, "{} differs across threads", scheme.label());
+        assert_eq!(
+            a1.labels,
+            a2.labels,
+            "{} differs across threads",
+            scheme.label()
+        );
     }
 }
 
@@ -86,7 +91,16 @@ fn full_gmres_cluster_gs_solve_bitwise_identical() {
     let solve = |threads: usize| {
         with_pool(threads, || {
             let pre = ClusterMcSgs::new(&a, AggScheme::Mis2Agg, 0);
-            gmres(&a, &b, &pre, 40, &SolveOpts { tol: 1e-9, max_iters: 400 })
+            gmres(
+                &a,
+                &b,
+                &pre,
+                40,
+                &SolveOpts {
+                    tol: 1e-9,
+                    max_iters: 400,
+                },
+            )
         })
     };
     let (x1, r1) = solve(1);
@@ -105,5 +119,9 @@ fn seed_zero_reproduces_fixed_reference() {
     let again = mis2::mis2(&g);
     assert_eq!(r.in_set, again.in_set);
     // The set is stable across runs; record its invariant properties.
-    assert!(r.size() >= 4 && r.size() <= 9, "unexpected size {}", r.size());
+    assert!(
+        r.size() >= 4 && r.size() <= 9,
+        "unexpected size {}",
+        r.size()
+    );
 }

@@ -62,10 +62,21 @@ fn strength_filtered_amg_on_anisotropic_problem() {
     assert!(g.avg_degree() < 2.5, "weak couplings survived filtering");
     let amg = AmgHierarchy::build(
         &a,
-        &AmgConfig { min_coarse_size: 40, ..Default::default() },
+        &AmgConfig {
+            min_coarse_size: 40,
+            ..Default::default()
+        },
     );
     let b = vec![1.0; a.nrows()];
-    let (_, res) = pcg(&a, &b, &amg, &SolveOpts { tol: 1e-10, max_iters: 400 });
+    let (_, res) = pcg(
+        &a,
+        &b,
+        &amg,
+        &SolveOpts {
+            tol: 1e-10,
+            max_iters: 400,
+        },
+    );
     assert!(res.converged, "rel {}", res.relative_residual);
 }
 
@@ -83,7 +94,15 @@ fn chebyshev_amg_bitwise_deterministic() {
                     ..Default::default()
                 },
             );
-            pcg(&a, &b, &amg, &SolveOpts { tol: 1e-10, max_iters: 200 })
+            pcg(
+                &a,
+                &b,
+                &amg,
+                &SolveOpts {
+                    tol: 1e-10,
+                    max_iters: 200,
+                },
+            )
         })
     };
     let (x1, r1) = run(1);
@@ -98,7 +117,10 @@ fn gs_iteration_hierarchy_seq_cluster_point() {
     // point GS in GMRES iterations (with slack for coloring accidents).
     let a = mis2::sparse::gen::laplace3d_matrix(9, 9, 9);
     let b = vec![1.0; a.nrows()];
-    let opts = SolveOpts { tol: 1e-8, max_iters: 500 };
+    let opts = SolveOpts {
+        tol: 1e-8,
+        max_iters: 500,
+    };
     let it = |p: &dyn Preconditioner| {
         let (_, r) = gmres(&a, &b, p, 50, &opts);
         assert!(r.converged);
@@ -128,7 +150,16 @@ fn mis_based_d2_coloring_composes_with_cluster_gs() {
         &mis2::color::color_d1(&mis2::coarsen::quotient_graph(&g, &agg), 0),
     );
     let b = vec![1.0; a.nrows()];
-    let (_, res) = gmres(&a, &b, &gs, 50, &SolveOpts { tol: 1e-8, max_iters: 400 });
+    let (_, res) = gmres(
+        &a,
+        &b,
+        &gs,
+        50,
+        &SolveOpts {
+            tol: 1e-8,
+            max_iters: 400,
+        },
+    );
     assert!(res.converged);
 }
 

@@ -12,15 +12,24 @@ fn family_zoo(seed: u64) -> Vec<(String, CsrGraph)> {
         ("cycle".into(), gen::cycle(201)),
         ("star".into(), gen::star(100)),
         ("complete".into(), gen::complete(40)),
-        ("erdos_renyi_sparse".into(), gen::erdos_renyi(400, 500, seed)),
-        ("erdos_renyi_dense".into(), gen::erdos_renyi(300, 4000, seed)),
+        (
+            "erdos_renyi_sparse".into(),
+            gen::erdos_renyi(400, 500, seed),
+        ),
+        (
+            "erdos_renyi_dense".into(),
+            gen::erdos_renyi(300, 4000, seed),
+        ),
         ("laplace2d".into(), gen::laplace2d(20, 25)),
         ("laplace3d".into(), gen::laplace3d(8, 9, 10)),
         ("elasticity3d".into(), gen::elasticity3d(5, 5, 5, 3)),
         ("rmat".into(), gen::rmat(9, 8, 0.57, 0.19, 0.19, seed)),
         ("regularish".into(), gen::random_regular_ish(500, 6, seed)),
         ("honeycomb".into(), mis2_graph::suite::honeycomb(20, 20)),
-        ("mesh3d".into(), gen::mesh3d(4000, 18, 0.05, 3, 40, 4, 20, seed)),
+        (
+            "mesh3d".into(),
+            gen::mesh3d(4000, 18, 0.05, 3, 40, 4, 20, seed),
+        ),
         ("empty".into(), CsrGraph::empty(50)),
         ("single".into(), CsrGraph::empty(1)),
     ]
@@ -31,8 +40,7 @@ fn algorithm1_valid_on_all_families() {
     for seed in 0..2u64 {
         for (name, g) in family_zoo(seed) {
             let r = mis2::mis2(&g);
-            verify_mis2(&g, &r.is_in)
-                .unwrap_or_else(|e| panic!("{name} (seed {seed}): {e}"));
+            verify_mis2(&g, &r.is_in).unwrap_or_else(|e| panic!("{name} (seed {seed}): {e}"));
         }
     }
 }
@@ -64,14 +72,23 @@ fn luby_valid_on_all_families() {
 #[test]
 fn every_engine_config_valid_on_zoo_sample() {
     let g = gen::erdos_renyi(600, 2400, 9);
-    for priorities in [PriorityScheme::Fixed, PriorityScheme::XorHash, PriorityScheme::XorStar] {
+    for priorities in [
+        PriorityScheme::Fixed,
+        PriorityScheme::XorHash,
+        PriorityScheme::XorStar,
+    ] {
         for use_worklists in [false, true] {
             for packed in [false, true] {
                 for simd in [SimdMode::Off, SimdMode::Auto, SimdMode::On] {
-                    let cfg = Mis2Config { priorities, use_worklists, packed, simd, seed: 0 };
+                    let cfg = Mis2Config {
+                        priorities,
+                        use_worklists,
+                        packed,
+                        simd,
+                        seed: 0,
+                    };
                     let r = mis2_with_config(&g, &cfg);
-                    verify_mis2(&g, &r.is_in)
-                        .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+                    verify_mis2(&g, &r.is_in).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
                 }
             }
         }
@@ -87,7 +104,11 @@ fn suite_graphs_produce_valid_mis2() {
         // graph cannot be vanishingly small: |MIS2| * (1 + d + d^2) >= |V|.
         let d = g.max_degree();
         let bound = g.num_vertices() / (1 + d + d * d);
-        assert!(r.size() >= bound.max(1), "{name}: size {} < bound {bound}", r.size());
+        assert!(
+            r.size() >= bound.max(1),
+            "{name}: size {} < bound {bound}",
+            r.size()
+        );
     }
 }
 

@@ -12,10 +12,21 @@ fn amg_pipeline_converges_on_poisson() {
     let b = vec![1.0; a.nrows()];
     let amg = AmgHierarchy::build(
         &a,
-        &AmgConfig { min_coarse_size: 100, ..Default::default() },
+        &AmgConfig {
+            min_coarse_size: 100,
+            ..Default::default()
+        },
     );
     assert!(amg.num_levels() >= 2);
-    let (x, res) = pcg(&a, &b, &amg, &SolveOpts { tol: 1e-12, max_iters: 200 });
+    let (x, res) = pcg(
+        &a,
+        &b,
+        &amg,
+        &SolveOpts {
+            tol: 1e-12,
+            max_iters: 200,
+        },
+    );
     assert!(res.converged, "rel {}", res.relative_residual);
     // AMG should converge in a mesh-independent-ish iteration count.
     assert!(res.iterations < 60, "{} iterations", res.iterations);
@@ -29,11 +40,18 @@ fn amg_iteration_ranking_matches_table_v() {
     // in the fewest iterations, MIS2 Basic in the most (49 vs 22 there).
     let a = mis2::sparse::gen::laplace3d_matrix(16, 16, 16);
     let b = vec![1.0; a.nrows()];
-    let opts = SolveOpts { tol: 1e-12, max_iters: 400 };
+    let opts = SolveOpts {
+        tol: 1e-12,
+        max_iters: 400,
+    };
     let iters = |scheme: AggScheme| {
         let amg = AmgHierarchy::build(
             &a,
-            &AmgConfig { scheme, min_coarse_size: 100, ..Default::default() },
+            &AmgConfig {
+                scheme,
+                min_coarse_size: 100,
+                ..Default::default()
+            },
         );
         let (_, res) = pcg(&a, &b, &amg, &opts);
         assert!(res.converged, "{} did not converge", scheme.label());
@@ -53,9 +71,21 @@ fn cluster_gs_pipeline_on_suite_standin() {
     let a = mis2::sparse::gen::spd_from_graph(&g, 4);
     let b = vec![1.0; a.nrows()];
     let pre = ClusterMcSgs::new(&a, AggScheme::Mis2Agg, 0);
-    let (_, res) = gmres(&a, &b, &pre, 50, &SolveOpts { tol: 1e-8, max_iters: 800 });
+    let (_, res) = gmres(
+        &a,
+        &b,
+        &pre,
+        50,
+        &SolveOpts {
+            tol: 1e-8,
+            max_iters: 800,
+        },
+    );
     assert!(res.converged, "rel {}", res.relative_residual);
-    assert!(pre.num_clusters < g.num_vertices() / 2, "coarsening too weak");
+    assert!(
+        pre.num_clusters < g.num_vertices() / 2,
+        "coarsening too weak"
+    );
 }
 
 #[test]
@@ -64,7 +94,10 @@ fn point_vs_cluster_iteration_comparison() {
     // locally exact). Allow a small slack since coloring affects both.
     let a = mis2::sparse::gen::laplace3d_matrix(10, 10, 10);
     let b = vec![1.0; a.nrows()];
-    let opts = SolveOpts { tol: 1e-8, max_iters: 800 };
+    let opts = SolveOpts {
+        tol: 1e-8,
+        max_iters: 800,
+    };
     let point = PointMcSgs::new(&a, 0);
     let cluster = ClusterMcSgs::new(&a, AggScheme::Mis2Agg, 0);
     let (_, rp) = gmres(&a, &b, &point, 50, &opts);
@@ -129,12 +162,21 @@ fn aggregation_feeds_valid_prolongator_chain() {
 fn bench_experiments_smoke() {
     // The harness experiment functions must run end-to-end at tiny scale.
     use mis2_bench::{experiments, RunOpts, ThreadSweep};
-    let opts = RunOpts { scale: Scale::Tiny, trials: 1, threads: ThreadSweep::Default };
+    let opts = RunOpts {
+        scale: Scale::Tiny,
+        trials: 1,
+        threads: ThreadSweep::Default,
+    };
     let t3 = experiments::table3(&opts);
     assert_eq!(t3.rows.len(), 8);
     let t5 = experiments::table5(&opts);
     assert_eq!(t5.rows.len(), 5);
     // MIS2 Agg should converge in no more iterations than MIS2 Basic.
     let iters: Vec<usize> = t5.rows.iter().map(|r| r[1].parse().unwrap()).collect();
-    assert!(iters[4] <= iters[3], "MIS2 Agg {} vs MIS2 Basic {}", iters[4], iters[3]);
+    assert!(
+        iters[4] <= iters[3],
+        "MIS2 Agg {} vs MIS2 Basic {}",
+        iters[4],
+        iters[3]
+    );
 }

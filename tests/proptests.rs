@@ -1,4 +1,7 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-based tests over the core invariants, driven by a small
+//! deterministic case generator (the container builds offline, so the
+//! `proptest` crate is replaced by explicit splitmix64-seeded sampling —
+//! same properties, reproducible cases):
 //!
 //! * Algorithm 1 produces a valid MIS-2 on arbitrary graphs;
 //! * determinism: thread count never changes the result;
@@ -9,132 +12,220 @@
 
 use mis2::prelude::*;
 use mis2_core::tuple::{id_bits, Packed, TupleRepr, Unpacked};
-use proptest::prelude::*;
+use mis2_prim::hash::splitmix64;
 
-/// Strategy: a random undirected graph as (n, edge list).
-fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
-    (2usize..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
-            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
-    })
+/// Deterministic stream of pseudo-random u64s for one test case.
+struct Rng(u64);
+
+impl Rng {
+    fn new(test: u64, case: u64) -> Self {
+        Rng(splitmix64(test.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn mis2_always_valid(g in arb_graph(120, 400)) {
+/// A random undirected graph with `2..max_n` vertices and `0..max_m`
+/// candidate edges (duplicates and self-loops are dropped by the builder).
+fn arb_graph(rng: &mut Rng, max_n: usize, max_m: usize) -> CsrGraph {
+    let n = rng.range(2, max_n);
+    let m = rng.range(0, max_m);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.range(0, n) as u32, rng.range(0, n) as u32))
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[test]
+fn mis2_always_valid() {
+    for case in 0..CASES {
+        let g = arb_graph(&mut Rng::new(1, case), 120, 400);
         let r = mis2::mis2(&g);
-        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+        assert!(verify_mis2(&g, &r.is_in).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn mis2_valid_for_any_seed(g in arb_graph(80, 200), seed in any::<u64>()) {
-        let r = mis2_with_config(&g, &Mis2Config { seed, ..Default::default() });
-        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+#[test]
+fn mis2_valid_for_any_seed() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(2, case);
+        let g = arb_graph(&mut rng, 80, 200);
+        let seed = rng.next();
+        let r = mis2_with_config(
+            &g,
+            &Mis2Config {
+                seed,
+                ..Default::default()
+            },
+        );
+        assert!(verify_mis2(&g, &r.is_in).is_ok(), "case {case} seed {seed}");
     }
+}
 
-    #[test]
-    fn bell_always_valid(g in arb_graph(100, 300), seed in any::<u64>()) {
-        let r = bell_mis2(&g, seed);
-        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+#[test]
+fn bell_always_valid() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(3, case);
+        let g = arb_graph(&mut rng, 100, 300);
+        let r = bell_mis2(&g, rng.next());
+        assert!(verify_mis2(&g, &r.is_in).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn mis2_thread_count_invariant(g in arb_graph(100, 300)) {
+#[test]
+fn mis2_thread_count_invariant() {
+    for case in 0..CASES / 4 {
+        let g = arb_graph(&mut Rng::new(4, case), 100, 300);
         let a = mis2_prim::pool::with_pool(1, || mis2::mis2(&g));
         let b = mis2_prim::pool::with_pool(3, || mis2::mis2(&g));
-        prop_assert_eq!(a.in_set, b.in_set);
+        assert_eq!(a.in_set, b.in_set, "case {case}");
     }
+}
 
-    #[test]
-    fn packed_tuple_order_matches_unpacked(
-        n in 2usize..1_000_000,
-        p1 in any::<u64>(),
-        p2 in any::<u64>(),
-        id1 in 0u32..1000,
-        id2 in 0u32..1000,
-    ) {
+#[test]
+fn packed_tuple_order_matches_unpacked() {
+    for case in 0..CASES * 4 {
+        let mut rng = Rng::new(5, case);
+        let n = rng.range(2, 1_000_000);
         let bits = id_bits(n);
-        let mask = if bits == 64 { 0 } else { (1u64 << (64 - bits)) - 1 };
-        let (q1, q2) = (p1 & mask, p2 & mask);
+        let mask = if bits == 64 {
+            0
+        } else {
+            (1u64 << (64 - bits)) - 1
+        };
+        let (q1, q2) = (rng.next() & mask, rng.next() & mask);
+        let (id1, id2) = (rng.range(0, 1000) as u32, rng.range(0, 1000) as u32);
         let a = Packed::undecided(q1, id1, bits);
         let b = Packed::undecided(q2, id2, bits);
         let ua = Unpacked::undecided(q1, id1, bits);
         let ub = Unpacked::undecided(q2, id2, bits);
-        prop_assert_eq!(a.cmp(&b), ua.cmp(&ub));
+        assert_eq!(a.cmp(&b), ua.cmp(&ub), "case {case}");
         // Sentinels bracket everything.
-        prop_assert!(a > Packed::IN && a < Packed::OUT);
+        assert!(a > Packed::IN && a < Packed::OUT, "case {case}");
     }
+}
 
-    #[test]
-    fn aggregation_is_connected_partition(g in arb_graph(100, 300)) {
+#[test]
+fn aggregation_is_connected_partition() {
+    for case in 0..CASES {
+        let g = arb_graph(&mut Rng::new(6, case), 100, 300);
         let a = mis2_aggregation(&g);
-        prop_assert!(a.validate(&g).is_ok());
-        prop_assert_eq!(a.labels.len(), g.num_vertices());
+        assert!(a.validate(&g).is_ok(), "case {case}");
+        assert_eq!(a.labels.len(), g.num_vertices());
     }
+}
 
-    #[test]
-    fn basic_coarsening_is_connected_partition(g in arb_graph(100, 300)) {
+#[test]
+fn basic_coarsening_is_connected_partition() {
+    for case in 0..CASES {
+        let g = arb_graph(&mut Rng::new(7, case), 100, 300);
         let a = mis2_basic(&g);
-        prop_assert!(a.validate(&g).is_ok());
+        assert!(a.validate(&g).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn d1_coloring_proper(g in arb_graph(100, 300), seed in any::<u64>()) {
-        let c = color_d1(&g, seed);
-        prop_assert!(mis2_color::verify_coloring_d1(&g, &c.colors).is_ok());
-        prop_assert!(c.num_colors as usize <= g.max_degree() + 1);
+#[test]
+fn d1_coloring_proper() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(8, case);
+        let g = arb_graph(&mut rng, 100, 300);
+        let c = color_d1(&g, rng.next());
+        assert!(
+            mis2_color::verify_coloring_d1(&g, &c.colors).is_ok(),
+            "case {case}"
+        );
+        assert!(c.num_colors as usize <= g.max_degree() + 1, "case {case}");
     }
+}
 
-    #[test]
-    fn d2_coloring_proper(g in arb_graph(60, 150), seed in any::<u64>()) {
-        let c = color_d2(&g, seed);
-        prop_assert!(mis2_color::verify_coloring_d2(&g, &c.colors).is_ok());
+#[test]
+fn d2_coloring_proper() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(9, case);
+        let g = arb_graph(&mut rng, 60, 150);
+        let c = color_d2(&g, rng.next());
+        assert!(
+            mis2_color::verify_coloring_d2(&g, &c.colors).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn scan_matches_sequential(v in proptest::collection::vec(0usize..1000, 0..5000)) {
+#[test]
+fn scan_matches_sequential() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(10, case);
+        let len = rng.range(0, 5000);
+        let v: Vec<usize> = (0..len).map(|_| rng.range(0, 1000)).collect();
         let (got, total) = mis2_prim::scan::exclusive_scan(&v);
         let mut run = 0usize;
         for (i, &x) in v.iter().enumerate() {
-            prop_assert_eq!(got[i], run);
+            assert_eq!(got[i], run, "case {case} index {i}");
             run += x;
         }
-        prop_assert_eq!(total, run);
+        assert_eq!(total, run, "case {case}");
     }
+}
 
-    #[test]
-    fn par_filter_matches_sequential(v in proptest::collection::vec(any::<u32>(), 0..5000)) {
+#[test]
+fn par_filter_matches_sequential() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(11, case);
+        let len = rng.range(0, 5000);
+        let v: Vec<u32> = (0..len).map(|_| rng.next() as u32).collect();
         let got = mis2_prim::compact::par_filter(&v, |&x| x % 3 == 0);
         let want: Vec<u32> = v.iter().copied().filter(|&x| x % 3 == 0).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn quotient_graph_well_formed(g in arb_graph(80, 240)) {
+#[test]
+fn quotient_graph_well_formed() {
+    for case in 0..CASES {
+        let g = arb_graph(&mut Rng::new(12, case), 80, 240);
         let agg = mis2_aggregation(&g);
         let q = mis2_coarsen::quotient_graph(&g, &agg);
-        prop_assert_eq!(q.num_vertices(), agg.num_aggregates);
-        prop_assert!(q.validate_symmetric().is_ok());
+        assert_eq!(q.num_vertices(), agg.num_aggregates, "case {case}");
+        assert!(q.validate_symmetric().is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn spgemm_identity_is_identity(n in 1usize..60) {
+#[test]
+fn spgemm_identity_is_identity() {
+    for case in 0..CASES {
+        let n = Rng::new(13, case).range(1, 60);
         let i = CsrMatrix::identity(n);
         let c = mis2_sparse::spgemm(&i, &i);
-        prop_assert_eq!(c, i);
+        assert_eq!(c, i, "case {case}");
     }
+}
 
-    #[test]
-    fn luby_mis1_valid(g in arb_graph(100, 300), seed in any::<u64>()) {
-        let r = luby_mis1(&g, seed);
-        prop_assert!(mis2_core::verify_mis1(&g, &r.is_in).is_ok());
+#[test]
+fn luby_mis1_valid() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(14, case);
+        let g = arb_graph(&mut rng, 100, 300);
+        let r = luby_mis1(&g, rng.next());
+        assert!(mis2_core::verify_mis1(&g, &r.is_in).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn oracle_matches_lemma(g in arb_graph(60, 150), seed in any::<u64>()) {
-        let r = mis2_core::mis2_via_square(&g, seed);
-        prop_assert!(verify_mis2(&g, &r.is_in).is_ok());
+#[test]
+fn oracle_matches_lemma() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(15, case);
+        let g = arb_graph(&mut rng, 60, 150);
+        let r = mis2_core::mis2_via_square(&g, rng.next());
+        assert!(verify_mis2(&g, &r.is_in).is_ok(), "case {case}");
     }
 }

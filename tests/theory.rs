@@ -37,7 +37,12 @@ fn mis1_of_square_is_mis2_size_class() {
     let direct = mis2::mis2(&g);
     let oracle = mis2_core::mis2_via_square(&g, 0);
     let ratio = direct.size() as f64 / oracle.size() as f64;
-    assert!((0.5..=2.0).contains(&ratio), "{} vs {}", direct.size(), oracle.size());
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "{} vs {}",
+        direct.size(),
+        oracle.size()
+    );
 }
 
 #[test]
@@ -105,7 +110,11 @@ fn luby_iterations_logarithmic_on_g2() {
     let g2 = ops::square(&g);
     let r = luby_mis1(&g2, 0);
     let logv = (g2.num_vertices() as f64).log2();
-    assert!((r.iterations as f64) < 2.5 * logv, "{} rounds", r.iterations);
+    assert!(
+        (r.iterations as f64) < 2.5 * logv,
+        "{} rounds",
+        r.iterations
+    );
 }
 
 #[test]
