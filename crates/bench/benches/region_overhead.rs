@@ -1,0 +1,113 @@
+//! Region-dispatch overhead: spawn-per-region vs the persistent parked
+//! pool.
+//!
+//! Before the persistent pool, every parallel region paid
+//! `std::thread::scope` — one OS thread creation and join per worker per
+//! region. This bench reconstructs that backend locally and races it
+//! against the pool-backed `par` layer on identical block decompositions,
+//! across region sizes from "barely parallel" to large, plus a
+//! solver-shaped workload of many consecutive small regions (the pattern
+//! of Gauss-Seidel sweeps and CG vector updates where per-region overhead
+//! dominates).
+
+use mis2_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis2_prim::hash::splitmix64;
+use mis2_prim::{par, pool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Workers per region for both dispatch strategies.
+const TEAM: usize = 4;
+
+/// The block size the `par` layer would pick for `n` items on this team
+/// (mirrors its adaptive decomposition so both strategies do identical
+/// work per block).
+fn block_for(n: usize) -> usize {
+    n.div_ceil(TEAM * 4).max(256)
+}
+
+/// Per-block body shared by both strategies: hash-sum a block of indices
+/// into its own output slot (disjoint writes, a few ns per element).
+fn block_sum(lo: usize, hi: usize, slot: &AtomicU64) {
+    let mut acc = 0u64;
+    for i in lo..hi {
+        acc = acc.wrapping_add(splitmix64(i as u64));
+    }
+    slot.store(acc, Ordering::Relaxed);
+}
+
+/// The pre-pool backend, reconstructed: spawn scoped threads for every
+/// region, workers claiming the same fixed blocks from an atomic counter.
+fn spawn_per_region(n: usize, out: &[AtomicU64]) {
+    let block = block_for(n);
+    let nblocks = n.div_ceil(block);
+    let next = AtomicUsize::new(0);
+    let drain = || loop {
+        let b = next.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
+        block_sum(b * block, (b * block + block).min(n), &out[b]);
+    };
+    std::thread::scope(|s| {
+        for _ in 1..TEAM.min(nblocks) {
+            s.spawn(drain);
+        }
+        drain();
+    });
+}
+
+/// The same region through the `par` layer: blocks drained by the warm
+/// parked pool.
+fn pooled_region(n: usize, out: &[AtomicU64]) {
+    let block = block_for(n);
+    par::for_chunks(&vec![(); n][..], block, |b, chunk| {
+        let lo = b * block;
+        block_sum(lo, lo + chunk.len(), &out[b]);
+    });
+}
+
+fn bench_region_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_overhead");
+    group.sample_size(40);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Single-region latency across region sizes. On small regions the
+    // dispatch cost *is* the runtime, which is where the parked pool must
+    // win; on large regions both converge to the memory-bound work.
+    for &n in &[4_096usize, 32_768, 262_144, 1_048_576] {
+        let out: Vec<AtomicU64> = (0..n.div_ceil(256)).map(|_| AtomicU64::new(0)).collect();
+        group.bench_with_input(BenchmarkId::new("spawn_per_region", n), &n, |b, &n| {
+            b.iter(|| spawn_per_region(n, &out))
+        });
+        group.bench_with_input(BenchmarkId::new("parked_pool", n), &n, |b, &n| {
+            b.iter(|| pool::with_pool(TEAM, || pooled_region(n, &out)))
+        });
+    }
+
+    // Solver-shaped workload: 100 consecutive small regions per iteration,
+    // the shape of multicolor Gauss-Seidel sweeps and CG vector kernels.
+    let n = 8_192usize;
+    let out: Vec<AtomicU64> = (0..n.div_ceil(256)).map(|_| AtomicU64::new(0)).collect();
+    group.bench_function("solver_sweep_100x8k/spawn_per_region", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                spawn_per_region(n, &out);
+            }
+        })
+    });
+    group.bench_function("solver_sweep_100x8k/parked_pool", |b| {
+        b.iter(|| {
+            pool::with_pool(TEAM, || {
+                for _ in 0..100 {
+                    pooled_region(n, &out);
+                }
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_region_overhead);
+criterion_main!(benches);

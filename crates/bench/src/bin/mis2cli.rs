@@ -81,7 +81,13 @@ fn load_graph(a: &Args) -> CsrGraph {
                 std::process::exit(1);
             }
         },
-        (None, Some(name)) => suite::build(name, a.scale),
+        (None, Some(name)) => match suite::try_build(name, a.scale) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
         (None, None) => {
             eprintln!("no input: pass --mtx FILE or --workload NAME");
             eprintln!(

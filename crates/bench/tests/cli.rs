@@ -1,0 +1,53 @@
+//! End-to-end tests of the `mis2cli` binary surface.
+
+use std::process::Command;
+
+fn mis2cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mis2cli"))
+        .args(args)
+        .output()
+        .expect("failed to launch mis2cli")
+}
+
+#[test]
+fn unknown_workload_prints_usage_and_exits_nonzero() {
+    let out = mis2cli(&["mis2", "--workload", "definitely_not_a_matrix"]);
+    assert!(!out.status.success());
+    assert_ne!(
+        out.status.code(),
+        Some(101),
+        "an unknown workload must exit cleanly, not panic"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown suite workload: definitely_not_a_matrix"),
+        "stderr was: {err}"
+    );
+    // The message must list the valid workloads so the user can recover.
+    for name in ["af_shell7", "ecology2", "Laplace3D_100", "tmt_sym"] {
+        assert!(err.contains(name), "stderr must list {name}; was: {err}");
+    }
+}
+
+#[test]
+fn no_input_exits_nonzero_with_workload_list() {
+    let out = mis2cli(&["stats"]);
+    assert!(!out.status.success());
+    assert_ne!(out.status.code(), Some(101));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no input"), "stderr was: {err}");
+    assert!(err.contains("ecology2"), "stderr was: {err}");
+}
+
+#[test]
+fn known_workload_runs_successfully() {
+    let out = mis2cli(&["mis2", "--workload", "ecology2", "--scale", "tiny"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("|MIS-2|"), "stdout was: {stdout}");
+    assert!(stdout.contains("verified"), "stdout was: {stdout}");
+}

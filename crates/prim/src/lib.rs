@@ -19,8 +19,10 @@
 //!   cluster membership, aggregate members).
 //! * [`reduce`] — deterministic parallel reductions (sums, min/max) whose
 //!   results do not depend on the number of worker threads.
-//! * [`pool`] — helpers to run closures with the execution layer capped to a fixed size
-//!   (for the strong-scaling experiments of Figures 4 and 5).
+//! * [`pool`] — the lazily initialized persistent worker pool behind the
+//!   threaded backend (parked OS threads woken per region), plus helpers
+//!   to run closures with the team capped to a fixed size (for the
+//!   strong-scaling experiments of Figures 4 and 5).
 //! * [`timer`] — wall-clock timing and sample statistics used by the
 //!   benchmark harness.
 //!
@@ -40,7 +42,7 @@ pub mod timer;
 pub use bucket::bucket_by_key;
 pub use compact::{par_filter, par_filter_indices, par_map_filter};
 pub use hash::{hash2, splitmix64, xorshift64, xorshift64_star};
-pub use pool::{max_threads, with_pool};
+pub use pool::{max_threads, spawned_workers, with_pool, MAX_TEAM};
 pub use ptr::SharedMut;
 pub use reduce::{det_max, det_min, det_sum_f64, det_sum_usize};
 pub use scan::{exclusive_scan, exclusive_scan_in_place, inclusive_scan};

@@ -14,8 +14,13 @@
 //! * **serial** (`--no-default-features`): every operation is a plain loop.
 //!   No threads are ever created and no synchronization is performed.
 //! * **threads** (default): operations split their index space into blocks
-//!   executed by `std::thread::scope` workers that claim blocks from an
-//!   atomic counter. The worker count honors [`crate::pool::with_pool`].
+//!   drained by the **persistent worker pool** in [`crate::pool`] — parked
+//!   OS threads woken per region through an epoch/condvar handshake, each
+//!   claiming whole blocks from an atomic counter. No thread is spawned or
+//!   torn down per region, so even the rapid back-to-back tiny regions of
+//!   iterative solvers pay only a wake/park handshake. The team size
+//!   honors [`crate::pool::with_pool`], which caps how many parked workers
+//!   *participate* (not how many exist).
 //!
 //! ## Determinism contract
 //!
@@ -32,7 +37,10 @@
 //! * [`find_map_range`] always returns the *globally first* match.
 //!
 //! Nested parallel regions (a `par` call made from inside a worker) run
-//! serially on the calling worker — same results, no oversubscription.
+//! serially on the calling worker — same results, no oversubscription, no
+//! deadlock on the single persistent team. A panic inside a region is
+//! re-raised on the thread that opened it after the remaining blocks have
+//! drained, and the pool's workers survive to serve later regions.
 
 use std::ops::Range;
 
@@ -93,57 +101,22 @@ impl<T> SendPtr<T> {
 
 #[cfg(feature = "parallel")]
 mod backend {
-    use std::cell::Cell;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    thread_local! {
-        /// Set while this thread is executing inside a parallel region, so
-        /// nested `par` calls degrade to serial instead of oversubscribing.
-        static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
-    }
-
     pub(super) fn is_nested() -> bool {
-        IN_PARALLEL_REGION.with(|c| c.get())
+        crate::pool::in_region()
     }
 
     pub(super) fn run_blocks(nblocks: usize, body: &(dyn Fn(usize) + Sync)) {
         if nblocks == 0 {
             return;
         }
-        let workers = crate::pool::current_threads().min(nblocks);
-        if workers <= 1 || is_nested() {
+        let team = crate::pool::current_threads().min(nblocks);
+        if team <= 1 || is_nested() {
             for b in 0..nblocks {
                 body(b);
             }
             return;
         }
-        let next = AtomicUsize::new(0);
-        let drain = || {
-            IN_PARALLEL_REGION.with(|c| c.set(true));
-            loop {
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                if b >= nblocks {
-                    break;
-                }
-                body(b);
-            }
-        };
-        // Reset the nesting flag even if `body` panics on the calling
-        // thread (a caller catching the unwind must not be left degraded
-        // to permanent serial execution).
-        struct ResetNested;
-        impl Drop for ResetNested {
-            fn drop(&mut self) {
-                IN_PARALLEL_REGION.with(|c| c.set(false));
-            }
-        }
-        std::thread::scope(|s| {
-            for _ in 1..workers {
-                s.spawn(drain);
-            }
-            let _reset = ResetNested;
-            drain();
-        });
+        crate::pool::run_region(nblocks, team, body);
     }
 }
 

@@ -1,14 +1,54 @@
-//! Thread-pool sizing.
+//! The persistent worker pool behind the `par` execution layer, plus
+//! thread-count capping for the strong-scaling experiments.
 //!
-//! The strong-scaling experiments (Figures 4 and 5 of the paper) sweep the
-//! number of OpenMP threads; here the analogue is running the algorithm
-//! with the [`crate::par`] execution layer capped to a worker count.
-//! `with_pool` installs the cap for the duration of a closure, so sweeps
-//! are isolated from each other and from the ambient default.
+//! ## Pool lifecycle
 //!
-//! The cap is per-thread state: it applies to every `par` operation the
-//! closure performs on the calling thread (nested parallel regions inside
-//! worker threads run serially regardless, see [`crate::par`]).
+//! * **Lazy init** — no thread is created until the first parallel region
+//!   actually dispatches. The pool then spawns exactly as many workers as
+//!   that region's team needs (team size minus the calling thread) and
+//!   grows monotonically on demand, up to [`MAX_TEAM`]` - 1` workers.
+//! * **Parking** — between regions every worker blocks on a condvar
+//!   (parked by the OS, zero CPU). A region wakes them with an epoch bump:
+//!   the leader publishes the job under the pool mutex, increments the
+//!   epoch and notifies; each worker that observes a fresh epoch with an
+//!   open team slot checks in, drains blocks from the shared atomic
+//!   counter, checks out, and parks again. Per-region cost is a couple of
+//!   mutex acquisitions and one condvar broadcast — no thread creation,
+//!   no thread teardown — which is what makes rapid back-to-back tiny
+//!   regions (Gauss-Seidel sweeps, CG vector ops, AMG cycles) cheap.
+//! * **Cap semantics** — [`with_pool`]`(n)` does *not* control how many
+//!   threads exist; it caps how many parked workers *participate* in the
+//!   regions the closure runs (the calling thread counts toward `n`).
+//!   Workers beyond the cap simply stay parked. The cap is thread-local,
+//!   so concurrent sweeps at different sizes don't interfere.
+//! * **Shutdown** — there is none: workers are detached and park forever.
+//!   The Rust runtime terminates the process when `main` returns, and a
+//!   condvar-parked thread costs only its stack until then. This mirrors
+//!   the OpenMP runtime the paper's thread sweeps assume (a warm team
+//!   living for the life of the process).
+//!
+//! ## Determinism contract
+//!
+//! The pool never influences *what* is computed, only *who* computes it:
+//! regions decompose into the same fixed blocks regardless of the team
+//! size (see [`crate::par`]), and workers claim whole blocks from one
+//! atomic counter. Results are therefore bitwise-identical at every pool
+//! size and on both backends — the property `tests/cross_backend.rs` and
+//! `tests/pool_stress.rs` pin down.
+//!
+//! ## Concurrency semantics
+//!
+//! * Nested regions (a `par` call from inside a worker or leader draining
+//!   a region) run serially on the calling thread — same results, no
+//!   oversubscription, no deadlock.
+//! * If two OS threads open regions at the same time, one wins the team
+//!   and the other runs its region inline on its own thread. By the
+//!   determinism contract the results are unchanged; only the schedule
+//!   differs.
+//! * A panic in any block is caught, the remaining blocks still execute
+//!   (matching the previous `std::thread::scope` semantics), and the
+//!   first panic payload is re-raised on the thread that opened the
+//!   region. Workers survive panics and return to the parked state.
 
 use std::cell::Cell;
 
@@ -17,6 +57,11 @@ thread_local! {
     static THREAD_CAP: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Hard ceiling on a region's team size (leader + parked workers).
+/// `with_pool` caps above this are clamped so a typo cannot fork-bomb the
+/// process with parked threads.
+pub const MAX_TEAM: usize = 256;
+
 /// Number of logical CPUs the parallel backend uses by default.
 pub fn max_threads() -> usize {
     std::thread::available_parallelism()
@@ -24,7 +69,7 @@ pub fn max_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Worker count the next `par` operation on this thread will use: the
+/// Team size the next `par` region opened on this thread will request: the
 /// `with_pool` cap if one is installed, else [`max_threads`]. Always 1 on
 /// the serial backend (`parallel` feature disabled).
 pub fn current_threads() -> usize {
@@ -35,20 +80,37 @@ pub fn current_threads() -> usize {
     if cap == 0 {
         max_threads()
     } else {
-        cap
+        cap.min(MAX_TEAM)
     }
 }
 
-/// Run `f` with the `par` execution layer capped to exactly `num_threads`
-/// workers.
+/// Number of persistent workers the process-wide pool has spawned so far.
+/// Zero until the first parallel region dispatches (lazy init), and always
+/// zero on the serial backend. Grows monotonically, never shrinks.
+pub fn spawned_workers() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        team::spawned_workers()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        0
+    }
+}
+
+/// Run `f` with the `par` execution layer capped to at most `num_threads`
+/// participants per region (the calling thread plus `num_threads - 1`
+/// parked workers).
 ///
-/// All `par` parallelism inside `f` (including calls in other crates of
-/// this workspace) executes on at most that many threads, and — by the
-/// determinism contract of [`crate::par`] — produces results identical to
-/// every other pool size. On the serial backend the cap is irrelevant and
-/// `f` simply runs.
+/// The cap bounds *participation*, not thread creation: the persistent
+/// pool keeps every worker it has ever spawned, and workers beyond the cap
+/// stay parked for the duration of `f`. All `par` parallelism inside `f`
+/// (including calls in other crates of this workspace) honors the cap,
+/// and — by the determinism contract of [`crate::par`] — produces results
+/// identical to every other pool size. On the serial backend the cap is
+/// irrelevant and `f` simply runs.
 pub fn with_pool<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Send) -> R {
-    let prev = THREAD_CAP.with(|c| c.replace(num_threads.max(1)));
+    let prev = THREAD_CAP.with(|c| c.replace(num_threads.clamp(1, MAX_TEAM)));
     struct Restore(usize);
     impl Drop for Restore {
         fn drop(&mut self) {
@@ -57,6 +119,243 @@ pub fn with_pool<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Send) -> R
     }
     let _restore = Restore(prev);
     f()
+}
+
+#[cfg(feature = "parallel")]
+pub(crate) use team::{in_region, run_region};
+
+/// The persistent team: parked OS workers woken per region through an
+/// epoch/condvar handshake. Compiled only with the `parallel` feature —
+/// the serial backend never creates a thread.
+#[cfg(feature = "parallel")]
+mod team {
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    thread_local! {
+        /// Set while this thread is draining a region, so nested `par`
+        /// calls degrade to serial instead of oversubscribing (or
+        /// deadlocking on the single team).
+        static IN_REGION: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(crate) fn in_region() -> bool {
+        IN_REGION.with(|c| c.get())
+    }
+
+    /// RAII for the nesting flag: regions must clear it even when a block
+    /// panics on the draining thread.
+    struct RegionFlag;
+    impl RegionFlag {
+        fn set() -> RegionFlag {
+            IN_REGION.with(|c| c.set(true));
+            RegionFlag
+        }
+    }
+    impl Drop for RegionFlag {
+        fn drop(&mut self) {
+            IN_REGION.with(|c| c.set(false));
+        }
+    }
+
+    /// One parallel region. Lives on the leader's stack; workers only
+    /// dereference it between check-in and check-out, and the leader does
+    /// not return (or unwind) until every check-in has checked out.
+    struct Job {
+        /// Lifetime-erased pointer to the region body. Valid for the
+        /// duration of the region by the check-in/check-out protocol.
+        body: *const (dyn Fn(usize) + Sync),
+        /// Next unclaimed block.
+        next: AtomicUsize,
+        nblocks: usize,
+        /// First panic payload from any block, re-raised by the leader.
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    }
+
+    /// Raw job pointer made `Send` so it can sit in the shared pool state.
+    /// Soundness rests on the region protocol, not on this wrapper.
+    #[derive(Clone, Copy)]
+    struct JobPtr(*const Job);
+    unsafe impl Send for JobPtr {}
+
+    struct State {
+        /// Region sequence number; bumped per dispatch so parked workers
+        /// can tell a fresh job from the one they just finished.
+        epoch: u64,
+        /// Current job; null while the pool is idle.
+        job: JobPtr,
+        /// Team slots still open for the current epoch's job.
+        to_join: usize,
+        /// Workers currently checked in (claiming or running blocks).
+        active: usize,
+        /// Parked worker threads spawned so far (monotone).
+        spawned: usize,
+    }
+
+    struct Shared {
+        state: Mutex<State>,
+        /// Workers park here between regions.
+        work: Condvar,
+        /// The leader waits here for every checked-in worker to check out.
+        done: Condvar,
+    }
+
+    fn shared() -> &'static Shared {
+        static POOL: OnceLock<Shared> = OnceLock::new();
+        POOL.get_or_init(|| Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: JobPtr(std::ptr::null()),
+                to_join: 0,
+                active: 0,
+                spawned: 0,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn spawned_workers() -> usize {
+        shared().state.lock().unwrap().spawned
+    }
+
+    /// Claim blocks from the shared counter until none remain. A panic in
+    /// a block is recorded (first wins) and draining continues — the same
+    /// observable behavior the old `std::thread::scope` backend had, where
+    /// sibling workers kept running and the panic surfaced at join.
+    fn drain(job: &Job) {
+        // SAFETY: the leader keeps `job.body` alive until every checked-in
+        // worker (and itself) has finished draining.
+        let body = unsafe { &*job.body };
+        loop {
+            let b = job.next.fetch_add(1, Ordering::Relaxed);
+            if b >= job.nblocks {
+                break;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(b))) {
+                let mut slot = job.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+    }
+
+    /// Body of every persistent worker: park on the condvar, join fresh
+    /// epochs that still have an open team slot, drain, check out, repark.
+    fn worker_loop() {
+        let pool = shared();
+        let mut seen = 0u64;
+        let mut st = pool.state.lock().unwrap();
+        loop {
+            if st.epoch == seen || st.to_join == 0 {
+                st = pool.work.wait(st).unwrap();
+                continue;
+            }
+            // Fresh region with an open slot: check in.
+            seen = st.epoch;
+            st.to_join -= 1;
+            st.active += 1;
+            let job = st.job;
+            drop(st);
+            {
+                let _flag = RegionFlag::set();
+                // SAFETY: checked in above — the leader cannot retire the
+                // job until our check-out below.
+                drain(unsafe { &*job.0 });
+            }
+            st = pool.state.lock().unwrap();
+            st.active -= 1;
+            if st.active == 0 {
+                pool.done.notify_all();
+            }
+        }
+    }
+
+    /// Publish `job` to up to `helpers` parked workers, lazily spawning
+    /// any that don't exist yet. Returns the number of team slots opened —
+    /// 0 (nobody to wake) when another leader owns the team or no worker
+    /// could be spawned; the caller then drains alone.
+    fn dispatch(pool: &'static Shared, job: &Job, helpers: usize) -> usize {
+        let mut st = pool.state.lock().unwrap();
+        if !st.job.0.is_null() || st.active > 0 || st.to_join > 0 {
+            return 0;
+        }
+        while st.spawned < helpers {
+            let spawned = std::thread::Builder::new()
+                .name(format!("mis2-par-{}", st.spawned))
+                .spawn(worker_loop);
+            match spawned {
+                Ok(_) => st.spawned += 1,
+                // Resource exhaustion: run with the team we have.
+                Err(_) => break,
+            }
+        }
+        let slots = helpers.min(st.spawned);
+        if slots == 0 {
+            return 0;
+        }
+        st.job = JobPtr(job);
+        st.to_join = slots;
+        st.epoch += 1;
+        slots
+    }
+
+    /// Retire the current job: close the door to late joiners, then wait
+    /// until every checked-in worker has checked out. Only after this may
+    /// the `Job` (on the leader's stack) be dropped.
+    fn retire(pool: &'static Shared) {
+        let mut st = pool.state.lock().unwrap();
+        st.to_join = 0;
+        st.job = JobPtr(std::ptr::null());
+        while st.active > 0 {
+            st = pool.done.wait(st).unwrap();
+        }
+    }
+
+    /// Execute `body(b)` for every `b in 0..nblocks`, each exactly once,
+    /// on a team of at most `team` threads (the caller plus parked
+    /// workers). Called by the `par` backend for every parallel region.
+    pub(crate) fn run_region(nblocks: usize, team: usize, body: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(team >= 2 && nblocks > 0 && !in_region());
+        let job = Job {
+            // SAFETY: lifetime erasure only — the pointer never outlives
+            // this call (see `retire`).
+            body: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(body)
+            },
+            next: AtomicUsize::new(0),
+            nblocks,
+            panic: Mutex::new(None),
+        };
+        let pool = shared();
+        let helpers = team.min(super::MAX_TEAM) - 1;
+        let slots = dispatch(pool, &job, helpers);
+        // Wake only as many workers as can join: a small-cap region on a
+        // pool that has grown large must not broadcast-wake (and re-park)
+        // every worker. A notification landing on no waiter is simply
+        // lost, which is fine — busy workers re-check the epoch when they
+        // finish, and the leader drains every block itself regardless, so
+        // a missed wake can only cost parallelism, never progress.
+        for _ in 0..slots {
+            pool.work.notify_one();
+        }
+        {
+            // The leader always participates; with the team busy elsewhere
+            // it simply drains every block itself — identical results.
+            let _flag = RegionFlag::set();
+            drain(&job);
+        }
+        if slots > 0 {
+            retire(pool);
+        }
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +389,16 @@ mod tests {
     }
 
     #[test]
+    fn oversized_cap_is_clamped() {
+        let n = with_pool(1_000_000, current_threads);
+        if cfg!(feature = "parallel") {
+            assert_eq!(n, MAX_TEAM);
+        } else {
+            assert_eq!(n, 1);
+        }
+    }
+
+    #[test]
     fn single_thread_pool_works() {
         let sum = with_pool(1, || {
             crate::par::map_reduce(
@@ -105,5 +414,26 @@ mod tests {
     #[test]
     fn max_threads_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_are_lazy_and_bounded() {
+        // Other tests in this binary may already have dispatched regions,
+        // so only monotone properties can be asserted.
+        let before = spawned_workers();
+        assert!(before < MAX_TEAM);
+        let n = 100_000usize;
+        let got = with_pool(3, || {
+            crate::par::map_range(0..n, |i| crate::hash::splitmix64(i as u64))
+        });
+        assert_eq!(got.len(), n);
+        let after = spawned_workers();
+        assert!(after >= before, "pool must never shrink");
+        if cfg!(feature = "parallel") {
+            assert!(after >= 1, "a region at cap 3 must have spawned a worker");
+        } else {
+            assert_eq!(after, 0, "serial backend must never spawn");
+        }
+        assert!(after < MAX_TEAM);
     }
 }

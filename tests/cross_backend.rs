@@ -7,8 +7,14 @@
 //! golden fingerprints: each backend must reproduce the exact same
 //! fingerprint for the same input, therefore they match each other. CI
 //! runs this file under both feature sets.
+//!
+//! Besides MIS-2 and aggregation, a solver path (CG preconditioned by one
+//! SA-AMG hierarchy, plus a raw V-cycle application) is pinned the same
+//! way, so the persistent worker pool behind `par` can't silently change
+//! floating-point numerics at any pool size.
 
 use mis2::prelude::*;
+use mis2::solver::{pcg, AmgConfig, AmgHierarchy, Preconditioner, SolveOpts};
 use mis2_prim::hash::splitmix64;
 use mis2_prim::pool::with_pool;
 
@@ -38,6 +44,49 @@ fn aggregation_fingerprint(g: &CsrGraph) -> u64 {
     fingerprint(a.labels.iter().copied().chain([a.num_aggregates as u32]))
 }
 
+/// Order-sensitive fingerprint of an f64 sequence (exact bit patterns, so
+/// any rounding difference — e.g. a reduction order change — is caught).
+fn fingerprint_f64<'a>(data: impl IntoIterator<Item = &'a f64>) -> u64 {
+    let mut h = 0x84222325_CBF29CE4u64;
+    for x in data {
+        h = splitmix64(h ^ x.to_bits());
+    }
+    h
+}
+
+/// CG + one AMG V-cycle on the Laplace3D(16) generator matrix: 4096 rows,
+/// large enough that SpMV, the vector kernels and the aggregation inside
+/// the AMG setup all take their parallel paths on the warm pool.
+fn solver_fingerprint() -> u64 {
+    let a = mis2::sparse::gen::laplace3d_matrix(16, 16, 16);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.125).collect();
+    let amg = AmgHierarchy::build(
+        &a,
+        &AmgConfig {
+            min_coarse_size: 64,
+            ..Default::default()
+        },
+    );
+    // One raw V-cycle application...
+    let mut z = vec![0.0; n];
+    amg.apply(&b, &mut z);
+    // ...and a full AMG-preconditioned CG solve.
+    let (x, res) = pcg(
+        &a,
+        &b,
+        &amg,
+        &SolveOpts {
+            tol: 1e-10,
+            max_iters: 300,
+        },
+    );
+    assert!(res.converged, "AMG-CG must converge on Laplace3D(16)");
+    splitmix64(
+        fingerprint_f64(z.iter().chain(x.iter()).chain(res.history.iter())) ^ res.iterations as u64,
+    )
+}
+
 /// The three generator graphs the golden values are pinned on.
 fn graphs() -> Vec<(&'static str, CsrGraph)> {
     vec![
@@ -59,6 +108,10 @@ const GOLDEN: [(&str, u64, u64); 3] = [
     ("erdos_renyi_1500", 0xb525515fc33f2d43, 0x60af2bd9dd1ed679),
     ("rmat_11", 0x4d1000cf150fb1bb, 0xf2f1e0bc0fb6ea27),
 ];
+
+/// Golden fingerprint for [`solver_fingerprint`]. Identical on both
+/// backends and at every pool size; regenerate alongside [`GOLDEN`].
+const GOLDEN_SOLVER: u64 = 0x4efa85069df15636;
 
 #[test]
 fn backends_reproduce_golden_fingerprints() {
@@ -102,6 +155,29 @@ fn fingerprints_stable_across_pool_sizes() {
     }
 }
 
+#[test]
+fn backends_reproduce_golden_solver_fingerprint() {
+    assert_eq!(
+        solver_fingerprint(),
+        GOLDEN_SOLVER,
+        "CG + AMG V-cycle numerics differ from golden \
+         (backend divergence or intentional solver change)"
+    );
+}
+
+#[test]
+fn solver_fingerprint_stable_across_pool_sizes() {
+    let base = with_pool(1, solver_fingerprint);
+    assert_eq!(base, GOLDEN_SOLVER, "pool size 1");
+    for threads in [2usize, 3, 5, 8] {
+        assert_eq!(
+            with_pool(threads, solver_fingerprint),
+            base,
+            "solver numerics differ at {threads} threads"
+        );
+    }
+}
+
 /// Not a check — prints the fingerprints so the GOLDEN table above can be
 /// regenerated after an intentional algorithm change.
 #[test]
@@ -113,4 +189,5 @@ fn print_fingerprints() {
             aggregation_fingerprint(&g)
         );
     }
+    println!("const GOLDEN_SOLVER: u64 = {:#018x};", solver_fingerprint());
 }

@@ -1,0 +1,240 @@
+//! Stress tests for the persistent worker pool behind `mis2_prim::par`.
+//!
+//! The pool (see `mis2_prim::pool`) keeps parked OS threads alive across
+//! parallel regions and wakes them per region through an epoch/condvar
+//! handshake. These tests hammer exactly the transitions that protocol has
+//! to get right — rapid back-to-back tiny regions, nested re-entrancy,
+//! interleaved pool-size changes, panics inside workers, and many OS
+//! threads opening regions concurrently — and assert that every result
+//! stays **bitwise-identical to the serial backend** (the file also runs
+//! under `--no-default-features`, where all of this degenerates to plain
+//! loops; the assertions are the same).
+
+use mis2_prim::hash::splitmix64;
+use mis2_prim::par;
+use mis2_prim::pool::{spawned_workers, with_pool, MAX_TEAM};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Order-sensitive fingerprint of a u64 sequence.
+fn fingerprint(data: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for x in data {
+        h = splitmix64(h ^ x);
+    }
+    h
+}
+
+/// The reference result computed with plain sequential loops — what every
+/// pool size and both backends must reproduce exactly.
+fn serial_map(n: usize, salt: u64) -> Vec<u64> {
+    (0..n).map(|i| splitmix64(i as u64 ^ salt)).collect()
+}
+
+#[test]
+fn rapid_back_to_back_tiny_regions() {
+    // Thousands of regions barely above the parallel cutoff: each one is a
+    // full wake/drain/park cycle, so any lost-wakeup or stale-epoch bug in
+    // the handshake shows up as a hang or a wrong result here. Pinned to a
+    // multi-worker cap so the pool path runs even where
+    // available_parallelism() is 1 (the CI small-machine legs).
+    let n = 5_000usize;
+    with_pool(4, || {
+        for round in 0..2_000u64 {
+            let got = par::map_range(0..n, |i| splitmix64(i as u64 ^ round));
+            // Spot-check cheaply every round, fully every 256th.
+            assert_eq!(got[0], splitmix64(round), "round {round}");
+            assert_eq!(
+                got[n - 1],
+                splitmix64((n - 1) as u64 ^ round),
+                "round {round}"
+            );
+            if round % 256 == 0 {
+                assert_eq!(got, serial_map(n, round), "round {round}");
+            }
+        }
+    });
+}
+
+#[test]
+fn rapid_regions_mix_of_operations() {
+    // Alternate every par entry point back-to-back so regions of different
+    // shapes (for/map/reduce/find) reuse the same parked team.
+    let n = 40_000usize;
+    let items: Vec<u64> = serial_map(n, 7);
+    let want_sum: u64 = items.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    let want_count = items.iter().filter(|&&x| x % 3 == 0).count();
+    let want_pos = items.iter().position(|&x| x % 1009 == 0);
+    with_pool(3, || {
+        for _ in 0..200 {
+            let hits = AtomicUsize::new(0);
+            par::for_each(&items, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), n);
+            let sum = par::map_reduce(&items, |&x| x, 0u64, |a, b| a.wrapping_add(b));
+            assert_eq!(sum, want_sum);
+            assert_eq!(par::count(&items, |&x| x % 3 == 0), want_count);
+            let pos = par::find_map_range(0..n, |i| (items[i] % 1009 == 0).then_some(i));
+            assert_eq!(pos, want_pos);
+        }
+    });
+}
+
+#[test]
+fn nested_with_pool_reentrancy() {
+    // with_pool inside with_pool, and par regions whose bodies open more
+    // regions (which must degrade to serial on the worker, not deadlock on
+    // the single team) while also installing their own caps.
+    let n = 30_000usize;
+    let want = serial_map(n, 99);
+    let got = with_pool(5, || {
+        with_pool(3, || {
+            par::map_range(0..n, |i| {
+                // Nested region from inside a region: runs serially.
+                let inner = par::map_reduce_range(
+                    0..4u32,
+                    |j| splitmix64(j as u64),
+                    0u64,
+                    |a, b| a.wrapping_add(b),
+                );
+                // Nested cap change inside a worker body must be harmless
+                // and restored.
+                let inner2 = with_pool(2, || {
+                    par::count(&[1u8, 2, 3, 4, 5, 6], |&x| x % 2 == 0) as u64
+                });
+                assert_eq!(inner2, 3);
+                splitmix64(i as u64 ^ 99) ^ (inner ^ inner) ^ (inner2 - 3)
+            })
+        })
+    });
+    assert_eq!(got, want);
+}
+
+#[test]
+fn interleaved_pool_size_changes() {
+    // Sweep the cap up and down between (and around) regions; every size
+    // must reproduce the serial fingerprint bit-for-bit.
+    let n = 64_000usize;
+    let want = fingerprint(serial_map(n, 5));
+    let data: Vec<f64> = (0..n)
+        .map(|i| (splitmix64(i as u64) as f64) / 1e16)
+        .collect();
+    let want_sum = data
+        .chunks(par::DET_BLOCK)
+        .fold(0.0f64, |acc, c| acc + c.iter().sum::<f64>());
+    for &t in [1usize, 2, 3, 5, 8, 2, 8, 1, 5, 3].iter().cycle().take(60) {
+        let (fp, sum) = with_pool(t, || {
+            let fp = fingerprint(par::map_range(0..n, |i| splitmix64(i as u64 ^ 5)));
+            let sum = par::chunked_reduce(
+                &data,
+                par::DET_BLOCK,
+                |c| c.iter().sum::<f64>(),
+                0.0,
+                |a, b| a + b,
+            );
+            (fp, sum)
+        });
+        assert_eq!(fp, want, "pool size {t}");
+        assert_eq!(sum.to_bits(), want_sum.to_bits(), "pool size {t}");
+    }
+}
+
+#[test]
+fn panic_in_worker_propagates_and_pool_survives() {
+    // Pinned to a multi-worker cap so the panic really unwinds inside pool
+    // workers even on 1-CPU machines.
+    let n = 100_000usize;
+    with_pool(4, || {
+        for round in 0..20 {
+            // A block panics mid-region: the panic must re-surface on the
+            // calling thread with its payload intact...
+            let bad = (10_007 * (round + 1)) % n;
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                par::for_range(0..n, |i| {
+                    if i == bad {
+                        panic!("boom at {i}");
+                    }
+                });
+            }))
+            .expect_err("panic in a region body must propagate to the caller");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "<non-string payload>".into());
+            assert!(msg.contains(&format!("boom at {bad}")), "payload: {msg}");
+            // ...and the pool must keep working afterwards (workers caught
+            // the unwind and went back to the parked state).
+            let got = par::map_range(0..n, |i| splitmix64(i as u64 ^ round as u64));
+            assert_eq!(got, serial_map(n, round as u64), "round {round}");
+        }
+    });
+}
+
+#[test]
+fn concurrent_callers_stay_bitwise_identical() {
+    // Many OS threads opening regions at once: one wins the parked team,
+    // the others drain inline — every caller must still get the serial
+    // answer. Exercises the busy-pool dispatch path and the state mutex.
+    let n = 50_000usize;
+    let callers = 8usize;
+    let rounds = 40u64;
+    std::thread::scope(|s| {
+        for c in 0..callers as u64 {
+            s.spawn(move || {
+                // Each caller pins a multi-worker cap so the team is
+                // contended even where available_parallelism() is 1.
+                with_pool(4, || {
+                    for r in 0..rounds {
+                        let salt = c * 1_000 + r;
+                        let got =
+                            fingerprint(par::map_range(0..n, move |i| splitmix64(i as u64 ^ salt)));
+                        assert_eq!(
+                            got,
+                            fingerprint(serial_map(n, salt)),
+                            "caller {c} round {r}"
+                        );
+                    }
+                });
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_callers_with_distinct_caps() {
+    // The cap is thread-local: concurrent sweeps at different sizes must
+    // not bleed into each other.
+    let n = 30_000usize;
+    let want = fingerprint(serial_map(n, 123));
+    std::thread::scope(|s| {
+        for (idx, t) in [1usize, 2, 3, 5, 8, 8, 2, 1].into_iter().enumerate() {
+            s.spawn(move || {
+                for _ in 0..25 {
+                    let got = with_pool(t, || {
+                        fingerprint(par::map_range(0..n, |i| splitmix64(i as u64 ^ 123)))
+                    });
+                    assert_eq!(got, want, "caller {idx} with cap {t}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn pool_growth_is_bounded_and_monotone() {
+    let before = spawned_workers();
+    with_pool(8, || {
+        let _ = par::map_range(0..100_000usize, |i| splitmix64(i as u64));
+    });
+    let mid = spawned_workers();
+    with_pool(2, || {
+        let _ = par::map_range(0..100_000usize, |i| splitmix64(i as u64));
+    });
+    let after = spawned_workers();
+    assert!(mid >= before && after >= mid, "pool must never shrink");
+    assert!(after < MAX_TEAM, "pool must respect the hard team ceiling");
+    if cfg!(not(feature = "parallel")) {
+        assert_eq!(after, 0, "serial backend must never spawn a thread");
+    }
+}
