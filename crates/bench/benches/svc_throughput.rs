@@ -1,0 +1,108 @@
+//! Service throughput: the batching scheduler (few warm leaders, each on a
+//! pool sub-team) vs the naive one-team-per-request strategy (an OS thread
+//! per request, each opening full-width regions).
+//!
+//! The workload is 16 concurrent jobs — the shape of the e2e test and of a
+//! bursty request mix (Blelloch et al.: MIS work per request is small) —
+//! over four small graphs. Caching is deliberately bypassed (`ops::compute`
+//! directly, no registry) so both strategies pay the full compute every
+//! time: the comparison isolates the *scheduling* strategy, not the cache.
+//!
+//! Expected shape: the batched scheduler meets or beats the naive baseline
+//! because K leaders × (threads/K)-wide sub-teams keep the machine busy
+//! without oversubscription, while 16 simultaneous full-width leaders
+//! fight for the same parked workers and, once the pool is exhausted,
+//! fall back to inline drains.
+
+use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
+use mis2_graph::CsrGraph;
+use mis2_prim::pool;
+use mis2_svc::ops::{self, OpKey};
+use mis2_svc::sched::{SchedConfig, Scheduler};
+use mis2_svc::Method;
+use std::sync::Arc;
+
+/// Concurrent jobs per round — matches the e2e test's client count.
+const JOBS: usize = 16;
+
+/// The job mix: one op per job, round-robin over graphs and ops.
+fn job_specs(graphs: &[Arc<CsrGraph>]) -> Vec<(Arc<CsrGraph>, OpKey)> {
+    let ops = [
+        OpKey::Mis2,
+        OpKey::Coarsen { levels: 2 },
+        OpKey::Solve { method: Method::Cg },
+        OpKey::Mis2,
+    ];
+    (0..JOBS)
+        .map(|i| {
+            (
+                Arc::clone(&graphs[i % graphs.len()]),
+                ops[i / graphs.len() % ops.len()].clone(),
+            )
+        })
+        .collect()
+}
+
+/// Naive strategy: one OS thread per request, every one opening regions at
+/// the full machine width.
+fn one_team_per_request(specs: &[(Arc<CsrGraph>, OpKey)]) {
+    std::thread::scope(|s| {
+        for (g, op) in specs {
+            s.spawn(move || {
+                let _ = ops::compute(g, op);
+            });
+        }
+    });
+}
+
+/// Batched strategy: submit all requests to the scheduler's bounded queue;
+/// its K workers run them on (threads/K)-wide sub-teams.
+fn batched_scheduler(sched: &Scheduler, specs: &[(Arc<CsrGraph>, OpKey)]) {
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|(g, op)| {
+            let (g, op) = (Arc::clone(g), op.clone());
+            sched.submit(Box::new(move || {
+                let _ = ops::compute(&g, &op);
+                String::new()
+            }))
+        })
+        .collect();
+    for h in handles {
+        h.wait();
+    }
+}
+
+fn bench_svc_throughput(c: &mut Criterion) {
+    let graphs: Vec<Arc<CsrGraph>> = vec![
+        Arc::new(mis2_graph::gen::laplace2d(64, 64)),
+        Arc::new(mis2_graph::gen::laplace3d(12, 12, 12)),
+        Arc::new(mis2_graph::gen::erdos_renyi(3000, 12_000, 5)),
+        Arc::new(mis2_graph::gen::rmat(11, 8, 0.57, 0.19, 0.19, 7)),
+    ];
+    let specs = job_specs(&graphs);
+    let threads = pool::max_threads();
+    let sched = Scheduler::new(SchedConfig {
+        threads,
+        workers: 4.min(threads),
+        queue_cap: JOBS,
+    });
+
+    let mut group = c.benchmark_group("svc_throughput");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("16_jobs/one_team_per_request", |b| {
+        b.iter(|| one_team_per_request(&specs))
+    });
+    group.bench_function("16_jobs/batched_scheduler", |b| {
+        b.iter(|| batched_scheduler(&sched, &specs))
+    });
+
+    group.finish();
+    sched.shutdown();
+}
+
+criterion_group!(benches, bench_svc_throughput);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! named suite workload.
 //!
 //! ```text
-//! mis2cli <command> (--mtx FILE | --workload NAME [--scale S]) [--seed N] [options]
+//! mis2cli <command> (--mtx FILE | --workload NAME [--scale S]) [--seed N]
+//!         [--threads N] [options]
 //!
 //! commands:
 //!   stats       graph summary statistics
@@ -27,13 +28,14 @@ struct Args {
     seed: u64,
     k: usize,
     parts: usize,
+    threads: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mis2cli <stats|mis2|misk|aggregate|coarsen|color|colord2|partition>\n\
          \x20       (--mtx FILE | --workload NAME [--scale tiny|small|paper])\n\
-         \x20       [--seed N] [--k K] [--parts P]"
+         \x20       [--seed N] [--k K] [--parts P] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +53,7 @@ fn parse_args() -> Args {
         seed: 0,
         k: 3,
         parts: 4,
+        threads: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -65,9 +68,14 @@ fn parse_args() -> Args {
             "--seed" => a.seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--k" => a.k = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--parts" => a.parts = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => a.threads = Some(take(&mut i).parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
         i += 1;
+    }
+    if a.threads == Some(0) {
+        eprintln!("error: --threads must be at least 1 (the calling thread counts)");
+        std::process::exit(2);
     }
     a
 }
@@ -105,7 +113,16 @@ fn load_graph(a: &Args) -> CsrGraph {
 
 fn main() {
     let args = parse_args();
-    let g = load_graph(&args);
+    match args.threads {
+        // Cap every parallel region of the run (determinism contract:
+        // results are identical at any cap).
+        Some(t) => mis2_prim::pool::with_pool(t, || run(&args)),
+        None => run(&args),
+    }
+}
+
+fn run(args: &Args) {
+    let g = load_graph(args);
     println!("graph: {}", g.stats());
     let t = std::time::Instant::now();
     match args.command.as_str() {

@@ -51,3 +51,55 @@ fn known_workload_runs_successfully() {
     assert!(stdout.contains("|MIS-2|"), "stdout was: {stdout}");
     assert!(stdout.contains("verified"), "stdout was: {stdout}");
 }
+
+#[test]
+fn threads_zero_is_rejected_with_exit_2() {
+    let out = mis2cli(&[
+        "mis2",
+        "--workload",
+        "ecology2",
+        "--scale",
+        "tiny",
+        "--threads",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--threads 0 must exit 2, not panic or run"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads"), "stderr was: {err}");
+}
+
+#[test]
+fn threads_flag_caps_pool_and_preserves_results() {
+    // The result line must be bitwise-identical at every cap — the CLI
+    // surface of the workspace-wide determinism contract.
+    let result_line = |threads: &str| {
+        let out = mis2cli(&[
+            "mis2",
+            "--workload",
+            "tmt_sym",
+            "--scale",
+            "tiny",
+            "--threads",
+            threads,
+        ]);
+        assert!(
+            out.status.success(),
+            "--threads {threads} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        stdout
+            .lines()
+            .find(|l| l.contains("|MIS-2|"))
+            .unwrap_or_else(|| panic!("no result line in: {stdout}"))
+            .to_string()
+    };
+    let one = result_line("1");
+    for t in ["2", "8"] {
+        assert_eq!(result_line(t), one, "MIS-2 result differs at --threads {t}");
+    }
+}

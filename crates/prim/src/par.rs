@@ -106,17 +106,10 @@ mod backend {
     }
 
     pub(super) fn run_blocks(nblocks: usize, body: &(dyn Fn(usize) + Sync)) {
-        if nblocks == 0 {
-            return;
-        }
-        let team = crate::pool::current_threads().min(nblocks);
-        if team <= 1 || is_nested() {
-            for b in 0..nblocks {
-                body(b);
-            }
-            return;
-        }
-        crate::pool::run_region(nblocks, team, body);
+        // run_region_on handles the whole fallback ladder (empty region,
+        // team of one, nested call -> serial loop) so there is exactly one
+        // entry point into the pool's sub-team dispatch.
+        crate::pool::run_region_on(crate::pool::current_threads(), nblocks, body);
     }
 }
 

@@ -8,14 +8,16 @@
 //!   that region's team needs (team size minus the calling thread) and
 //!   grows monotonically on demand, up to [`MAX_TEAM`]` - 1` workers.
 //! * **Parking** — between regions every worker blocks on a condvar
-//!   (parked by the OS, zero CPU). A region wakes them with an epoch bump:
-//!   the leader publishes the job under the pool mutex, increments the
-//!   epoch and notifies; each worker that observes a fresh epoch with an
-//!   open team slot checks in, drains blocks from the shared atomic
-//!   counter, checks out, and parks again. Per-region cost is a couple of
-//!   mutex acquisitions and one condvar broadcast — no thread creation,
-//!   no thread teardown — which is what makes rapid back-to-back tiny
-//!   regions (Gauss-Seidel sweeps, CG vector ops, AMG cycles) cheap.
+//!   (parked by the OS, zero CPU). A leader publishes its region as an
+//!   *entry* (job pointer + open team slots) under the pool mutex and
+//!   notifies; each woken worker that finds an entry with an open slot
+//!   checks in, drains blocks from that region's shared atomic counter,
+//!   checks out, and parks again. Several entries coexist, so concurrent
+//!   leaders each staff a **sub-team** from the workers the others have
+//!   not claimed. Per-region cost is a couple of mutex acquisitions and a
+//!   few condvar signals — no thread creation, no thread teardown — which
+//!   is what makes rapid back-to-back tiny regions (Gauss-Seidel sweeps,
+//!   CG vector ops, AMG cycles) cheap.
 //! * **Cap semantics** — [`with_pool`]`(n)` does *not* control how many
 //!   threads exist; it caps how many parked workers *participate* in the
 //!   regions the closure runs (the calling thread counts toward `n`).
@@ -41,10 +43,14 @@
 //! * Nested regions (a `par` call from inside a worker or leader draining
 //!   a region) run serially on the calling thread — same results, no
 //!   oversubscription, no deadlock.
-//! * If two OS threads open regions at the same time, one wins the team
-//!   and the other runs its region inline on its own thread. By the
-//!   determinism contract the results are unchanged; only the schedule
-//!   differs.
+//! * If several OS threads open regions at the same time, each leader gets
+//!   its own **sub-team**: the pool staffs every concurrent region from the
+//!   workers that are not already claimed by another region, growing the
+//!   pool on demand (up to [`MAX_TEAM`]` - 1` workers total). Only when no
+//!   worker can be freed or spawned does a leader drain its region inline
+//!   on its own thread — counted by [`contended_regions`]. By the
+//!   determinism contract the results are unchanged either way; only the
+//!   schedule differs.
 //! * A panic in any block is caught, the remaining blocks still execute
 //!   (matching the previous `std::thread::scope` semantics), and the
 //!   first panic payload is re-raised on the thread that opened the
@@ -98,6 +104,59 @@ pub fn spawned_workers() -> usize {
     }
 }
 
+/// Number of regions (since process start) that wanted helpers but drained
+/// entirely inline because every pool worker was claimed by other regions
+/// and no new worker could be spawned. With sub-team dispatch this stays at
+/// zero under ordinary concurrent load — it climbs only when the
+/// [`MAX_TEAM`] ceiling (or OS thread exhaustion) forces the old
+/// winner-takes-all fallback. Always zero on the serial backend.
+pub fn contended_regions() -> u64 {
+    #[cfg(feature = "parallel")]
+    {
+        team::contended_regions()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        0
+    }
+}
+
+/// Execute `body(b)` for every `b in 0..nblocks`, each exactly once, on a
+/// sub-team of at most `team` participants: the calling thread plus up to
+/// `team - 1` parked workers claimed from the persistent pool.
+///
+/// Unlike [`with_pool`] (which caps every region a closure opens), this
+/// runs *one* region on an explicitly sized slice of the pool, and it
+/// composes with other leaders: concurrent `run_region_on` calls from
+/// different OS threads each staff their own sub-team from the workers the
+/// others have not claimed. This is the single entry point into sub-team
+/// dispatch — every `par` region arrives here (with the [`with_pool`] cap
+/// as its `team`), which is how the `mis2-svc` scheduler's K
+/// `with_pool(threads / K)`-capped jobs run side by side. Call it directly
+/// when you manage individual regions yourself.
+///
+/// Degrades to a plain serial loop when `team <= 1`, when called from
+/// inside another parallel region (no oversubscription, no deadlock), or
+/// on the serial backend — with bitwise-identical results in every case.
+pub fn run_region_on(team: usize, nblocks: usize, body: &(dyn Fn(usize) + Sync)) {
+    if nblocks == 0 {
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let team = team.clamp(1, MAX_TEAM).min(nblocks);
+        if team >= 2 && !team::in_region() {
+            team::run_region(nblocks, team, body);
+            return;
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = team;
+    for b in 0..nblocks {
+        body(b);
+    }
+}
+
 /// Run `f` with the `par` execution layer capped to at most `num_threads`
 /// participants per region (the calling thread plus `num_threads - 1`
 /// parked workers).
@@ -122,7 +181,7 @@ pub fn with_pool<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Send) -> R
 }
 
 #[cfg(feature = "parallel")]
-pub(crate) use team::{in_region, run_region};
+pub(crate) use team::in_region;
 
 /// The persistent team: parked OS workers woken per region through an
 /// epoch/condvar handshake. Compiled only with the `parallel` feature —
@@ -180,25 +239,52 @@ mod team {
     struct JobPtr(*const Job);
     unsafe impl Send for JobPtr {}
 
-    struct State {
-        /// Region sequence number; bumped per dispatch so parked workers
-        /// can tell a fresh job from the one they just finished.
-        epoch: u64,
-        /// Current job; null while the pool is idle.
+    /// One concurrently running region's claim on the pool: how many team
+    /// slots are still open (`to_join`) and how many workers are currently
+    /// inside the region (`active`). Several entries coexist — that is what
+    /// lets concurrent leaders split the pool into sub-teams instead of
+    /// serializing on a single job slot.
+    struct Entry {
+        /// Unique (monotone) id; the leader retires its entry by id.
+        id: u64,
         job: JobPtr,
-        /// Team slots still open for the current epoch's job.
+        /// Open team slots a parked worker may still claim.
         to_join: usize,
-        /// Workers currently checked in (claiming or running blocks).
+        /// Workers checked in (claiming or running blocks).
         active: usize,
+    }
+
+    struct State {
+        /// Claims of all currently running regions (usually 0 or 1 long;
+        /// one per concurrent leader under scheduler load).
+        entries: Vec<Entry>,
+        /// Id source for entries.
+        next_id: u64,
+        /// Sum of `to_join` over `entries`: slots promised but unclaimed.
+        pending: usize,
+        /// Workers currently checked in to any entry.
+        busy: usize,
         /// Parked worker threads spawned so far (monotone).
         spawned: usize,
+        /// Regions that wanted helpers but got none (see
+        /// [`super::contended_regions`]).
+        contended: u64,
+    }
+
+    impl State {
+        /// Workers that exist and are neither running a region nor already
+        /// promised to one — the staffing budget for a new sub-team.
+        fn free_workers(&self) -> usize {
+            self.spawned - self.busy - self.pending
+        }
     }
 
     struct Shared {
         state: Mutex<State>,
         /// Workers park here between regions.
         work: Condvar,
-        /// The leader waits here for every checked-in worker to check out.
+        /// Leaders wait here for their entry's checked-in workers to
+        /// check out.
         done: Condvar,
     }
 
@@ -206,11 +292,12 @@ mod team {
         static POOL: OnceLock<Shared> = OnceLock::new();
         POOL.get_or_init(|| Shared {
             state: Mutex::new(State {
-                epoch: 0,
-                job: JobPtr(std::ptr::null()),
-                to_join: 0,
-                active: 0,
+                entries: Vec::new(),
+                next_id: 0,
+                pending: 0,
+                busy: 0,
                 spawned: 0,
+                contended: 0,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -219,6 +306,10 @@ mod team {
 
     pub(crate) fn spawned_workers() -> usize {
         shared().state.lock().unwrap().spawned
+    }
+
+    pub(crate) fn contended_regions() -> u64 {
+        shared().state.lock().unwrap().contended
     }
 
     /// Claim blocks from the shared counter until none remain. A panic in
@@ -243,22 +334,26 @@ mod team {
         }
     }
 
-    /// Body of every persistent worker: park on the condvar, join fresh
-    /// epochs that still have an open team slot, drain, check out, repark.
+    /// Body of every persistent worker: park on the condvar, check in to
+    /// any region that still has an open team slot, drain, check out,
+    /// repark. With several entries live at once a worker simply serves
+    /// whichever region it finds first — the sub-teams of concurrent
+    /// leaders are staffed from one shared set of parked workers.
     fn worker_loop() {
         let pool = shared();
-        let mut seen = 0u64;
         let mut st = pool.state.lock().unwrap();
         loop {
-            if st.epoch == seen || st.to_join == 0 {
+            let Some(idx) = st.entries.iter().position(|e| e.to_join > 0) else {
                 st = pool.work.wait(st).unwrap();
                 continue;
-            }
-            // Fresh region with an open slot: check in.
-            seen = st.epoch;
-            st.to_join -= 1;
-            st.active += 1;
-            let job = st.job;
+            };
+            // Open slot found: check in.
+            let id = st.entries[idx].id;
+            let job = st.entries[idx].job;
+            st.entries[idx].to_join -= 1;
+            st.entries[idx].active += 1;
+            st.pending -= 1;
+            st.busy += 1;
             drop(st);
             {
                 let _flag = RegionFlag::set();
@@ -267,23 +362,33 @@ mod team {
                 drain(unsafe { &*job.0 });
             }
             st = pool.state.lock().unwrap();
-            st.active -= 1;
-            if st.active == 0 {
+            st.busy -= 1;
+            // The entry is guaranteed present: the leader cannot remove it
+            // while we are checked in.
+            let i = st.entries.iter().position(|e| e.id == id).unwrap();
+            st.entries[i].active -= 1;
+            if st.entries[i].to_join > 0 {
+                // drain() only returns once every block is claimed, so
+                // close the door: a sibling joining now could only make a
+                // no-op pass over the exhausted counter.
+                st.pending -= st.entries[i].to_join;
+                st.entries[i].to_join = 0;
+            }
+            if st.entries[i].active == 0 {
                 pool.done.notify_all();
             }
         }
     }
 
-    /// Publish `job` to up to `helpers` parked workers, lazily spawning
-    /// any that don't exist yet. Returns the number of team slots opened —
-    /// 0 (nobody to wake) when another leader owns the team or no worker
-    /// could be spawned; the caller then drains alone.
-    fn dispatch(pool: &'static Shared, job: &Job, helpers: usize) -> usize {
+    /// Publish `job` with up to `helpers` team slots, staffed from workers
+    /// not claimed by other regions and lazily spawning new ones (up to
+    /// the global [`super::MAX_TEAM`]` - 1` ceiling). Returns the entry id
+    /// and the number of slots opened, or `None` when every worker is
+    /// taken and none can be spawned — the caller then drains alone (the
+    /// contended fallback, counted).
+    fn dispatch(pool: &'static Shared, job: &Job, helpers: usize) -> Option<(u64, usize)> {
         let mut st = pool.state.lock().unwrap();
-        if !st.job.0.is_null() || st.active > 0 || st.to_join > 0 {
-            return 0;
-        }
-        while st.spawned < helpers {
+        while st.free_workers() < helpers && st.spawned < super::MAX_TEAM - 1 {
             let spawned = std::thread::Builder::new()
                 .name(format!("mis2-par-{}", st.spawned))
                 .spawn(worker_loop);
@@ -293,30 +398,45 @@ mod team {
                 Err(_) => break,
             }
         }
-        let slots = helpers.min(st.spawned);
+        let slots = helpers.min(st.free_workers());
         if slots == 0 {
-            return 0;
+            st.contended += 1;
+            return None;
         }
-        st.job = JobPtr(job);
-        st.to_join = slots;
-        st.epoch += 1;
-        slots
+        st.next_id += 1;
+        let id = st.next_id;
+        st.entries.push(Entry {
+            id,
+            job: JobPtr(job),
+            to_join: slots,
+            active: 0,
+        });
+        st.pending += slots;
+        Some((id, slots))
     }
 
-    /// Retire the current job: close the door to late joiners, then wait
-    /// until every checked-in worker has checked out. Only after this may
-    /// the `Job` (on the leader's stack) be dropped.
-    fn retire(pool: &'static Shared) {
+    /// Retire entry `id`: close the door to late joiners, then wait until
+    /// every checked-in worker has checked out. Only after this may the
+    /// `Job` (on the leader's stack) be dropped.
+    fn retire(pool: &'static Shared, id: u64) {
         let mut st = pool.state.lock().unwrap();
-        st.to_join = 0;
-        st.job = JobPtr(std::ptr::null());
-        while st.active > 0 {
+        if let Some(i) = st.entries.iter().position(|e| e.id == id) {
+            st.pending -= st.entries[i].to_join;
+            st.entries[i].to_join = 0;
+        }
+        while st
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .is_some_and(|e| e.active > 0)
+        {
             st = pool.done.wait(st).unwrap();
         }
+        st.entries.retain(|e| e.id != id);
     }
 
     /// Execute `body(b)` for every `b in 0..nblocks`, each exactly once,
-    /// on a team of at most `team` threads (the caller plus parked
+    /// on a sub-team of at most `team` threads (the caller plus parked
     /// workers). Called by the `par` backend for every parallel region.
     pub(crate) fn run_region(nblocks: usize, team: usize, body: &(dyn Fn(usize) + Sync)) {
         debug_assert!(team >= 2 && nblocks > 0 && !in_region());
@@ -332,24 +452,28 @@ mod team {
         };
         let pool = shared();
         let helpers = team.min(super::MAX_TEAM) - 1;
-        let slots = dispatch(pool, &job, helpers);
+        let ticket = dispatch(pool, &job, helpers);
         // Wake only as many workers as can join: a small-cap region on a
         // pool that has grown large must not broadcast-wake (and re-park)
         // every worker. A notification landing on no waiter is simply
-        // lost, which is fine — busy workers re-check the epoch when they
-        // finish, and the leader drains every block itself regardless, so
-        // a missed wake can only cost parallelism, never progress.
-        for _ in 0..slots {
-            pool.work.notify_one();
+        // lost, which is fine — busy workers re-scan the entry list when
+        // they finish, and the leader drains every block itself
+        // regardless, so a missed wake can only cost parallelism, never
+        // progress.
+        if let Some((_, slots)) = ticket {
+            for _ in 0..slots {
+                pool.work.notify_one();
+            }
         }
         {
-            // The leader always participates; with the team busy elsewhere
-            // it simply drains every block itself — identical results.
+            // The leader always participates; with the pool fully claimed
+            // elsewhere it simply drains every block itself — identical
+            // results.
             let _flag = RegionFlag::set();
             drain(&job);
         }
-        if slots > 0 {
-            retire(pool);
+        if let Some((id, _)) = ticket {
+            retire(pool, id);
         }
         let payload = job.panic.lock().unwrap().take();
         if let Some(p) = payload {
@@ -414,6 +538,51 @@ mod tests {
     #[test]
     fn max_threads_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn run_region_on_visits_every_block_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for team in [1usize, 2, 4] {
+            for nblocks in [0usize, 1, 7, 64] {
+                let hits: Vec<AtomicUsize> = (0..nblocks).map(|_| AtomicUsize::new(0)).collect();
+                run_region_on(team, nblocks, &|b| {
+                    hits[b].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "team {team}, nblocks {nblocks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_sub_teams_all_complete() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Several leaders running regions at once on explicit sub-teams:
+        // every block of every region must still run exactly once, and —
+        // with the pool free to grow — nobody should be forced into the
+        // contended inline-drain fallback.
+        let before = contended_regions();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+                        run_region_on(3, 32, &|b| {
+                            hits[b].fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            contended_regions(),
+            before,
+            "sub-team dispatch must staff concurrent leaders without inline drains"
+        );
     }
 
     #[test]

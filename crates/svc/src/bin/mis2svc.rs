@@ -1,0 +1,114 @@
+//! `mis2svc` — the graph-service daemon and its command-line client.
+//!
+//! ```text
+//! mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]
+//!                [--queue-cap N] [--scale tiny|small|paper]
+//! mis2svc client --addr HOST:PORT REQUEST...
+//! mis2svc workloads
+//! ```
+//!
+//! `serve` binds the loopback listener, prints `mis2svc listening on ADDR`
+//! and serves until killed. `client` sends one request line (the remaining
+//! arguments joined by spaces), prints the response, and exits 0 iff the
+//! response is `OK ...`. `workloads` lists the suite graph names — used by
+//! the CI smoke leg to sweep every workload through a running server.
+
+use mis2_graph::{suite, Scale};
+use mis2_svc::{client::Client, server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]\n\
+         \x20                     [--queue-cap N] [--scale tiny|small|paper]\n\
+         \x20      mis2svc client --addr HOST:PORT REQUEST...\n\
+         \x20      mis2svc workloads"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("client") => cmd_client(&argv[1..]),
+        Some("workloads") => {
+            for w in suite::workloads() {
+                println!("{}", w.name);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn parse_usize(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| usage())
+}
+
+fn cmd_serve(argv: &[String]) {
+    let mut cfg = server::ServerConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> &str {
+            *i += 1;
+            argv.get(*i).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = take(&mut i).to_string(),
+            "--threads" => cfg.threads = parse_usize(take(&mut i)),
+            "--workers" => cfg.workers = parse_usize(take(&mut i)),
+            "--queue-cap" => cfg.queue_cap = parse_usize(take(&mut i)),
+            "--scale" => cfg.scale = Scale::parse(take(&mut i)).unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match server::serve(cfg) {
+        Ok(handle) => {
+            println!("mis2svc listening on {}", handle.addr());
+            handle.wait();
+        }
+        Err(e) => {
+            eprintln!("error: cannot serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_client(argv: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut words: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            w => words.push(w),
+        }
+        i += 1;
+    }
+    let (Some(addr), false) = (addr, words.is_empty()) else {
+        usage()
+    };
+    let request = words.join(" ");
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match client.request(&request) {
+        Ok(response) => {
+            println!("{response}");
+            if !response.starts_with("OK ") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Minimal blocking client for the line protocol: one request line out,
+//! one response line back. Used by the e2e tests, the `mis2svc client`
+//! mode, and the CI server-smoke leg.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request line and block for its response line.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Polite close: `QUIT` and drop the connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.request("QUIT")?;
+        Ok(())
+    }
+}

@@ -1,0 +1,50 @@
+//! # mis2-svc — the graph-service subsystem
+//!
+//! Serves the workspace's MIS-2 / coarsening / solver operations to many
+//! concurrent clients from one warm process, std-only. Three layers:
+//!
+//! * [`registry`] — loads or generates each graph once (suite workload
+//!   names or `.mtx` paths), interns it behind `Arc<CsrGraph>`, and caches
+//!   every derived artifact keyed by `(graph, op, params)`. Multilevel
+//!   pipelines re-coarsen the same graphs over and over (Schulz, *Scalable
+//!   Graph Algorithms*); the registry turns the repeats into cache hits.
+//! * [`sched`] — a bounded MPMC job queue drained by a few worker-leader
+//!   threads, each running its job on a pool **sub-team**
+//!   (`mis2_prim::pool` sub-team dispatch), so K concurrent jobs split the
+//!   parked workers instead of serializing on one team. Per-job queue-wait
+//!   and run-time statistics feed the `STATS` request.
+//! * [`server`] / [`client`] — a loopback TCP server speaking the
+//!   line-oriented protocol of [`proto`] (`MIS2 g`, `COARSEN g L`,
+//!   `SOLVE g cg|gmres`, `STATS`, `PING`, `QUIT`), plus the matching
+//!   blocking client.
+//!
+//! The determinism contract of the underlying algorithms lifts to the
+//! service: a response is **bitwise-identical** to a direct library call,
+//! for every client, concurrency level, sub-team size and backend —
+//! `tests/svc_e2e.rs` at the workspace root asserts exactly that with 16
+//! concurrent clients. [`ops`] is the single definition of each request's
+//! semantics that both paths share.
+//!
+//! ```no_run
+//! use mis2_svc::{client::Client, server};
+//!
+//! let handle = server::serve(server::ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let reply = client.request("MIS2 ecology2").unwrap();
+//! assert!(reply.starts_with("OK MIS2 ecology2 size="));
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod ops;
+pub mod proto;
+pub mod registry;
+pub mod sched;
+pub mod server;
+
+pub use client::Client;
+pub use ops::OpKey;
+pub use proto::{GraphRef, Method, Request};
+pub use registry::Registry;
+pub use sched::{SchedConfig, Scheduler};
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,237 @@
+//! The compute operations the service exposes, as pure functions of a
+//! graph — one place that defines *exactly* what a request runs, so the
+//! server, the direct library path used by tests, and the throughput
+//! bench can never drift apart.
+//!
+//! Every operation is deterministic (seeded, fixed-block reductions), so a
+//! response body — which embeds an order-sensitive fingerprint of the full
+//! result — is bitwise-identical no matter which thread, sub-team size, or
+//! backend computed it. That is the service's determinism contract.
+
+use crate::proto::{self, Method, Request};
+use crate::registry::Registry;
+use mis2_coarsen::hierarchy::{coarsen_recursive, Level};
+use mis2_core::Mis2Result;
+use mis2_graph::CsrGraph;
+use mis2_prim::hash::splitmix64;
+use mis2_solver::{gmres, pcg, Jacobi, SolveOpts, SolveResult};
+
+/// Cache key for a derived artifact: the operation plus every parameter
+/// that influences the result. Paired with a graph reference by the
+/// registry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OpKey {
+    Mis2,
+    Coarsen { levels: usize },
+    Solve { method: Method },
+}
+
+/// Solver iteration cap — bounds worst-case request latency; an
+/// unconverged solve is still a valid, deterministic response.
+pub const SOLVE_MAX_ITERS: usize = 200;
+/// Solver relative-residual tolerance.
+pub const SOLVE_TOL: f64 = 1e-8;
+/// GMRES restart length.
+pub const SOLVE_RESTART: usize = 30;
+/// Coarsening stops once a level has at most this many vertices.
+pub const COARSEN_MIN_VERTICES: usize = 64;
+
+/// A cached derived result.
+pub enum Artifact {
+    Mis2(Mis2Result),
+    Hierarchy(Vec<Level>),
+    Solve(SolveArtifact),
+}
+
+/// Result of a `SOLVE` request: the iterate and the solve statistics.
+pub struct SolveArtifact {
+    pub x: Vec<f64>,
+    pub result: SolveResult,
+}
+
+/// Order-sensitive 64-bit fingerprint of a u32 sequence (the same chain
+/// the repo's golden-fingerprint tests use).
+pub fn fingerprint_u32(data: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for x in data {
+        h = splitmix64(h ^ x as u64);
+    }
+    h
+}
+
+/// Order-sensitive fingerprint of an f64 sequence over exact bit patterns,
+/// so any reduction-order drift in the solvers is caught.
+pub fn fingerprint_f64<'a>(data: impl IntoIterator<Item = &'a f64>) -> u64 {
+    let mut h = 0x84222325_CBF29CE4u64;
+    for x in data {
+        h = splitmix64(h ^ x.to_bits());
+    }
+    h
+}
+
+/// The deterministic SPD operator a `SOLVE` request assembles from its
+/// graph: adjacency off-diagonals of -1 with a constant diagonal of
+/// `max_degree + 1` (strictly diagonally dominant, hence SPD).
+pub fn solve_matrix(g: &CsrGraph) -> mis2_sparse::CsrMatrix {
+    mis2_sparse::gen::from_graph_with_diag(g, (g.max_degree() + 1) as f64)
+}
+
+/// The fixed right-hand side of a `SOLVE` request.
+pub fn solve_rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.125).collect()
+}
+
+/// Run one operation on a graph. This is the single definition of each
+/// request's semantics; everything else (server, tests, benches) calls
+/// through here.
+pub fn compute(g: &CsrGraph, op: &OpKey) -> Artifact {
+    match op {
+        OpKey::Mis2 => {
+            let r = mis2_core::mis2(g);
+            mis2_core::verify_mis2(g, &r.is_in).expect("internal error: served MIS-2 invalid");
+            Artifact::Mis2(r)
+        }
+        OpKey::Coarsen { levels } => {
+            Artifact::Hierarchy(coarsen_recursive(g, COARSEN_MIN_VERTICES, *levels))
+        }
+        OpKey::Solve { method } => {
+            let a = solve_matrix(g);
+            let b = solve_rhs(a.nrows());
+            let opts = SolveOpts {
+                tol: SOLVE_TOL,
+                max_iters: SOLVE_MAX_ITERS,
+            };
+            let jacobi = Jacobi::new(&a);
+            let (x, result) = match method {
+                Method::Cg => pcg(&a, &b, &jacobi, &opts),
+                Method::Gmres => gmres(&a, &b, &jacobi, SOLVE_RESTART, &opts),
+            };
+            Artifact::Solve(SolveArtifact { x, result })
+        }
+    }
+}
+
+/// Render the response body (everything after `OK `) for an artifact.
+pub fn body(graph_token: &str, op: &OpKey, artifact: &Artifact) -> String {
+    match (op, artifact) {
+        (OpKey::Mis2, Artifact::Mis2(r)) => {
+            let fp = fingerprint_u32(
+                r.in_set
+                    .iter()
+                    .copied()
+                    .chain([r.iterations as u32, r.size() as u32]),
+            );
+            format!(
+                "MIS2 {graph_token} size={} iters={} fp={fp:#018x}",
+                r.size(),
+                r.iterations
+            )
+        }
+        (OpKey::Coarsen { levels }, Artifact::Hierarchy(h)) => {
+            let mut fp = 0xCBF2_9CE4_8422_2325u64;
+            for lvl in h {
+                fp = splitmix64(fp ^ lvl.graph.num_vertices() as u64);
+                fp = splitmix64(fp ^ lvl.graph.num_edges() as u64);
+                if let Some(agg) = &lvl.agg {
+                    fp = splitmix64(fp ^ fingerprint_u32(agg.labels.iter().copied()));
+                }
+            }
+            let coarsest = &h.last().expect("hierarchy is never empty").graph;
+            format!(
+                "COARSEN {graph_token} want={levels} levels={} coarsest_v={} coarsest_e={} \
+                 fp={fp:#018x}",
+                h.len(),
+                coarsest.num_vertices(),
+                coarsest.num_edges()
+            )
+        }
+        (OpKey::Solve { method }, Artifact::Solve(s)) => {
+            let fp = splitmix64(
+                fingerprint_f64(s.x.iter().chain(s.result.history.iter()))
+                    ^ s.result.iterations as u64,
+            );
+            format!(
+                "SOLVE {graph_token} {} n={} iters={} converged={} fp={fp:#018x}",
+                method.name(),
+                s.x.len(),
+                s.result.iterations,
+                s.result.converged
+            )
+        }
+        _ => unreachable!("artifact kind always matches its op key"),
+    }
+}
+
+/// Execute one *compute* request against a registry and return the full
+/// response line (`OK ...` / `ERR ...`). `STATS`/`PING`/`QUIT` are
+/// connection-level and handled by the server, not here.
+pub fn execute(reg: &Registry, req: &Request) -> String {
+    let (graph, op) = match req {
+        Request::Mis2 { graph } => (graph, OpKey::Mis2),
+        Request::Coarsen { graph, levels } => (graph, OpKey::Coarsen { levels: *levels }),
+        Request::Solve { graph, method } => (graph, OpKey::Solve { method: *method }),
+        Request::Stats | Request::Ping | Request::Quit => {
+            return proto::err("not a compute request");
+        }
+    };
+    match reg.artifact(graph, &op) {
+        Ok(artifact) => proto::ok(&body(graph.token(), &op, &artifact)),
+        Err(e) => proto::err(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::GraphRef;
+    use mis2_graph::Scale;
+
+    #[test]
+    fn compute_is_deterministic_per_op() {
+        let g = mis2_graph::gen::laplace2d(24, 24);
+        for op in [
+            OpKey::Mis2,
+            OpKey::Coarsen { levels: 3 },
+            OpKey::Solve { method: Method::Cg },
+            OpKey::Solve {
+                method: Method::Gmres,
+            },
+        ] {
+            let a = body("g", &op, &compute(&g, &op));
+            let b = body("g", &op, &compute(&g, &op));
+            assert_eq!(a, b, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn solve_converges_on_small_laplacian() {
+        let g = mis2_graph::gen::laplace2d(16, 16);
+        let Artifact::Solve(s) = compute(&g, &OpKey::Solve { method: Method::Cg }) else {
+            panic!("wrong artifact kind");
+        };
+        assert!(
+            s.result.converged,
+            "Jacobi-CG must converge on a 16x16 grid"
+        );
+    }
+
+    #[test]
+    fn execute_formats_ok_and_err_lines() {
+        let reg = Registry::new(Scale::Tiny);
+        let ok_line = execute(
+            &reg,
+            &Request::Mis2 {
+                graph: GraphRef::Suite("ecology2".into()),
+            },
+        );
+        assert!(ok_line.starts_with("OK MIS2 ecology2 size="), "{ok_line}");
+        let err_line = execute(
+            &reg,
+            &Request::Mis2 {
+                graph: GraphRef::Suite("nope".into()),
+            },
+        );
+        assert!(err_line.starts_with("ERR "), "{err_line}");
+        assert!(!err_line.contains('\n'), "{err_line}");
+    }
+}

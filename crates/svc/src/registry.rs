@@ -1,0 +1,234 @@
+//! The graph registry: load or generate each graph once, intern it behind
+//! an `Arc`, and cache every derived artifact keyed by
+//! `(graph, op, params)`.
+//!
+//! ## Cache semantics
+//!
+//! * **Graphs** are interned forever: the first request naming a suite
+//!   workload builds it at the registry's [`Scale`]; the first request
+//!   naming a `.mtx` path reads the file. Later requests share the `Arc`.
+//! * **Artifacts** (MIS-2 result, coarse hierarchy, solve result) are
+//!   cached by `(graph ref, `[`OpKey`]`)`. Because every operation is
+//!   deterministic, a cache hit is *observably identical* to recomputing —
+//!   caching can change latency, never bytes.
+//! * Computation happens **outside** the cache locks, so a slow build
+//!   never blocks requests for other graphs — and it is **single-flight**:
+//!   a burst of identical cold requests (the service's common shape) pays
+//!   exactly one compute while the rest wait on the in-flight marker.
+//! * Nothing is ever evicted. The registry serves a fixed suite (plus any
+//!   `.mtx` files it is pointed at), and artifacts are small relative to
+//!   their graphs; a server that must bound memory should front this with
+//!   its own policy.
+
+use crate::ops::{self, Artifact, OpKey};
+use crate::proto::GraphRef;
+use mis2_graph::{io, suite, CsrGraph, Scale};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Snapshot of the registry's counters for `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Graphs interned so far.
+    pub graphs: usize,
+    /// Artifacts cached so far.
+    pub artifacts: usize,
+    /// Artifact-cache hits.
+    pub hits: u64,
+    /// Artifact-cache misses (each one paid a compute).
+    pub misses: u64,
+}
+
+type ArtifactKey = (GraphRef, OpKey);
+
+/// Artifact cache plus the keys currently being computed (single-flight).
+struct Artifacts {
+    map: HashMap<ArtifactKey, Arc<Artifact>>,
+    inflight: HashSet<ArtifactKey>,
+}
+
+/// See the module docs.
+pub struct Registry {
+    scale: Scale,
+    graphs: Mutex<HashMap<GraphRef, Arc<CsrGraph>>>,
+    artifacts: Mutex<Artifacts>,
+    /// Signaled whenever an in-flight computation finishes (either way).
+    inflight_done: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry whose suite workloads build at `scale`.
+    pub fn new(scale: Scale) -> Registry {
+        Registry {
+            scale,
+            graphs: Mutex::new(HashMap::new()),
+            artifacts: Mutex::new(Artifacts {
+                map: HashMap::new(),
+                inflight: HashSet::new(),
+            }),
+            inflight_done: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The scale suite workloads are built at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Intern (load or generate) a graph.
+    pub fn graph(&self, gref: &GraphRef) -> Result<Arc<CsrGraph>, String> {
+        if let Some(g) = self.graphs.lock().unwrap().get(gref) {
+            return Ok(Arc::clone(g));
+        }
+        let built = match gref {
+            GraphRef::Suite(name) => suite::try_build(name, self.scale)?,
+            GraphRef::Mtx(path) => {
+                io::read_graph_file(path).map_err(|e| format!("cannot read {path}: {e}"))?
+            }
+        };
+        let mut graphs = self.graphs.lock().unwrap();
+        let entry = graphs
+            .entry(gref.clone())
+            .or_insert_with(|| Arc::new(built));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Get or compute the artifact for `(graph, op)`, single-flight: of N
+    /// concurrent requests for a cold key, exactly one computes while the
+    /// others wait for its insert (or for its failure, in which case the
+    /// next waiter takes over the compute).
+    pub fn artifact(&self, gref: &GraphRef, op: &OpKey) -> Result<Arc<Artifact>, String> {
+        let key = (gref.clone(), op.clone());
+        {
+            let mut st = self.artifacts.lock().unwrap();
+            loop {
+                if let Some(a) = st.map.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(a));
+                }
+                if st.inflight.insert(key.clone()) {
+                    break; // our flight: compute below
+                }
+                st = self.inflight_done.wait(st).unwrap();
+            }
+        }
+        // Clear the in-flight marker even if the compute panics (a leaked
+        // marker would park every later request for this key forever; the
+        // scheduler catches job panics, so the process lives on).
+        struct Flight<'a> {
+            reg: &'a Registry,
+            key: ArtifactKey,
+        }
+        impl Drop for Flight<'_> {
+            fn drop(&mut self) {
+                let mut st = self.reg.artifacts.lock().unwrap();
+                st.inflight.remove(&self.key);
+                drop(st);
+                self.reg.inflight_done.notify_all();
+            }
+        }
+        let flight = Flight { reg: self, key };
+        let g = self.graph(gref)?;
+        let computed = Arc::new(ops::compute(&g, op));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.artifacts.lock().unwrap();
+        st.map.insert(flight.key.clone(), Arc::clone(&computed));
+        drop(st);
+        Ok(computed)
+    }
+
+    /// Counter snapshot for `STATS`.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            graphs: self.graphs.lock().unwrap().len(),
+            artifacts: self.artifacts.lock().unwrap().map.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_are_interned_once() {
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Suite("ecology2".into());
+        let a = reg.graph(&r).unwrap();
+        let b = reg.graph(&r).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same Arc must be shared");
+        assert_eq!(reg.stats().graphs, 1);
+    }
+
+    #[test]
+    fn artifacts_hit_after_first_compute() {
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Suite("parabolic_fem".into());
+        let a = reg.artifact(&r, &OpKey::Mis2).unwrap();
+        let b = reg.artifact(&r, &OpKey::Mis2).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = reg.stats();
+        assert_eq!((s.hits, s.misses, s.artifacts), (1, 1, 1));
+        // A different op key is its own cache line.
+        reg.artifact(&r, &OpKey::Coarsen { levels: 2 }).unwrap();
+        assert_eq!(reg.stats().artifacts, 2);
+    }
+
+    #[test]
+    fn cold_bursts_are_single_flight() {
+        // 8 threads racing for the same cold key: exactly one compute
+        // (misses == 1), everyone gets the same Arc.
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Suite("ecology2".into());
+        let arcs: Vec<Arc<Artifact>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| reg.artifact(&r, &OpKey::Mis2).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(arcs.iter().all(|a| Arc::ptr_eq(a, &arcs[0])));
+        let st = reg.stats();
+        assert_eq!(st.misses, 1, "burst must pay exactly one compute");
+        assert_eq!(st.hits, 7);
+    }
+
+    #[test]
+    fn failed_flight_releases_the_key() {
+        // A failing compute (unknown graph) must clear the in-flight
+        // marker so later requests aren't parked forever.
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Suite("not_a_matrix".into());
+        assert!(reg.artifact(&r, &OpKey::Mis2).is_err());
+        assert!(reg.artifact(&r, &OpKey::Mis2).is_err());
+    }
+
+    #[test]
+    fn unknown_graphs_error_and_cache_nothing() {
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Suite("not_a_matrix".into());
+        assert!(reg.graph(&r).is_err());
+        assert!(reg.artifact(&r, &OpKey::Mis2).is_err());
+        let s = reg.stats();
+        assert_eq!((s.graphs, s.artifacts), (0, 0));
+    }
+
+    #[test]
+    fn mtx_files_load_through_the_registry() {
+        let g = mis2_graph::gen::erdos_renyi(30, 60, 3);
+        let dir = std::env::temp_dir().join("mis2_svc_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.mtx");
+        io::write_graph_file(&g, &path).unwrap();
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Mtx(path.to_str().unwrap().into());
+        let loaded = reg.graph(&r).unwrap();
+        assert_eq!(*loaded, g);
+    }
+}

@@ -1,0 +1,363 @@
+//! The batching job scheduler: a bounded MPMC queue drained by a fixed set
+//! of worker-leader threads, each running its job on a pool **sub-team**.
+//!
+//! ## Why not one team per request?
+//!
+//! Before pool sub-teams, concurrent leaders serialized on the single
+//! parked team — one request won the workers and the rest drained their
+//! regions inline (the ROADMAP open item this subsystem resolves). Even
+//! with sub-teams, a thread per request oversubscribes the machine the
+//! moment requests outnumber cores, and MIS-2-sized jobs are small and
+//! bursty (Blelloch et al.: expected polylog depth per MIS pass), so the
+//! winning shape is a *few* warm leaders batching many cheap jobs:
+//!
+//! * `K = workers` leader threads pull jobs from one bounded queue;
+//! * each leader runs its job under `with_pool(team)` where
+//!   `team = threads / K`, so the K concurrent jobs *split* the parked
+//!   workers via `mis2_prim::pool`'s sub-team dispatch instead of fighting
+//!   over one team;
+//! * the bounded queue applies backpressure to producers (connection
+//!   handlers block in [`Scheduler::submit`] when the queue is full).
+//!
+//! Per-job statistics (queue wait, run time, team size) are aggregated in
+//! [`SchedStats`] and surfaced through the `STATS` request.
+
+use mis2_prim::pool;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A unit of work: produces the full response line for one request.
+pub type Job = Box<dyn FnOnce() -> String + Send>;
+
+/// Scheduler sizing. Zeros mean "pick a sensible default".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedConfig {
+    /// Total thread budget shared by all concurrently running jobs
+    /// (0 = all logical CPUs).
+    pub threads: usize,
+    /// Worker-leader threads pulling from the queue
+    /// (0 = `min(4, threads)`).
+    pub workers: usize,
+    /// Bounded queue capacity; producers block when full (0 = 64).
+    pub queue_cap: usize,
+}
+
+/// Aggregated per-job statistics (durations in microseconds).
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    /// Jobs completed (including panicked ones).
+    pub jobs: AtomicU64,
+    /// Total time jobs spent queued before a worker picked them up.
+    pub queue_wait_us: AtomicU64,
+    /// Total time jobs spent running.
+    pub run_us: AtomicU64,
+    /// Jobs that panicked (reported to the client as `ERR`).
+    pub panics: AtomicU64,
+}
+
+/// One-shot completion slot a submitter waits on.
+struct DoneSlot {
+    result: Mutex<Option<String>>,
+    ready: Condvar,
+}
+
+impl DoneSlot {
+    fn complete(&self, line: String) {
+        *self.result.lock().unwrap() = Some(line);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to a submitted job; [`JobHandle::wait`] blocks until the worker
+/// publishes the response line.
+pub struct JobHandle(Arc<DoneSlot>);
+
+impl JobHandle {
+    pub fn wait(self) -> String {
+        let mut guard = self.0.result.lock().unwrap();
+        loop {
+            if let Some(line) = guard.take() {
+                return line;
+            }
+            guard = self.0.ready.wait(guard).unwrap();
+        }
+    }
+}
+
+struct Queued {
+    job: Job,
+    enqueued: Instant,
+    done: Arc<DoneSlot>,
+}
+
+struct Queue {
+    jobs: VecDeque<Queued>,
+    shutdown: bool,
+}
+
+struct Inner {
+    queue: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_cap: usize,
+    team: usize,
+    stats: SchedStats,
+}
+
+/// See the module docs.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    nworkers: usize,
+}
+
+impl Scheduler {
+    pub fn new(cfg: SchedConfig) -> Scheduler {
+        let threads = if cfg.threads == 0 {
+            pool::max_threads()
+        } else {
+            cfg.threads.clamp(1, pool::MAX_TEAM)
+        };
+        // Never more leaders than budgeted threads: each leader runs a job
+        // concurrently, so workers > threads would oversubscribe the very
+        // budget `threads` declares.
+        let nworkers = if cfg.workers == 0 {
+            threads.min(4)
+        } else {
+            cfg.workers.clamp(1, threads)
+        };
+        let queue_cap = if cfg.queue_cap == 0 {
+            64
+        } else {
+            cfg.queue_cap
+        };
+        // K concurrent jobs split the thread budget; each leader thread
+        // counts toward its own sub-team. Floor division keeps the sum of
+        // sub-teams within the budget (at most nworkers - 1 budgeted
+        // threads stay idle from the remainder).
+        let team = (threads / nworkers).max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_cap,
+            team,
+            stats: SchedStats::default(),
+        });
+        let workers = (0..nworkers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mis2-svc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("failed to spawn scheduler worker")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: Mutex::new(workers),
+            nworkers,
+        }
+    }
+
+    /// Sub-team size each job runs with.
+    pub fn team(&self) -> usize {
+        self.inner.team
+    }
+
+    /// Number of worker-leader threads.
+    pub fn workers(&self) -> usize {
+        self.nworkers
+    }
+
+    /// Aggregated job statistics.
+    pub fn stats(&self) -> &SchedStats {
+        &self.inner.stats
+    }
+
+    /// Enqueue a job, blocking while the queue is full (backpressure).
+    /// After [`Scheduler::shutdown`] the job is rejected immediately with
+    /// an `ERR` response.
+    pub fn submit(&self, job: Job) -> JobHandle {
+        let done = Arc::new(DoneSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let mut q = self.inner.queue.lock().unwrap();
+        while q.jobs.len() >= self.inner.queue_cap && !q.shutdown {
+            q = self.inner.not_full.wait(q).unwrap();
+        }
+        if q.shutdown {
+            drop(q);
+            done.complete(crate::proto::err("scheduler shut down"));
+            return JobHandle(done);
+        }
+        q.jobs.push_back(Queued {
+            job,
+            enqueued: Instant::now(),
+            done: Arc::clone(&done),
+        });
+        drop(q);
+        self.inner.not_empty.notify_one();
+        JobHandle(done)
+    }
+
+    /// Stop the workers; queued-but-unstarted jobs complete with `ERR`
+    /// and later [`Scheduler::submit`] calls are rejected. Idempotent, and
+    /// takes `&self` so it works through a shared `Arc` even while
+    /// connection handlers still hold clones.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.shutdown = true;
+            for queued in q.jobs.drain(..) {
+                queued
+                    .done
+                    .complete(crate::proto::err("scheduler shut down"));
+            }
+        }
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+        for w in self.workers.lock().unwrap().drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let queued = {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(item) = q.jobs.pop_front() {
+                    break item;
+                }
+                q = inner.not_empty.wait(q).unwrap();
+            }
+        };
+        inner.not_full.notify_one();
+        let wait_us = queued.enqueued.elapsed().as_micros() as u64;
+        let start = Instant::now();
+        // The job runs on this leader plus a sub-team of parked pool
+        // workers; concurrent leaders' sub-teams split the pool. A panic
+        // inside a job must not kill the worker — it becomes an ERR
+        // response for that one request.
+        let line = match catch_unwind(AssertUnwindSafe(|| pool::with_pool(inner.team, queued.job)))
+        {
+            Ok(line) => line,
+            Err(_) => {
+                inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                crate::proto::err("job panicked")
+            }
+        };
+        let run_us = start.elapsed().as_micros() as u64;
+        inner.stats.jobs.fetch_add(1, Ordering::Relaxed);
+        inner
+            .stats
+            .queue_wait_us
+            .fetch_add(wait_us, Ordering::Relaxed);
+        inner.stats.run_us.fetch_add(run_us, Ordering::Relaxed);
+        queued.done.complete(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(threads: usize, workers: usize, cap: usize) -> Scheduler {
+        Scheduler::new(SchedConfig {
+            threads,
+            workers,
+            queue_cap: cap,
+        })
+    }
+
+    #[test]
+    fn jobs_complete_with_their_own_results() {
+        let s = sched(2, 2, 8);
+        let handles: Vec<JobHandle> = (0..20)
+            .map(|i| s.submit(Box::new(move || format!("OK job {i}"))))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), format!("OK job {i}"));
+        }
+        assert_eq!(s.stats().jobs.load(Ordering::Relaxed), 20);
+        s.shutdown();
+    }
+
+    #[test]
+    fn team_splits_thread_budget_across_workers() {
+        let s = sched(8, 4, 4);
+        assert_eq!(s.team(), 2);
+        assert_eq!(s.workers(), 4);
+        s.shutdown();
+        let s = sched(1, 0, 0);
+        assert_eq!((s.team(), s.workers()), (1, 1));
+        s.shutdown();
+        // An explicit worker count is clamped to the thread budget: a
+        // 2-thread budget must never run 8 concurrent leaders.
+        let s = sched(2, 8, 4);
+        assert_eq!((s.team(), s.workers()), (1, 2));
+        s.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_yields_err_and_worker_survives() {
+        let s = sched(1, 1, 4);
+        let bad = s.submit(Box::new(|| panic!("kaboom")));
+        assert!(bad.wait().starts_with("ERR "));
+        let good = s.submit(Box::new(|| "OK fine".into()));
+        assert_eq!(good.wait(), "OK fine");
+        assert_eq!(s.stats().panics.load(Ordering::Relaxed), 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_but_completes_everything() {
+        // Queue of 2 with 1 worker and 8 producers: submits block rather
+        // than grow unboundedly, and every job still completes.
+        let s = Arc::new(sched(1, 1, 2));
+        let done = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for p in 0..8u64 {
+                let s = Arc::clone(&s);
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    for j in 0..5u64 {
+                        let h = s.submit(Box::new(move || format!("OK {p}/{j}")));
+                        assert_eq!(h.wait(), format!("OK {p}/{j}"));
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 40);
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs_and_is_idempotent() {
+        let s = sched(1, 1, 4);
+        let slow = s.submit(Box::new(|| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            "OK slow".into()
+        }));
+        assert_eq!(slow.wait(), "OK slow");
+        s.shutdown();
+        // shutdown takes &self (handlers may still hold Arc clones), so
+        // the same scheduler must now reject and survive a second call.
+        let rejected = s.submit(Box::new(|| "OK never".into()));
+        assert!(rejected.wait().starts_with("ERR "));
+        s.shutdown();
+    }
+}

@@ -1,0 +1,289 @@
+//! The loopback TCP server: accepts line-protocol connections and
+//! multiplexes their compute requests onto the batching scheduler.
+//!
+//! One OS thread per connection reads request lines; `PING`/`STATS`/`QUIT`
+//! are answered inline, compute requests are submitted to the shared
+//! [`Scheduler`] (blocking the connection on the bounded queue when the
+//! service is saturated — per-connection backpressure instead of unbounded
+//! buffering). Responses preserve request order within a connection.
+
+use crate::proto::{self, Request};
+use crate::registry::Registry;
+use crate::sched::{SchedConfig, Scheduler};
+use mis2_graph::Scale;
+use mis2_prim::pool;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (the default — read
+    /// the actual address from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Thread budget shared by concurrently running jobs (0 = all CPUs).
+    pub threads: usize,
+    /// Scheduler worker-leaders (0 = auto).
+    pub workers: usize,
+    /// Bounded job-queue capacity (0 = default).
+    pub queue_cap: usize,
+    /// Maximum concurrent connections; one past the cap is accepted only
+    /// to be told `ERR server busy` and dropped (0 = 1024).
+    pub max_conns: usize,
+    /// Scale suite workloads are built at.
+    pub scale: Scale,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            workers: 0,
+            queue_cap: 0,
+            max_conns: 0,
+            scale: Scale::Tiny,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] (tests) or [`ServerHandle::wait`] (the
+/// `mis2svc` bin).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    sched: Arc<Scheduler>,
+    registry: Arc<Registry>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared graph/artifact registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Block forever serving (the accept loop never returns on its own).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop accepting, stop the scheduler (in-flight jobs finish, queued
+    /// ones are rejected, later submits get `ERR`), and join the accept
+    /// thread. Connection handler threads exit as their clients
+    /// disconnect; any still alive only ever see the shut-down scheduler.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.sched.shutdown();
+    }
+}
+
+/// Bind and start serving in background threads.
+pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::new(Registry::new(cfg.scale));
+    let sched = Arc::new(Scheduler::new(SchedConfig {
+        threads: cfg.threads,
+        workers: cfg.workers,
+        queue_cap: cfg.queue_cap,
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+    let max_conns = if cfg.max_conns == 0 {
+        1024
+    } else {
+        cfg.max_conns
+    };
+    let accept = {
+        let registry = Arc::clone(&registry);
+        let sched = Arc::clone(&sched);
+        let stop = Arc::clone(&stop);
+        let conns = Arc::new(AtomicUsize::new(0));
+        std::thread::Builder::new()
+            .name("mis2-svc-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else {
+                        // Transient (often fd-exhaustion) accept failure:
+                        // back off instead of spinning the core; existing
+                        // connections keep their handler threads.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    };
+                    if conns.load(Ordering::Relaxed) >= max_conns {
+                        let _ = writeln!(stream, "{}", proto::err("server busy"));
+                        continue; // drop the stream
+                    }
+                    conns.fetch_add(1, Ordering::Relaxed);
+                    let registry = Arc::clone(&registry);
+                    let sched = Arc::clone(&sched);
+                    let handler_conns = Arc::clone(&conns);
+                    let spawned = std::thread::Builder::new()
+                        .name("mis2-svc-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &registry, &sched);
+                            handler_conns.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    if spawned.is_err() {
+                        conns.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            })?
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+        sched,
+        registry,
+    })
+}
+
+/// Serve one connection until EOF, error, or `QUIT`.
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Arc<Registry>,
+    sched: &Scheduler,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match Request::parse(trimmed) {
+            Err(e) => proto::err(&e),
+            Ok(Request::Ping) => proto::ok("PONG"),
+            Ok(Request::Quit) => {
+                writeln!(writer, "{}", proto::ok("BYE"))?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Ok(Request::Stats) => proto::ok(&stats_body(registry, sched)),
+            Ok(req) => {
+                // Compute request: batch it onto the scheduler and block
+                // this connection until its response line is ready.
+                let registry = Arc::clone(registry);
+                sched
+                    .submit(Box::new(move || crate::ops::execute(&registry, &req)))
+                    .wait()
+            }
+        };
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+}
+
+/// The `STATS` response body: registry, scheduler and pool counters.
+fn stats_body(registry: &Registry, sched: &Scheduler) -> String {
+    let r = registry.stats();
+    let s = sched.stats();
+    format!(
+        "STATS graphs={} artifacts={} hits={} misses={} jobs={} queue_wait_us={} run_us={} \
+         panics={} workers={} team={} pool_spawned={} pool_contended={}",
+        r.graphs,
+        r.artifacts,
+        r.hits,
+        r.misses,
+        s.jobs.load(Ordering::Relaxed),
+        s.queue_wait_us.load(Ordering::Relaxed),
+        s.run_us.load(Ordering::Relaxed),
+        s.panics.load(Ordering::Relaxed),
+        sched.workers(),
+        sched.team(),
+        pool::spawned_workers(),
+        pool::contended_regions(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    #[test]
+    fn ping_stats_quit_roundtrip() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        assert_eq!(c.request("PING").unwrap(), "OK PONG");
+        let stats = c.request("STATS").unwrap();
+        assert!(stats.starts_with("OK STATS graphs=0"), "{stats}");
+        assert_eq!(c.request("QUIT").unwrap(), "OK BYE");
+        h.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_err_and_connection_survives() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        assert!(c.request("NONSENSE").unwrap().starts_with("ERR "));
+        assert!(c.request("COARSEN g 0").unwrap().starts_with("ERR "));
+        assert_eq!(c.request("PING").unwrap(), "OK PONG");
+        h.shutdown();
+    }
+
+    #[test]
+    fn connections_beyond_cap_get_busy_and_dropped() {
+        let h = serve(ServerConfig {
+            max_conns: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut first = Client::connect(h.addr()).unwrap();
+        assert_eq!(first.request("PING").unwrap(), "OK PONG");
+        // Second connection is over the cap: it gets the busy line (read
+        // raw — request() would also succeed, but the connection then
+        // closes) and the first connection keeps working.
+        {
+            use std::io::{BufRead, BufReader};
+            let s = std::net::TcpStream::connect(h.addr()).unwrap();
+            let mut line = String::new();
+            BufReader::new(s).read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), "ERR server busy");
+        }
+        assert_eq!(first.request("PING").unwrap(), "OK PONG");
+        first.quit().unwrap();
+        h.shutdown();
+    }
+
+    #[test]
+    fn compute_request_served_and_cached() {
+        let h = serve(ServerConfig {
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        let first = c.request("MIS2 ecology2").unwrap();
+        assert!(first.starts_with("OK MIS2 ecology2 size="), "{first}");
+        let second = c.request("MIS2 ecology2").unwrap();
+        assert_eq!(first, second, "cache hit must be byte-identical");
+        let stats = c.request("STATS").unwrap();
+        assert!(stats.contains("hits=1 misses=1"), "{stats}");
+        h.shutdown();
+    }
+}

@@ -37,6 +37,7 @@
 //! | [`color`] | `mis2-color` | D1/D2 parallel colorings, color sets |
 //! | [`coarsen`] | `mis2-coarsen` | **Algorithms 2 & 3**, baselines, prolongators |
 //! | [`solver`] | `mis2-solver` | CG, GMRES, point/cluster SGS (**Algorithm 4**), SA-AMG |
+//! | [`svc`] | `mis2-svc` | graph registry, batching scheduler, loopback server |
 //!
 //! Benchmarks reproducing every table and figure live in the `mis2-bench`
 //! crate (`cargo run -p mis2-bench --release --bin repro -- all`).
@@ -48,6 +49,7 @@ pub use mis2_graph as graph;
 pub use mis2_prim as prim;
 pub use mis2_solver as solver;
 pub use mis2_sparse as sparse;
+pub use mis2_svc as svc;
 
 pub use mis2_core::{mis2, mis2_with_config, Mis2Config, Mis2Result};
 

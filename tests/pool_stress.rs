@@ -12,7 +12,7 @@
 
 use mis2_prim::hash::splitmix64;
 use mis2_prim::par;
-use mis2_prim::pool::{spawned_workers, with_pool, MAX_TEAM};
+use mis2_prim::pool::{contended_regions, spawned_workers, with_pool, MAX_TEAM};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -173,12 +173,16 @@ fn panic_in_worker_propagates_and_pool_survives() {
 
 #[test]
 fn concurrent_callers_stay_bitwise_identical() {
-    // Many OS threads opening regions at once: one wins the parked team,
-    // the others drain inline — every caller must still get the serial
-    // answer. Exercises the busy-pool dispatch path and the state mutex.
+    // Many OS threads opening regions at once: each leader gets its own
+    // sub-team staffed from workers the others have not claimed — every
+    // caller must still get the serial answer, and (since the pool can
+    // grow to cover 8 leaders x 3 helpers) nobody should be forced into
+    // the contended inline-drain fallback the single-team pool had.
+    // Exercises the multi-entry dispatch path and the state mutex.
     let n = 50_000usize;
     let callers = 8usize;
     let rounds = 40u64;
+    let contended_before = contended_regions();
     std::thread::scope(|s| {
         for c in 0..callers as u64 {
             s.spawn(move || {
@@ -199,6 +203,12 @@ fn concurrent_callers_stay_bitwise_identical() {
             });
         }
     });
+    assert_eq!(
+        contended_regions(),
+        contended_before,
+        "8 concurrent leaders must split the pool into sub-teams, not drain inline \
+         (the pre-sub-team pool serialized them on one winner-takes-all team)"
+    );
 }
 
 #[test]

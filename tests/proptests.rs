@@ -229,3 +229,55 @@ fn oracle_matches_lemma() {
         assert!(verify_mis2(&g, &r.is_in).is_ok(), "case {case}");
     }
 }
+
+#[test]
+fn mtx_roundtrip_is_identity_and_byte_stable() {
+    // write -> read must reproduce the graph exactly: a CsrGraph is
+    // already symmetric with no self-loops, so the reader's
+    // symmetrization + diagonal-drop normalization is idempotent on
+    // anything the writer emits. A second write must also be
+    // byte-identical to the first (stable serialization).
+    use mis2::graph::io;
+    use std::io::Cursor;
+    for case in 0..CASES {
+        let mut rng = Rng::new(16, case);
+        let g = arb_graph(&mut rng, 90, 350);
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        let g2 = io::read_graph(Cursor::new(&buf)).unwrap();
+        assert_eq!(g, g2, "case {case}: write->read must be the identity");
+        let mut buf2 = Vec::new();
+        io::write_graph(&g2, &mut buf2).unwrap();
+        assert_eq!(buf, buf2, "case {case}: serialization must be byte-stable");
+    }
+}
+
+#[test]
+fn mtx_read_normalizes_arbitrary_coordinate_files() {
+    // Hand-rolled Matrix Market input with duplicates, self-loops and
+    // one-directional entries: reading symmetrizes and drops diagonals,
+    // so a round-trip through write->read afterwards is a fixed point.
+    use mis2::graph::io;
+    use std::io::Cursor;
+    for case in 0..CASES {
+        let mut rng = Rng::new(17, case);
+        let n = rng.range(2, 40);
+        let m = rng.range(0, 120);
+        let mut mtx = format!("%%MatrixMarket matrix coordinate pattern general\n{n} {n} {m}\n");
+        for _ in 0..m {
+            let r = rng.range(1, n + 1);
+            let c = rng.range(1, n + 1);
+            mtx.push_str(&format!("{r} {c}\n"));
+        }
+        let g = io::read_graph(Cursor::new(mtx.as_bytes())).unwrap();
+        g.validate_symmetric()
+            .unwrap_or_else(|e| panic!("case {case}: read graph asymmetric: {e}"));
+        for v in 0..g.num_vertices() as u32 {
+            assert!(!g.has_edge(v, v), "case {case}: self-loop survived read");
+        }
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        let g2 = io::read_graph(Cursor::new(&buf)).unwrap();
+        assert_eq!(g, g2, "case {case}: normalization must be idempotent");
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end test of the `mis2-svc` subsystem: 16 concurrent clients
+//! hammer a loopback server with `MIS2` / `COARSEN` / `SOLVE` requests and
+//! every response must be **bitwise-identical** to a direct library call —
+//! under both backends (CI runs this file with and without the `parallel`
+//! feature) and at pool budgets {1, 2, 8}.
+//!
+//! The "direct" side computes expected response lines through
+//! `mis2_svc::ops::execute` on a private registry in this process — the
+//! same single definition of request semantics the server uses, driven
+//! here without any server, scheduler, sub-team, or socket in the loop.
+
+use mis2::svc::{client::Client, ops, proto::Request, Registry, ServerConfig};
+use mis2_graph::Scale;
+
+/// The request mix every client sends: all three compute ops across two
+/// differently-shaped suite graphs (honeycomb + sprinkled grid).
+fn request_lines() -> Vec<&'static str> {
+    vec![
+        "MIS2 ecology2",
+        "COARSEN ecology2 3",
+        "SOLVE ecology2 cg",
+        "MIS2 parabolic_fem",
+        "COARSEN parabolic_fem 2",
+        "SOLVE parabolic_fem gmres",
+    ]
+}
+
+/// Expected response lines via the direct library path.
+fn direct_responses() -> Vec<String> {
+    let reg = Registry::new(Scale::Tiny);
+    request_lines()
+        .iter()
+        .map(|line| ops::execute(&reg, &Request::parse(line).unwrap()))
+        .collect()
+}
+
+#[test]
+fn sixteen_clients_bitwise_identical_to_direct_calls() {
+    let want = direct_responses();
+    for w in &want {
+        assert!(w.starts_with("OK "), "direct call failed: {w}");
+    }
+    for threads in [1usize, 2, 8] {
+        let handle = mis2::svc::serve(ServerConfig {
+            threads,
+            scale: Scale::Tiny,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        std::thread::scope(|s| {
+            for c in 0..16 {
+                let want = &want;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr)
+                        .unwrap_or_else(|e| panic!("client {c} cannot connect: {e}"));
+                    for (line, expect) in request_lines().iter().zip(want) {
+                        let got = client
+                            .request(line)
+                            .unwrap_or_else(|e| panic!("client {c} request {line:?}: {e}"));
+                        assert_eq!(
+                            &got, expect,
+                            "client {c} at pool budget {threads}: served response for \
+                             {line:?} differs from the direct library call"
+                        );
+                    }
+                    client.quit().unwrap();
+                });
+            }
+        });
+        // 16 clients x 6 requests with only 6 distinct artifacts: the
+        // registry must have deduplicated nearly everything.
+        let stats = handle.registry().stats();
+        assert_eq!(stats.graphs, 2, "pool budget {threads}");
+        assert_eq!(stats.artifacts, 6, "pool budget {threads}");
+        assert_eq!(
+            stats.hits + stats.misses,
+            16 * 6,
+            "pool budget {threads}: every request must touch the artifact cache"
+        );
+        assert!(
+            stats.misses >= 6,
+            "pool budget {threads}: at least one compute per distinct artifact"
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn server_rejects_bad_requests_without_dying() {
+    let handle = mis2::svc::serve(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for bad in [
+        "MIS2 not_a_graph",
+        "MIS2 /no/such/file.mtx",
+        "COARSEN ecology2 0",
+        "SOLVE ecology2 sor",
+        "HELLO",
+    ] {
+        let got = client.request(bad).unwrap();
+        assert!(got.starts_with("ERR "), "{bad:?} -> {got}");
+    }
+    // The connection (and server) must still be healthy afterwards.
+    assert_eq!(client.request("PING").unwrap(), "OK PONG");
+    let stats = client.request("STATS").unwrap();
+    assert!(stats.starts_with("OK STATS "), "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_reports_cache_and_scheduler_counters() {
+    let handle = mis2::svc::serve(ServerConfig {
+        threads: 2,
+        scale: Scale::Tiny,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.request("MIS2 ecology2").unwrap();
+    client.request("MIS2 ecology2").unwrap();
+    let stats = client.request("STATS").unwrap();
+    assert!(
+        stats.contains("graphs=1 artifacts=1 hits=1 misses=1 jobs=2"),
+        "{stats}"
+    );
+    handle.shutdown();
+}
