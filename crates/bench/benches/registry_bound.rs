@@ -1,0 +1,96 @@
+//! Bounded vs unbounded registry throughput on the two workload shapes
+//! that matter for a memory budget:
+//!
+//! * **hit-heavy** — repeated requests over a small working set that fits
+//!   the budget. This is the service's common shape; the bounded registry
+//!   must stay within ~10% of unbounded, because after warmup both serve
+//!   pure cache hits and the budget machinery is just one accounting pass
+//!   per lookup.
+//! * **churn-heavy** — a cycle over more graphs than the budget holds, so
+//!   the bounded registry evicts and recomputes every round while the
+//!   unbounded one (the memory-is-free upper bound) serves hits. The gap
+//!   is the *price of bounded memory* on an adversarial access pattern —
+//!   the trade the `--mem-budget` flag buys: a server that survives
+//!   many-tenant traffic instead of growing until the OOM killer wins.
+//!
+//! Both registries produce bitwise-identical artifacts throughout (the
+//! determinism contract); only latency and counters differ.
+
+use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
+use mis2_graph::Scale;
+use mis2_svc::registry::Registry;
+use mis2_svc::{GraphRef, OpKey};
+
+/// Small working set for the hit-heavy shape.
+const HOT: [&str; 2] = ["ecology2", "parabolic_fem"];
+
+/// Wider set for the churn-heavy shape (more than the budget holds).
+const CHURN: [&str; 6] = [
+    "ecology2",
+    "parabolic_fem",
+    "thermal2",
+    "tmt_sym",
+    "apache2",
+    "StocF-1465",
+];
+
+/// Total cached bytes after computing MIS-2 for every name.
+fn working_set_bytes(names: &[&str]) -> usize {
+    let reg = Registry::new(Scale::Tiny);
+    sweep(&reg, names);
+    reg.stats().bytes
+}
+
+/// One pass: MIS-2 artifact for every name, hot or cold.
+fn sweep(reg: &Registry, names: &[&str]) {
+    for name in names {
+        reg.artifact(&GraphRef::Suite((*name).into()), &OpKey::Mis2)
+            .expect("suite workload must build");
+    }
+}
+
+fn bench_registry_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_bound");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Hit-heavy: budget comfortably holds the hot set (2x headroom), so
+    // after the first sweep every request is a hit in both registries.
+    let hot_budget = working_set_bytes(&HOT) * 2;
+    let unbounded = Registry::new(Scale::Tiny);
+    let bounded = Registry::with_budget(Scale::Tiny, hot_budget);
+    sweep(&unbounded, &HOT); // warm both caches outside the timing loop
+    sweep(&bounded, &HOT);
+    group.bench_function("hit_heavy/unbounded", |b| {
+        b.iter(|| sweep(&unbounded, &HOT))
+    });
+    group.bench_function("hit_heavy/bounded", |b| b.iter(|| sweep(&bounded, &HOT)));
+
+    // Churn-heavy: budget holds about a third of the cycled working set,
+    // so the bounded registry evicts and recomputes continuously while
+    // the unbounded one serves hits after its first lap.
+    let churn_budget = working_set_bytes(&CHURN) / 3;
+    let unbounded = Registry::new(Scale::Tiny);
+    let bounded = Registry::with_budget(Scale::Tiny, churn_budget);
+    sweep(&unbounded, &CHURN);
+    sweep(&bounded, &CHURN);
+    group.bench_function("churn_heavy/unbounded", |b| {
+        b.iter(|| sweep(&unbounded, &CHURN))
+    });
+    group.bench_function("churn_heavy/bounded", |b| {
+        b.iter(|| sweep(&bounded, &CHURN))
+    });
+
+    group.finish();
+    let s = bounded.stats();
+    assert!(s.evictions > 0, "churn-heavy bounded run must evict: {s:?}");
+    println!(
+        "# churn-heavy bounded registry: budget={} bytes, evictions={}, \
+         graph_builds={}, misses={}",
+        churn_budget, s.evictions, s.graph_builds, s.misses
+    );
+}
+
+criterion_group!(benches, bench_registry_bound);
+criterion_main!(benches);

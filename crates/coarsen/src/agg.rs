@@ -24,6 +24,15 @@ pub struct Aggregation {
     pub roots: Vec<VertexId>,
 }
 
+impl Aggregation {
+    /// Approximate heap footprint in bytes (capacity of the label and
+    /// root arrays) for memory-bounded caches.
+    pub fn heap_bytes(&self) -> usize {
+        self.labels.capacity() * std::mem::size_of::<u32>()
+            + self.roots.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
 /// Aggregation defects found by [`Aggregation::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AggViolation {

@@ -42,6 +42,20 @@ pub struct Level {
     pub agg: Option<Aggregation>,
 }
 
+impl Level {
+    /// Approximate heap footprint in bytes of this level (graph plus
+    /// aggregation) for memory-bounded caches.
+    pub fn heap_bytes(&self) -> usize {
+        self.graph.heap_bytes() + self.agg.as_ref().map_or(0, |a| a.heap_bytes())
+    }
+}
+
+/// Approximate heap footprint in bytes of a whole hierarchy (the
+/// finest-to-coarsest `Vec<Level>` returned by [`coarsen_recursive`]).
+pub fn hierarchy_heap_bytes(levels: &[Level]) -> usize {
+    levels.iter().map(Level::heap_bytes).sum()
+}
+
 /// Recursively coarsen with Algorithm 3 until `min_vertices` is reached or
 /// `max_levels` produced. Returns the levels from finest to coarsest.
 pub fn coarsen_recursive(g: &CsrGraph, min_vertices: usize, max_levels: usize) -> Vec<Level> {

@@ -186,6 +186,14 @@ impl Mis2Result {
     pub fn size(&self) -> usize {
         self.in_set.len()
     }
+
+    /// Approximate heap footprint in bytes (capacity of the set, mask and
+    /// history arrays) for memory-bounded caches.
+    pub fn heap_bytes(&self) -> usize {
+        self.in_set.capacity() * std::mem::size_of::<VertexId>()
+            + self.is_in.capacity() * std::mem::size_of::<bool>()
+            + self.history.capacity() * std::mem::size_of::<RoundStats>()
+    }
 }
 
 /// Compute an MIS-2 with the default (fully optimized) configuration.

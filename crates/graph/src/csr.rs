@@ -270,6 +270,15 @@ impl CsrGraph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// Approximate heap footprint in bytes: the capacity of the two CSR
+    /// arrays. Used by memory-bounded caches (e.g. the `mis2-svc`
+    /// registry) to account graphs against a byte budget; it ignores
+    /// allocator slack and the `O(1)` struct header.
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.capacity() * std::mem::size_of::<usize>()
+            + self.col_idx.capacity() * std::mem::size_of::<VertexId>()
+    }
+
     /// Check structural symmetry: `(u,v)` present implies `(v,u)` present.
     pub fn validate_symmetric(&self) -> Result<(), GraphError> {
         let bad = par::find_map_range(0..self.n as VertexId, |u| {

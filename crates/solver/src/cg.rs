@@ -21,6 +21,15 @@ pub struct SolveResult {
     pub history: Vec<f64>,
 }
 
+impl SolveResult {
+    /// Approximate heap footprint in bytes (capacity of the residual
+    /// history) for memory-bounded caches. The solution vector is owned by
+    /// the caller and accounted separately.
+    pub fn heap_bytes(&self) -> usize {
+        self.history.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 /// Solver options.
 #[derive(Debug, Clone, Copy)]
 pub struct SolveOpts {

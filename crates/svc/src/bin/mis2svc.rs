@@ -3,9 +3,14 @@
 //! ```text
 //! mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]
 //!                [--queue-cap N] [--scale tiny|small|paper]
+//!                [--mem-budget BYTES[k|m|g]]
 //! mis2svc client --addr HOST:PORT REQUEST...
 //! mis2svc workloads
 //! ```
+//!
+//! `--mem-budget` bounds the registry's cached bytes (graphs + artifacts;
+//! 0 or absent = unbounded): over budget, artifacts evict before graphs in
+//! LRU order, and responses stay byte-identical either way.
 //!
 //! `serve` binds the loopback listener, prints `mis2svc listening on ADDR`
 //! and serves until killed. `client` sends one request line (the remaining
@@ -20,6 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]\n\
          \x20                     [--queue-cap N] [--scale tiny|small|paper]\n\
+         \x20                     [--mem-budget BYTES[k|m|g]]\n\
          \x20      mis2svc client --addr HOST:PORT REQUEST...\n\
          \x20      mis2svc workloads"
     );
@@ -44,6 +50,21 @@ fn parse_usize(s: &str) -> usize {
     s.parse().unwrap_or_else(|_| usage())
 }
 
+/// Byte count with an optional binary suffix: `4m` = 4 MiB, `200k`, `1g`.
+fn parse_bytes(s: &str) -> usize {
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k' | b'K') => (&s[..s.len() - 1], 10),
+        Some(b'm' | b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g' | b'G') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|v| v.checked_shl(shift).filter(|b| *b >> shift == v))
+        .unwrap_or_else(|| usage())
+}
+
 fn cmd_serve(argv: &[String]) {
     let mut cfg = server::ServerConfig::default();
     let mut i = 0;
@@ -57,6 +78,7 @@ fn cmd_serve(argv: &[String]) {
             "--threads" => cfg.threads = parse_usize(take(&mut i)),
             "--workers" => cfg.workers = parse_usize(take(&mut i)),
             "--queue-cap" => cfg.queue_cap = parse_usize(take(&mut i)),
+            "--mem-budget" => cfg.mem_budget = parse_bytes(take(&mut i)),
             "--scale" => cfg.scale = Scale::parse(take(&mut i)).unwrap_or_else(|| usage()),
             _ => usage(),
         }

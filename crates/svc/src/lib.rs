@@ -4,10 +4,16 @@
 //! concurrent clients from one warm process, std-only. Three layers:
 //!
 //! * [`registry`] — loads or generates each graph once (suite workload
-//!   names or `.mtx` paths), interns it behind `Arc<CsrGraph>`, and caches
-//!   every derived artifact keyed by `(graph, op, params)`. Multilevel
-//!   pipelines re-coarsen the same graphs over and over (Schulz, *Scalable
-//!   Graph Algorithms*); the registry turns the repeats into cache hits.
+//!   names or `.mtx` paths, canonicalized), interns it behind
+//!   `Arc<CsrGraph>`, and caches every derived artifact keyed by
+//!   `(graph, op, params)`. Multilevel pipelines re-coarsen the same
+//!   graphs over and over (Schulz, *Scalable Graph Algorithms*); the
+//!   registry turns the repeats into cache hits. Both caches are
+//!   **memory-bounded** (`--mem-budget`): approximate heap bytes are
+//!   accounted per entry and segmented-LRU eviction (artifacts before
+//!   graphs, pinned entries never) keeps the working set under the
+//!   budget without changing a single response byte. Graph interning and
+//!   artifact computes are both single-flight.
 //! * [`sched`] — a bounded MPMC job queue drained by a few worker-leader
 //!   threads, each running its job on a pool **sub-team**
 //!   (`mis2_prim::pool` sub-team dispatch), so K concurrent jobs split the

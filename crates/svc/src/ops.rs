@@ -43,10 +43,32 @@ pub enum Artifact {
     Solve(SolveArtifact),
 }
 
+impl Artifact {
+    /// Approximate heap footprint in bytes — what the registry charges
+    /// this artifact against its memory budget.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Artifact::Mis2(r) => r.heap_bytes(),
+            Artifact::Hierarchy(h) => {
+                mis2_coarsen::hierarchy::hierarchy_heap_bytes(h)
+                    + h.capacity() * std::mem::size_of::<Level>()
+            }
+            Artifact::Solve(s) => s.heap_bytes(),
+        }
+    }
+}
+
 /// Result of a `SOLVE` request: the iterate and the solve statistics.
 pub struct SolveArtifact {
     pub x: Vec<f64>,
     pub result: SolveResult,
+}
+
+impl SolveArtifact {
+    /// Approximate heap footprint in bytes (iterate plus history).
+    pub fn heap_bytes(&self) -> usize {
+        self.x.capacity() * std::mem::size_of::<f64>() + self.result.heap_bytes()
+    }
 }
 
 /// Order-sensitive 64-bit fingerprint of a u32 sequence (the same chain

@@ -51,6 +51,24 @@ impl GraphRef {
             GraphRef::Suite(s) | GraphRef::Mtx(s) => s,
         }
     }
+
+    /// The cache-key form of this reference: `.mtx` paths are
+    /// canonicalized (`.`/`..`/symlinks resolved against the filesystem),
+    /// so `./g.mtx` and `g.mtx` intern **one** graph instead of two cache
+    /// entries. Suite names are already canonical. `None` means the path
+    /// did not resolve (typically a missing file); callers fall back to
+    /// the literal spelling — which keeps error messages in the client's
+    /// words — and must not memoize the failure, since the file may
+    /// appear later. Response bodies always echo the wire token, never
+    /// this form.
+    pub fn try_canonical(&self) -> Option<GraphRef> {
+        match self {
+            GraphRef::Suite(_) => Some(self.clone()),
+            GraphRef::Mtx(path) => std::fs::canonicalize(path)
+                .ok()
+                .map(|real| GraphRef::Mtx(real.to_string_lossy().into_owned())),
+        }
+    }
 }
 
 impl fmt::Display for GraphRef {

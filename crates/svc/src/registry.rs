@@ -1,24 +1,47 @@
-//! The graph registry: load or generate each graph once, intern it behind
-//! an `Arc`, and cache every derived artifact keyed by
-//! `(graph, op, params)`.
+//! The graph registry: a **memory-bounded, cost-aware evicting cache** of
+//! interned graphs and their derived artifacts.
+//!
+//! Graphs (suite workloads built at the registry's [`Scale`], or `.mtx`
+//! files) are interned behind `Arc<CsrGraph>`; every derived artifact
+//! (MIS-2 result, coarse hierarchy, solve result) is cached by
+//! `(graph ref, `[`OpKey`]`)`.
 //!
 //! ## Cache semantics
 //!
-//! * **Graphs** are interned forever: the first request naming a suite
-//!   workload builds it at the registry's [`Scale`]; the first request
-//!   naming a `.mtx` path reads the file. Later requests share the `Arc`.
-//! * **Artifacts** (MIS-2 result, coarse hierarchy, solve result) are
-//!   cached by `(graph ref, `[`OpKey`]`)`. Because every operation is
-//!   deterministic, a cache hit is *observably identical* to recomputing —
-//!   caching can change latency, never bytes.
-//! * Computation happens **outside** the cache locks, so a slow build
-//!   never blocks requests for other graphs — and it is **single-flight**:
-//!   a burst of identical cold requests (the service's common shape) pays
-//!   exactly one compute while the rest wait on the in-flight marker.
-//! * Nothing is ever evicted. The registry serves a fixed suite (plus any
-//!   `.mtx` files it is pointed at), and artifacts are small relative to
-//!   their graphs; a server that must bound memory should front this with
-//!   its own policy.
+//! * **Single-flight everywhere.** Both graph interning and artifact
+//!   computation use the same in-flight protocol: of N concurrent requests
+//!   for a cold key, exactly one builds/computes while the rest wait on
+//!   the in-flight marker — a cold burst for one graph pays **one** build
+//!   (`graph_builds` counts the real builds). The marker is cleared by a
+//!   panic-safe drop guard, so a failed or panicked flight never parks
+//!   later requests forever; the next waiter simply takes over.
+//! * **Canonical keys.** `.mtx` paths are canonicalized before keying
+//!   ([`GraphRef::try_canonical`]), so `./g.mtx` and `g.mtx` intern one
+//!   graph. Successful resolutions are memoized, so a spelling pays the
+//!   filesystem lookup once and an interned graph keeps serving all its
+//!   known spellings even after the backing file is deleted.
+//! * **Computation happens outside the cache lock**, so a slow build never
+//!   blocks requests for other graphs.
+//! * **Memory budget.** [`Registry::with_budget`] bounds the approximate
+//!   heap bytes of everything cached (`heap_bytes()` on [`CsrGraph`] and
+//!   [`Artifact`]; 0 = unbounded, the [`Registry::new`] default). When an
+//!   insert pushes `bytes` over the budget, entries are evicted until it
+//!   fits again.
+//! * **Cost-aware segmented LRU eviction.** Victims are chosen from two
+//!   segments in order: *artifacts first* (cheap to recompute from their
+//!   still-interned graph), then *graphs* (a rebuild pays file I/O or
+//!   generation, and usually invalidates nothing — artifacts outlive their
+//!   graph's eviction). Within a segment the least-recently-used entry
+//!   goes first. **Pinned entries are never dropped mid-use**: an entry
+//!   whose `Arc` is still shared (in-flight compute, a response being
+//!   rendered, a caller-held handle) is skipped, so `bytes` can
+//!   transiently exceed the budget under concurrent load but settles back
+//!   under it as handles drop (`stats()` re-enforces the budget before
+//!   reporting).
+//! * **Determinism is unaffected.** Every operation is deterministic, so
+//!   a hit, a recompute after eviction, and a fresh compute are observably
+//!   identical — the budget can change latency and the `evictions` /
+//!   `graph_builds` / `misses` counters, never a response byte.
 
 use crate::ops::{self, Artifact, OpKey};
 use crate::proto::GraphRef;
@@ -30,48 +53,156 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Snapshot of the registry's counters for `STATS`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegistryStats {
-    /// Graphs interned so far.
+    /// Graphs interned right now.
     pub graphs: usize,
-    /// Artifacts cached so far.
+    /// Artifacts cached right now.
     pub artifacts: usize,
     /// Artifact-cache hits.
     pub hits: u64,
     /// Artifact-cache misses (each one paid a compute).
     pub misses: u64,
+    /// Approximate heap bytes of everything cached right now.
+    pub bytes: usize,
+    /// Memory budget in bytes (0 = unbounded).
+    pub mem_budget: usize,
+    /// Entries (graphs + artifacts) evicted so far.
+    pub evictions: u64,
+    /// Graphs actually built/loaded (interning is single-flight, so a
+    /// cold burst of N identical requests bumps this by exactly 1).
+    pub graph_builds: u64,
 }
 
 type ArtifactKey = (GraphRef, OpKey);
 
-/// Artifact cache plus the keys currently being computed (single-flight).
-struct Artifacts {
-    map: HashMap<ArtifactKey, Arc<Artifact>>,
-    inflight: HashSet<ArtifactKey>,
+/// Maximum memoized `.mtx` spelling resolutions (see `State::aliases`).
+const ALIAS_CAP: usize = 1024;
+
+/// One cached value with its byte cost and LRU stamp.
+struct Entry<T> {
+    value: Arc<T>,
+    bytes: usize,
+    last_used: u64,
+}
+
+impl<T> Entry<T> {
+    /// Evictable iff the registry holds the only reference — an `Arc`
+    /// shared with an in-flight compute or an outstanding response is
+    /// pinned and must not be dropped mid-use.
+    fn evictable(&self) -> bool {
+        Arc::strong_count(&self.value) == 1
+    }
+}
+
+/// Both caches plus the keys currently being built (single-flight), under
+/// one lock so the byte accounting and eviction see a consistent view.
+struct State {
+    graphs: HashMap<GraphRef, Entry<CsrGraph>>,
+    artifacts: HashMap<ArtifactKey, Entry<Artifact>>,
+    graphs_inflight: HashSet<GraphRef>,
+    artifacts_inflight: HashSet<ArtifactKey>,
+    /// Memoized spelling → canonical key resolutions (successful ones
+    /// only). Keeps every known `.mtx` spelling serving cache hits with
+    /// no per-request `fs::canonicalize` syscall — and keeps serving them
+    /// even after the backing file vanishes, like any resident entry.
+    /// Capped at [`ALIAS_CAP`] entries (cleared wholesale when full): the
+    /// memo is a pure performance/resilience cache, and spellings are
+    /// client-controlled, so letting it grow unbounded would reopen the
+    /// very memory hole the budget closes.
+    aliases: HashMap<GraphRef, GraphRef>,
+    /// Sum of `bytes` over both maps.
+    bytes: usize,
+    /// Monotonic access clock for LRU stamps.
+    tick: u64,
+}
+
+impl State {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// See the module docs.
 pub struct Registry {
     scale: Scale,
-    graphs: Mutex<HashMap<GraphRef, Arc<CsrGraph>>>,
-    artifacts: Mutex<Artifacts>,
-    /// Signaled whenever an in-flight computation finishes (either way).
+    /// Byte budget; 0 = unbounded.
+    budget: usize,
+    state: Mutex<State>,
+    /// Signaled whenever an in-flight build/compute finishes (either way).
     inflight_done: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    graph_builds: AtomicU64,
+}
+
+/// Remove the least-recently-used *evictable* entry from one cache
+/// segment, returning the bytes it freed (`None`: empty or all pinned).
+/// An O(n) scan — cache cardinality is the tenant/workload count, not the
+/// graph size, so scanning under the lock stays cheaper than maintaining
+/// an order structure that must also skip pinned entries.
+fn pop_lru<K, T>(map: &mut HashMap<K, Entry<T>>) -> Option<usize>
+where
+    K: Clone + Eq + std::hash::Hash,
+{
+    let key = map
+        .iter()
+        .filter(|(_, e)| e.evictable())
+        .min_by_key(|(_, e)| e.last_used)
+        .map(|(k, _)| k.clone())?;
+    let e = map.remove(&key).expect("victim key just observed");
+    Some(e.bytes)
+}
+
+/// Drop guard clearing an in-flight marker even if the build panics (a
+/// leaked marker would park every later request for this key forever; the
+/// scheduler catches job panics, so the process lives on).
+struct Flight<'a> {
+    reg: &'a Registry,
+    graph: Option<GraphRef>,
+    artifact: Option<ArtifactKey>,
+}
+
+impl Drop for Flight<'_> {
+    fn drop(&mut self) {
+        let mut st = self.reg.state.lock().unwrap();
+        if let Some(k) = self.graph.take() {
+            st.graphs_inflight.remove(&k);
+        }
+        if let Some(k) = self.artifact.take() {
+            st.artifacts_inflight.remove(&k);
+        }
+        drop(st);
+        self.reg.inflight_done.notify_all();
+    }
 }
 
 impl Registry {
-    /// An empty registry whose suite workloads build at `scale`.
+    /// An unbounded registry whose suite workloads build at `scale`.
     pub fn new(scale: Scale) -> Registry {
+        Registry::with_budget(scale, 0)
+    }
+
+    /// A registry bounding its cached bytes to `mem_budget` (0 =
+    /// unbounded). See the module docs for the eviction policy.
+    pub fn with_budget(scale: Scale, mem_budget: usize) -> Registry {
         Registry {
             scale,
-            graphs: Mutex::new(HashMap::new()),
-            artifacts: Mutex::new(Artifacts {
-                map: HashMap::new(),
-                inflight: HashSet::new(),
+            budget: mem_budget,
+            state: Mutex::new(State {
+                graphs: HashMap::new(),
+                artifacts: HashMap::new(),
+                graphs_inflight: HashSet::new(),
+                artifacts_inflight: HashSet::new(),
+                aliases: HashMap::new(),
+                bytes: 0,
+                tick: 0,
             }),
             inflight_done: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            graph_builds: AtomicU64::new(0),
         }
     }
 
@@ -80,22 +211,108 @@ impl Registry {
         self.scale
     }
 
-    /// Intern (load or generate) a graph.
-    pub fn graph(&self, gref: &GraphRef) -> Result<Arc<CsrGraph>, String> {
-        if let Some(g) = self.graphs.lock().unwrap().get(gref) {
-            return Ok(Arc::clone(g));
+    /// The memory budget in bytes (0 = unbounded).
+    pub fn mem_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Resolve a request's graph reference to its cache key, memoizing
+    /// successful `.mtx` resolutions. The memo means a spelling pays the
+    /// `fs::canonicalize` syscall once, not per request — and once a graph
+    /// is interned, its known spellings keep hitting the cache even after
+    /// the backing file is deleted (resident entries don't need the
+    /// file). Failed resolutions are *not* memoized (the file may appear
+    /// later) and fall back to the literal spelling.
+    fn canon_key(&self, gref: &GraphRef) -> GraphRef {
+        if matches!(gref, GraphRef::Suite(_)) {
+            return gref.clone();
         }
-        let built = match gref {
-            GraphRef::Suite(name) => suite::try_build(name, self.scale)?,
-            GraphRef::Mtx(path) => {
-                io::read_graph_file(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        if let Some(k) = self.state.lock().unwrap().aliases.get(gref) {
+            return k.clone();
+        }
+        match gref.try_canonical() {
+            Some(canon) => {
+                let mut st = self.state.lock().unwrap();
+                if st.aliases.len() >= ALIAS_CAP {
+                    // Wholesale reset: the memo only saves a syscall per
+                    // request, and evicting precisely would need its own
+                    // LRU machinery for what is client-controlled input.
+                    st.aliases.clear();
+                }
+                st.aliases.insert(gref.clone(), canon.clone());
+                canon
             }
+            None => gref.clone(),
+        }
+    }
+
+    /// Intern (load or generate) a graph, single-flight: a cold burst of N
+    /// identical requests pays exactly one build.
+    pub fn graph(&self, gref: &GraphRef) -> Result<Arc<CsrGraph>, String> {
+        let key = self.canon_key(gref);
+        self.graph_canonical(key)
+    }
+
+    /// [`Registry::graph`] on an already-canonical key. Canonicalization
+    /// happens exactly once per request, at the public entry points: a
+    /// second `fs::canonicalize` here could resolve differently (the path
+    /// re-pointed between the two calls) and file an artifact computed
+    /// from one file under another file's key.
+    fn graph_canonical(&self, key: GraphRef) -> Result<Arc<CsrGraph>, String> {
+        {
+            let mut st = self.state.lock().unwrap();
+            loop {
+                let tick = st.next_tick();
+                if let Some(e) = st.graphs.get_mut(&key) {
+                    e.last_used = tick;
+                    return Ok(Arc::clone(&e.value));
+                }
+                if st.graphs_inflight.insert(key.clone()) {
+                    break; // our flight: build below
+                }
+                st = self.inflight_done.wait(st).unwrap();
+            }
+        }
+        let _flight = Flight {
+            reg: self,
+            graph: Some(key.clone()),
+            artifact: None,
         };
-        let mut graphs = self.graphs.lock().unwrap();
-        let entry = graphs
-            .entry(gref.clone())
-            .or_insert_with(|| Arc::new(built));
-        Ok(Arc::clone(entry))
+        let built = match &key {
+            GraphRef::Suite(name) => suite::try_build(name, self.scale)?,
+            GraphRef::Mtx(path) => match io::read_graph_file(path) {
+                Ok(g) => g,
+                Err(e) => {
+                    // The canonical path no longer reads (file deleted or
+                    // a symlink repointed after the graph was evicted):
+                    // drop every memoized spelling for it, so the next
+                    // request re-canonicalizes fresh instead of being
+                    // parked on this dead resolution forever.
+                    self.state
+                        .lock()
+                        .unwrap()
+                        .aliases
+                        .retain(|_, canon| canon != &key);
+                    return Err(format!("cannot read {path}: {e}"));
+                }
+            },
+        };
+        self.graph_builds.fetch_add(1, Ordering::Relaxed);
+        let bytes = built.heap_bytes();
+        let value = Arc::new(built);
+        let mut st = self.state.lock().unwrap();
+        let tick = st.next_tick();
+        st.bytes += bytes;
+        st.graphs.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.enforce_budget(&mut st);
+        Ok(value)
     }
 
     /// Get or compute the artifact for `(graph, op)`, single-flight: of N
@@ -103,52 +320,91 @@ impl Registry {
     /// others wait for its insert (or for its failure, in which case the
     /// next waiter takes over the compute).
     pub fn artifact(&self, gref: &GraphRef, op: &OpKey) -> Result<Arc<Artifact>, String> {
-        let key = (gref.clone(), op.clone());
+        let key = (self.canon_key(gref), op.clone());
         {
-            let mut st = self.artifacts.lock().unwrap();
+            let mut st = self.state.lock().unwrap();
             loop {
-                if let Some(a) = st.map.get(&key) {
+                let tick = st.next_tick();
+                if let Some(e) = st.artifacts.get_mut(&key) {
+                    e.last_used = tick;
+                    let value = Arc::clone(&e.value);
+                    // The hit also counts as use of the underlying graph:
+                    // without this touch, a graph served purely through
+                    // artifact hits would look LRU-coldest and be evicted
+                    // first — the hottest tenant paying the rebuilds.
+                    if let Some(g) = st.graphs.get_mut(&key.0) {
+                        g.last_used = tick;
+                    }
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(a));
+                    return Ok(value);
                 }
-                if st.inflight.insert(key.clone()) {
+                if st.artifacts_inflight.insert(key.clone()) {
                     break; // our flight: compute below
                 }
                 st = self.inflight_done.wait(st).unwrap();
             }
         }
-        // Clear the in-flight marker even if the compute panics (a leaked
-        // marker would park every later request for this key forever; the
-        // scheduler catches job panics, so the process lives on).
-        struct Flight<'a> {
-            reg: &'a Registry,
-            key: ArtifactKey,
-        }
-        impl Drop for Flight<'_> {
-            fn drop(&mut self) {
-                let mut st = self.reg.artifacts.lock().unwrap();
-                st.inflight.remove(&self.key);
-                drop(st);
-                self.reg.inflight_done.notify_all();
-            }
-        }
-        let flight = Flight { reg: self, key };
-        let g = self.graph(gref)?;
-        let computed = Arc::new(ops::compute(&g, op));
+        let _flight = Flight {
+            reg: self,
+            graph: None,
+            artifact: Some(key.clone()),
+        };
+        let g = self.graph_canonical(key.0.clone())?;
+        let computed = ops::compute(&g, op);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut st = self.artifacts.lock().unwrap();
-        st.map.insert(flight.key.clone(), Arc::clone(&computed));
-        drop(st);
-        Ok(computed)
+        let bytes = computed.heap_bytes();
+        let value = Arc::new(computed);
+        let mut st = self.state.lock().unwrap();
+        let tick = st.next_tick();
+        st.bytes += bytes;
+        st.artifacts.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.enforce_budget(&mut st);
+        Ok(value)
     }
 
-    /// Counter snapshot for `STATS`.
+    /// Evict until `bytes <= budget` or nothing evictable remains.
+    /// Segmented LRU: least-recently-used *artifact* first (recomputable
+    /// from its interned graph), then least-recently-used *graph*; pinned
+    /// entries (shared `Arc`s) are never dropped mid-use.
+    fn enforce_budget(&self, st: &mut State) {
+        if self.budget == 0 {
+            return;
+        }
+        while st.bytes > self.budget {
+            let mut freed = pop_lru(&mut st.artifacts);
+            if freed.is_none() {
+                freed = pop_lru(&mut st.graphs);
+            }
+            let Some(freed) = freed else {
+                break; // everything left is pinned; retried on the next insert
+            };
+            st.bytes -= freed;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot for `STATS`. Re-enforces the budget first, so
+    /// entries unpinned since the last insert are collected and the
+    /// reported `bytes` respects the budget whenever nothing is in use.
     pub fn stats(&self) -> RegistryStats {
+        let mut st = self.state.lock().unwrap();
+        self.enforce_budget(&mut st);
         RegistryStats {
-            graphs: self.graphs.lock().unwrap().len(),
-            artifacts: self.artifacts.lock().unwrap().map.len(),
+            graphs: st.graphs.len(),
+            artifacts: st.artifacts.len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            bytes: st.bytes,
+            mem_budget: self.budget,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            graph_builds: self.graph_builds.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,7 +420,10 @@ mod tests {
         let a = reg.graph(&r).unwrap();
         let b = reg.graph(&r).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same Arc must be shared");
-        assert_eq!(reg.stats().graphs, 1);
+        let s = reg.stats();
+        assert_eq!(s.graphs, 1);
+        assert_eq!(s.graph_builds, 1);
+        assert_eq!(s.bytes, a.heap_bytes());
     }
 
     #[test]
@@ -200,6 +459,22 @@ mod tests {
     }
 
     #[test]
+    fn graph_interning_is_single_flight() {
+        // 8 threads racing to intern the same cold graph: exactly one
+        // build (graph_builds == 1), everyone shares the Arc.
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Suite("thermal2".into());
+        let arcs: Vec<Arc<CsrGraph>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| reg.graph(&r).unwrap())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(arcs.iter().all(|a| Arc::ptr_eq(a, &arcs[0])));
+        let st = reg.stats();
+        assert_eq!(st.graph_builds, 1, "burst must pay exactly one build");
+        assert_eq!(st.graphs, 1);
+    }
+
+    #[test]
     fn failed_flight_releases_the_key() {
         // A failing compute (unknown graph) must clear the in-flight
         // marker so later requests aren't parked forever.
@@ -207,6 +482,8 @@ mod tests {
         let r = GraphRef::Suite("not_a_matrix".into());
         assert!(reg.artifact(&r, &OpKey::Mis2).is_err());
         assert!(reg.artifact(&r, &OpKey::Mis2).is_err());
+        assert!(reg.graph(&r).is_err());
+        assert!(reg.graph(&r).is_err());
     }
 
     #[test]
@@ -217,6 +494,7 @@ mod tests {
         assert!(reg.artifact(&r, &OpKey::Mis2).is_err());
         let s = reg.stats();
         assert_eq!((s.graphs, s.artifacts), (0, 0));
+        assert_eq!((s.bytes, s.graph_builds), (0, 0));
     }
 
     #[test]
@@ -230,5 +508,208 @@ mod tests {
         let r = GraphRef::Mtx(path.to_str().unwrap().into());
         let loaded = reg.graph(&r).unwrap();
         assert_eq!(*loaded, g);
+    }
+
+    #[test]
+    fn mtx_path_spellings_intern_one_graph() {
+        // dir/g.mtx and dir/../dir/g.mtx name the same file: canonical
+        // keying must yield one interned graph, one build, one cache entry.
+        let g = mis2_graph::gen::erdos_renyi(24, 48, 9);
+        let dir = std::env::temp_dir().join("mis2_svc_registry_canon");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.mtx");
+        io::write_graph_file(&g, &path).unwrap();
+        let plain = path.to_str().unwrap().to_string();
+        let dotted = format!(
+            "{}/../{}/g.mtx",
+            dir.to_str().unwrap(),
+            dir.file_name().unwrap().to_str().unwrap()
+        );
+        let reg = Registry::new(Scale::Tiny);
+        let a = reg.graph(&GraphRef::Mtx(plain.clone())).unwrap();
+        let b = reg.graph(&GraphRef::Mtx(dotted.clone())).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "spellings must share one Arc");
+        let s = reg.stats();
+        assert_eq!((s.graphs, s.graph_builds), (1, 1));
+        // The artifact cache keys canonically too.
+        reg.artifact(&GraphRef::Mtx(plain), &OpKey::Mis2).unwrap();
+        reg.artifact(&GraphRef::Mtx(dotted), &OpKey::Mis2).unwrap();
+        let s = reg.stats();
+        assert_eq!((s.artifacts, s.hits, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn interned_mtx_graphs_survive_file_deletion() {
+        // Once interned, a graph is served from memory: deleting the
+        // backing file must not break cache hits for any known spelling
+        // (the alias memo resolves without touching the filesystem).
+        let g = mis2_graph::gen::erdos_renyi(20, 40, 5);
+        let dir = std::env::temp_dir().join("mis2_svc_registry_unlink");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.mtx");
+        io::write_graph_file(&g, &path).unwrap();
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Mtx(path.to_str().unwrap().into());
+        let first = reg.graph(&r).unwrap();
+        reg.artifact(&r, &OpKey::Mis2).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let after = reg.graph(&r).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &after),
+            "resident graph must keep serving"
+        );
+        reg.artifact(&r, &OpKey::Mis2).unwrap();
+        assert_eq!(reg.stats().hits, 1, "artifact must hit after deletion");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stale_alias_is_invalidated_when_its_canonical_path_dies() {
+        // A memoized spelling→canonical resolution must not outlive the
+        // canonical path: after the graph is evicted and the symlink the
+        // spelling resolves through is repointed, the dead resolution is
+        // dropped on the failed read and the next request re-canonicalizes
+        // to the new target.
+        let g1 = mis2_graph::gen::erdos_renyi(20, 40, 1);
+        let g2 = mis2_graph::gen::erdos_renyi(25, 50, 2);
+        let dir = std::env::temp_dir().join("mis2_svc_registry_repoint");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        io::write_graph_file(&g1, dir.join("v1.mtx")).unwrap();
+        io::write_graph_file(&g2, dir.join("v2.mtx")).unwrap();
+        let cur = dir.join("cur.mtx");
+        std::os::unix::fs::symlink(dir.join("v1.mtx"), &cur).unwrap();
+
+        // 1-byte budget: the graph is evicted as soon as it is unpinned.
+        let reg = Registry::with_budget(Scale::Tiny, 1);
+        let spelling = GraphRef::Mtx(cur.to_str().unwrap().into());
+        assert_eq!(*reg.graph(&spelling).unwrap(), g1);
+        assert_eq!(reg.stats().graphs, 0, "1-byte budget must evict");
+
+        // Repoint the symlink and delete the old target.
+        std::fs::remove_file(&cur).unwrap();
+        std::os::unix::fs::symlink(dir.join("v2.mtx"), &cur).unwrap();
+        std::fs::remove_file(dir.join("v1.mtx")).unwrap();
+
+        // The stale alias makes this first request fail (it still names
+        // the dead v1 path) but the failure must clear the memo...
+        assert!(reg.graph(&spelling).is_err());
+        // ...so the next request resolves fresh and serves v2.
+        assert_eq!(*reg.graph(&spelling).unwrap(), g2);
+    }
+
+    /// Total cached bytes after computing MIS-2 artifacts for `names`.
+    fn bytes_for(names: &[&str]) -> usize {
+        let reg = Registry::new(Scale::Tiny);
+        for n in names {
+            reg.artifact(&GraphRef::Suite((*n).into()), &OpKey::Mis2)
+                .unwrap();
+        }
+        reg.stats().bytes
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_stays_deterministic() {
+        let names = ["ecology2", "parabolic_fem", "thermal2", "tmt_sym"];
+        let unbounded = bytes_for(&names);
+        // Budget for roughly half the working set: forces churn but always
+        // fits any single graph+artifact pair.
+        let budget = unbounded / 2;
+        let reg = Registry::with_budget(Scale::Tiny, budget);
+        let reference = Registry::new(Scale::Tiny);
+        for round in 0..3 {
+            for n in &names {
+                let r = GraphRef::Suite((*n).into());
+                let bounded =
+                    ops::body("g", &OpKey::Mis2, &reg.artifact(&r, &OpKey::Mis2).unwrap());
+                let want = ops::body(
+                    "g",
+                    &OpKey::Mis2,
+                    &reference.artifact(&r, &OpKey::Mis2).unwrap(),
+                );
+                assert_eq!(
+                    bounded, want,
+                    "round {round} graph {n}: eviction changed bytes"
+                );
+                let s = reg.stats();
+                assert!(
+                    s.bytes <= budget,
+                    "round {round} graph {n}: bytes {} over budget {budget}",
+                    s.bytes
+                );
+            }
+        }
+        let s = reg.stats();
+        assert!(s.evictions > 0, "churn over budget must evict: {s:?}");
+        assert!(
+            s.misses > names.len() as u64,
+            "evicted artifacts must be recomputed on return: {s:?}"
+        );
+    }
+
+    #[test]
+    fn artifacts_evict_before_their_graphs() {
+        // Budget sized so one graph + artifact fits but two artifacts
+        // don't: requesting a second op on the same graph must evict the
+        // first *artifact*, never the interned graph.
+        let r = GraphRef::Suite("ecology2".into());
+        let probe = Registry::new(Scale::Tiny);
+        let g = probe.graph(&r).unwrap();
+        let a = probe.artifact(&r, &OpKey::Mis2).unwrap();
+        let budget = g.heap_bytes() + a.heap_bytes() + a.heap_bytes() / 2;
+        drop((g, a));
+
+        let reg = Registry::with_budget(Scale::Tiny, budget);
+        reg.artifact(&r, &OpKey::Mis2).unwrap();
+        let g_first = reg.graph(&r).unwrap();
+        reg.artifact(&r, &OpKey::Coarsen { levels: 2 }).unwrap();
+        let s = reg.stats();
+        assert!(
+            s.evictions > 0,
+            "second artifact must force eviction: {s:?}"
+        );
+        assert_eq!(s.graphs, 1, "the graph segment must survive: {s:?}");
+        assert!(
+            Arc::ptr_eq(&g_first, &reg.graph(&r).unwrap()),
+            "graph re-interned"
+        );
+        assert_eq!(reg.stats().graph_builds, 1, "graph must never be rebuilt");
+    }
+
+    #[test]
+    fn pinned_entries_are_never_evicted_mid_use() {
+        // Hold the Arc of the first artifact while churning well past the
+        // budget: the held entry must survive (hit, same Arc), bytes may
+        // transiently exceed the budget instead.
+        let names = ["ecology2", "parabolic_fem", "thermal2", "tmt_sym"];
+        let budget = bytes_for(&names[..1]) / 2; // smaller than one pair
+        let reg = Registry::with_budget(Scale::Tiny, budget);
+        let r0 = GraphRef::Suite(names[0].into());
+        let held = reg.artifact(&r0, &OpKey::Mis2).unwrap();
+        for n in &names[1..] {
+            reg.artifact(&GraphRef::Suite((*n).into()), &OpKey::Mis2)
+                .unwrap();
+        }
+        let again = reg.artifact(&r0, &OpKey::Mis2).unwrap();
+        assert!(
+            Arc::ptr_eq(&held, &again),
+            "a pinned artifact must survive eviction pressure"
+        );
+        drop((held, again));
+        // Unpinned now: the next stats() housekeeping collects it.
+        let s = reg.stats();
+        assert!(s.bytes <= budget, "{s:?}");
+    }
+
+    #[test]
+    fn zero_budget_means_unbounded() {
+        let reg = Registry::with_budget(Scale::Tiny, 0);
+        for n in ["ecology2", "parabolic_fem", "thermal2"] {
+            reg.artifact(&GraphRef::Suite(n.into()), &OpKey::Mis2)
+                .unwrap();
+        }
+        let s = reg.stats();
+        assert_eq!(s.evictions, 0);
+        assert_eq!((s.graphs, s.artifacts), (3, 3));
     }
 }

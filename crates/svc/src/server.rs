@@ -34,6 +34,10 @@ pub struct ServerConfig {
     pub max_conns: usize,
     /// Scale suite workloads are built at.
     pub scale: Scale,
+    /// Registry memory budget in bytes (0 = unbounded): approximate heap
+    /// bytes of interned graphs + cached artifacts; over-budget entries
+    /// are evicted artifacts-first in LRU order (see [`Registry`]).
+    pub mem_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -45,7 +49,21 @@ impl Default for ServerConfig {
             queue_cap: 0,
             max_conns: 0,
             scale: Scale::Tiny,
+            mem_budget: 0,
         }
+    }
+}
+
+/// Owned claim on one connection slot: releases the slot on drop, so the
+/// count stays correct on every exit path — handler return, handler
+/// *panic*, failed thread spawn, or an over-cap rejection. (Before this
+/// guard, a panicking handler skipped its `fetch_sub` and each panic
+/// permanently shrank the usable cap until the server wedged at 0.)
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -97,7 +115,7 @@ impl ServerHandle {
 pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let registry = Arc::new(Registry::new(cfg.scale));
+    let registry = Arc::new(Registry::with_budget(cfg.scale, cfg.mem_budget));
     let sched = Arc::new(Scheduler::new(SchedConfig {
         threads: cfg.threads,
         workers: cfg.workers,
@@ -128,23 +146,30 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
                         std::thread::sleep(std::time::Duration::from_millis(10));
                         continue;
                     };
-                    if conns.load(Ordering::Relaxed) >= max_conns {
+                    // Claim the slot *first*, then check the claim against
+                    // the cap. The old load-then-fetch_add shape is a
+                    // TOCTOU: any concurrent decision based on the loaded
+                    // value (or a future second acceptor) can land two
+                    // accepts under one observed count and exceed the cap.
+                    // A claimed slot travels as a drop guard so every
+                    // path — over-cap rejection, spawn failure, handler
+                    // return, handler panic — releases exactly once.
+                    let claimed = conns.fetch_add(1, Ordering::AcqRel) + 1;
+                    let slot = ConnSlot(Arc::clone(&conns));
+                    if claimed > max_conns {
                         let _ = writeln!(stream, "{}", proto::err("server busy"));
-                        continue; // drop the stream
+                        continue; // drop the stream; `slot` releases the claim
                     }
-                    conns.fetch_add(1, Ordering::Relaxed);
                     let registry = Arc::clone(&registry);
                     let sched = Arc::clone(&sched);
-                    let handler_conns = Arc::clone(&conns);
-                    let spawned = std::thread::Builder::new()
+                    // On spawn failure the closure (and `slot` inside it)
+                    // is dropped by Builder::spawn, releasing the claim.
+                    let _ = std::thread::Builder::new()
                         .name("mis2-svc-conn".into())
                         .spawn(move || {
+                            let _slot = slot;
                             let _ = handle_connection(stream, &registry, &sched);
-                            handler_conns.fetch_sub(1, Ordering::Relaxed);
                         });
-                    if spawned.is_err() {
-                        conns.fetch_sub(1, Ordering::Relaxed);
-                    }
                 }
             })?
     };
@@ -175,6 +200,12 @@ fn handle_connection(
         if trimmed.is_empty() {
             continue;
         }
+        // Test-only fault injection: lets the unit tests prove a panicking
+        // handler thread still releases its connection slot (drop guard).
+        #[cfg(test)]
+        if trimmed == "PANIC" {
+            panic!("injected connection-handler panic (test hook)");
+        }
         let response = match Request::parse(trimmed) {
             Err(e) => proto::err(&e),
             Ok(Request::Ping) => proto::ok("PONG"),
@@ -203,12 +234,17 @@ fn stats_body(registry: &Registry, sched: &Scheduler) -> String {
     let r = registry.stats();
     let s = sched.stats();
     format!(
-        "STATS graphs={} artifacts={} hits={} misses={} jobs={} queue_wait_us={} run_us={} \
+        "STATS graphs={} artifacts={} hits={} misses={} bytes={} mem_budget={} evictions={} \
+         graph_builds={} jobs={} queue_wait_us={} run_us={} \
          panics={} workers={} team={} pool_spawned={} pool_contended={}",
         r.graphs,
         r.artifacts,
         r.hits,
         r.misses,
+        r.bytes,
+        r.mem_budget,
+        r.evictions,
+        r.graph_builds,
         s.jobs.load(Ordering::Relaxed),
         s.queue_wait_us.load(Ordering::Relaxed),
         s.run_us.load(Ordering::Relaxed),
@@ -267,6 +303,96 @@ mod tests {
         }
         assert_eq!(first.request("PING").unwrap(), "OK PONG");
         first.quit().unwrap();
+        h.shutdown();
+    }
+
+    /// Read the single `ERR server busy` line an over-cap connection gets.
+    fn read_busy_line(addr: std::net::SocketAddr) -> String {
+        let s = std::net::TcpStream::connect(addr).unwrap();
+        let mut line = String::new();
+        BufReader::new(s).read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn over_cap_rejection_releases_its_claimed_slot() {
+        // Claim-then-verify accounting: a rejected connection must give
+        // its claimed slot back, or every rejection would permanently
+        // shrink the cap. Reject many times at cap 1, then free the slot
+        // and verify a new connection is accepted.
+        let h = serve(ServerConfig {
+            max_conns: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut first = Client::connect(h.addr()).unwrap();
+        assert_eq!(first.request("PING").unwrap(), "OK PONG");
+        for _ in 0..8 {
+            assert_eq!(read_busy_line(h.addr()), "ERR server busy");
+        }
+        first.quit().unwrap();
+        // The freed slot must become claimable again (the handler exits
+        // asynchronously after QUIT, so poll briefly).
+        let mut ok = false;
+        for _ in 0..100 {
+            let mut c = Client::connect(h.addr()).unwrap();
+            if matches!(c.request("PING").as_deref(), Ok("OK PONG")) {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(ok, "slot never became claimable after rejections + QUIT");
+        h.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_releases_its_connection_slot() {
+        // A handler thread that panics mid-connection must still release
+        // its slot via the drop guard; before the guard, each panic
+        // skipped the decrement and wedged the server at the cap.
+        let h = serve(ServerConfig {
+            max_conns: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        // Each round must reclaim the single slot the previous round's
+        // panicked handler held (its release is asynchronous: poll). If a
+        // panic leaked the slot, every later round sees only `server busy`
+        // and the poll below exhausts — the pre-guard wedge.
+        for round in 0..3 {
+            let mut reclaimed = false;
+            for _ in 0..200 {
+                let mut c = Client::connect(h.addr()).unwrap();
+                if matches!(c.request("PING").as_deref(), Ok("OK PONG")) {
+                    // The injected panic kills the handler before it can
+                    // respond: the client sees EOF/reset, the slot must
+                    // still come back for the next round.
+                    let _ = c.request("PANIC");
+                    reclaimed = true;
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            assert!(
+                reclaimed,
+                "round {round}: slot leaked by a panicking handler; server wedged at cap"
+            );
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn mem_budget_threads_through_to_the_registry() {
+        let h = serve(ServerConfig {
+            mem_budget: 123_456,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(h.registry().mem_budget(), 123_456);
+        let mut c = Client::connect(h.addr()).unwrap();
+        let stats = c.request("STATS").unwrap();
+        assert!(stats.contains("mem_budget=123456"), "{stats}");
         h.shutdown();
     }
 

@@ -82,6 +82,12 @@ fn sixteen_clients_bitwise_identical_to_direct_calls() {
             stats.misses >= 6,
             "pool budget {threads}: at least one compute per distinct artifact"
         );
+        // Graph interning is single-flight: the 16-client cold burst pays
+        // exactly one build per distinct graph.
+        assert_eq!(
+            stats.graph_builds, 2,
+            "pool budget {threads}: cold burst must build each graph exactly once"
+        );
         handle.shutdown();
     }
 }
@@ -120,8 +126,97 @@ fn stats_reports_cache_and_scheduler_counters() {
     client.request("MIS2 ecology2").unwrap();
     let stats = client.request("STATS").unwrap();
     assert!(
-        stats.contains("graphs=1 artifacts=1 hits=1 misses=1 jobs=2"),
+        stats.contains("graphs=1 artifacts=1 hits=1 misses=1"),
         "{stats}"
+    );
+    assert!(stats.contains("jobs=2"), "{stats}");
+    assert!(
+        stats.contains("mem_budget=0") && stats.contains("evictions=0"),
+        "unbounded server must report no budget and no evictions: {stats}"
+    );
+    assert!(stats.contains("graph_builds=1"), "{stats}");
+    handle.shutdown();
+}
+
+/// The graphs the bounded-churn test cycles through — more working set
+/// than the budget below admits.
+fn churn_graphs() -> [&'static str; 6] {
+    [
+        "ecology2",
+        "parabolic_fem",
+        "thermal2",
+        "tmt_sym",
+        "apache2",
+        "StocF-1465",
+    ]
+}
+
+/// Eviction correctness end-to-end: concurrent clients churn over more
+/// graphs than the memory budget holds. Every served response must stay
+/// bitwise-identical to the direct (unbounded) library call — eviction may
+/// change latency and counters, never bytes — and the reported cache size
+/// must respect the budget whenever nothing is mid-flight.
+#[test]
+fn bounded_server_evicts_under_churn_but_responses_are_bitwise_identical() {
+    let lines: Vec<String> = churn_graphs()
+        .iter()
+        .flat_map(|g| [format!("MIS2 {g}"), format!("COARSEN {g} 2")])
+        .collect();
+    // Direct, unbounded reference responses — and the working-set size,
+    // from which a budget that can hold only about half of it is derived.
+    let reference = Registry::new(Scale::Tiny);
+    let want: Vec<String> = lines
+        .iter()
+        .map(|line| ops::execute(&reference, &Request::parse(line).unwrap()))
+        .collect();
+    for w in &want {
+        assert!(w.starts_with("OK "), "direct call failed: {w}");
+    }
+    let budget = reference.stats().bytes / 2;
+    assert!(budget > 0);
+
+    let handle = mis2::svc::serve(ServerConfig {
+        threads: 2,
+        scale: Scale::Tiny,
+        mem_budget: budget,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    std::thread::scope(|s| {
+        for c in 0..8 {
+            let (lines, want) = (&lines, &want);
+            s.spawn(move || {
+                let mut client = Client::connect(addr)
+                    .unwrap_or_else(|e| panic!("client {c} cannot connect: {e}"));
+                for round in 0..3 {
+                    for (line, expect) in lines.iter().zip(want) {
+                        let got = client
+                            .request(line)
+                            .unwrap_or_else(|e| panic!("client {c} request {line:?}: {e}"));
+                        assert_eq!(
+                            &got, expect,
+                            "client {c} round {round}: bounded-server response for {line:?} \
+                             differs from the unbounded direct call"
+                        );
+                    }
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+    let stats = handle.registry().stats();
+    assert!(
+        stats.evictions > 0,
+        "churn over half the working set must evict: {stats:?}"
+    );
+    assert!(
+        stats.bytes <= budget,
+        "idle cache must respect the budget: {stats:?}"
+    );
+    assert!(
+        stats.misses > lines.len() as u64,
+        "evicted artifacts must have been recomputed: {stats:?}"
     );
     handle.shutdown();
 }
