@@ -1,0 +1,112 @@
+//! Wire-protocol throughput: the pipelined v2 client (tagged frames,
+//! windowed, out-of-order completion) vs the blocking v1 client, against
+//! the *same* server process.
+//!
+//! The workload is deliberately the smallest the service can answer — a
+//! `MIS2` request whose artifact is already cached — so the measurement
+//! isolates protocol round-trip cost: syscalls, scheduler hand-off, and
+//! the one-in-flight stall of v1. A blocking client pays a full
+//! write→schedule→compute→read round trip per request; an N-deep window
+//! amortizes that across N in-flight requests (cf. Redis pipelining), so
+//! requests/sec should rise steeply with window depth until the server's
+//! reader or the single scheduler hand-off saturates.
+//!
+//! Acceptance shape (asserted by eye in CI logs, measured in the e2e
+//! suite): the 64-deep window sustains at least 3x the requests/sec of
+//! the blocking v1 client. The run prints an explicit ratio line after the
+//! criterion output to make that check one `grep` away.
+
+use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
+use mis2_svc::client::{Client, PipelinedClient};
+use mis2_svc::{server, ServerConfig};
+use std::time::Instant;
+
+/// Requests per measured batch — one v2 window's worth at the deepest
+/// setting, and the same count issued one-at-a-time over v1.
+const BATCH: usize = 64;
+
+/// The small-request workload: MIS-2 on a suite graph that the warm-up
+/// interned and computed once, so every measured request is a cache hit.
+/// af_shell7's tiny-scale MIS-2 set is small (~250 vertices), so the
+/// per-request body render (fingerprint over the result) is sub-µs and
+/// the measurement stays protocol-bound.
+const REQUEST: &str = "MIS2 af_shell7";
+
+fn batch_lines() -> Vec<&'static str> {
+    vec![REQUEST; BATCH]
+}
+
+/// Mean seconds per batch of `BATCH` requests over `rounds` rounds.
+fn time_batches(rounds: usize, mut run: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..rounds {
+        run();
+    }
+    start.elapsed().as_secs_f64() / rounds as f64
+}
+
+fn bench_svc_pipeline(c: &mut Criterion) {
+    let handle = server::serve(ServerConfig {
+        threads: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // Warm-up: intern the graph and cache the artifact so the measured
+    // requests never recompute anything.
+    let mut blocking = Client::connect(addr).unwrap();
+    assert!(blocking.request(REQUEST).unwrap().starts_with("OK "));
+
+    let lines = batch_lines();
+    let mut group = c.benchmark_group("svc_pipeline");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.bench_function("64_requests/blocking_v1", |b| {
+        b.iter(|| {
+            for line in &lines {
+                blocking.request(line).unwrap();
+            }
+        })
+    });
+
+    for window in [1usize, 8, 64] {
+        let mut pipelined = PipelinedClient::connect(addr, window).unwrap();
+        assert_eq!(pipelined.window(), window);
+        group.bench_function(format!("64_requests/pipelined_w{window}").as_str(), |b| {
+            b.iter(|| pipelined.request_many(&lines).unwrap())
+        });
+    }
+    group.finish();
+
+    // Explicit acceptance ratio: 64-deep pipelined vs blocking v1
+    // requests/sec on the same connection kinds as above, fresh
+    // connections, fixed round count.
+    let rounds = 20;
+    let mut v1 = Client::connect(addr).unwrap();
+    let v1_batch = time_batches(rounds, || {
+        for line in &lines {
+            v1.request(line).unwrap();
+        }
+    });
+    let mut v2 = PipelinedClient::connect(addr, 64).unwrap();
+    let v2_batch = time_batches(rounds, || {
+        v2.request_many(&lines).unwrap();
+    });
+    let v1_rps = BATCH as f64 / v1_batch;
+    let v2_rps = BATCH as f64 / v2_batch;
+    println!(
+        "svc_pipeline/acceptance: blocking_v1 {:.0} req/s, pipelined_w64 {:.0} req/s, \
+         ratio {:.2}x (target >= 3x)",
+        v1_rps,
+        v2_rps,
+        v2_rps / v1_rps
+    );
+
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_svc_pipeline);
+criterion_main!(benches);

@@ -3,31 +3,39 @@
 //! ```text
 //! mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]
 //!                [--queue-cap N] [--scale tiny|small|paper]
-//!                [--mem-budget BYTES[k|m|g]]
+//!                [--mem-budget BYTES[k|m|g]] [--max-inflight N]
 //! mis2svc client --addr HOST:PORT REQUEST...
-//! mis2svc workloads
+//! mis2svc workloads [--addr HOST:PORT --pipeline N]
 //! ```
 //!
 //! `--mem-budget` bounds the registry's cached bytes (graphs + artifacts;
 //! 0 or absent = unbounded): over budget, artifacts evict before graphs in
 //! LRU order, and responses stay byte-identical either way.
+//! `--max-inflight` caps how many pipelined (v2) requests one connection
+//! may keep outstanding (0 or absent = 64).
 //!
 //! `serve` binds the loopback listener, prints `mis2svc listening on ADDR`
 //! and serves until killed. `client` sends one request line (the remaining
 //! arguments joined by spaces), prints the response, and exits 0 iff the
 //! response is `OK ...`. `workloads` lists the suite graph names — used by
 //! the CI smoke leg to sweep every workload through a running server.
+//! With `--addr` and `--pipeline N` it instead runs the whole sweep
+//! (MIS2 + COARSEN 2 per workload, plus two SOLVEs) through a v2
+//! [`PipelinedClient`] with an N-deep window, printing one response per
+//! line in request order with tags stripped — so its output is directly
+//! comparable to a sequential v1 sweep, which is exactly what the CI
+//! pipelined smoke leg diffs.
 
 use mis2_graph::{suite, Scale};
-use mis2_svc::{client::Client, server};
+use mis2_svc::{client::Client, client::PipelinedClient, server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]\n\
          \x20                     [--queue-cap N] [--scale tiny|small|paper]\n\
-         \x20                     [--mem-budget BYTES[k|m|g]]\n\
+         \x20                     [--mem-budget BYTES[k|m|g]] [--max-inflight N]\n\
          \x20      mis2svc client --addr HOST:PORT REQUEST...\n\
-         \x20      mis2svc workloads"
+         \x20      mis2svc workloads [--addr HOST:PORT --pipeline N]"
     );
     std::process::exit(2);
 }
@@ -37,11 +45,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("serve") => cmd_serve(&argv[1..]),
         Some("client") => cmd_client(&argv[1..]),
-        Some("workloads") => {
-            for w in suite::workloads() {
-                println!("{}", w.name);
-            }
-        }
+        Some("workloads") => cmd_workloads(&argv[1..]),
         _ => usage(),
     }
 }
@@ -79,6 +83,7 @@ fn cmd_serve(argv: &[String]) {
             "--workers" => cfg.workers = parse_usize(take(&mut i)),
             "--queue-cap" => cfg.queue_cap = parse_usize(take(&mut i)),
             "--mem-budget" => cfg.mem_budget = parse_bytes(take(&mut i)),
+            "--max-inflight" => cfg.max_inflight = parse_usize(take(&mut i)),
             "--scale" => cfg.scale = Scale::parse(take(&mut i)).unwrap_or_else(|| usage()),
             _ => usage(),
         }
@@ -93,6 +98,68 @@ fn cmd_serve(argv: &[String]) {
             eprintln!("error: cannot serve: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `workloads`: list the suite graph names; with `--addr` + `--pipeline N`
+/// run the full sweep through an N-deep pipelined v2 window instead,
+/// printing the responses in request order (tags stripped).
+fn cmd_workloads(argv: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut pipeline: Option<usize> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> &str {
+            *i += 1;
+            argv.get(*i).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--addr" => addr = Some(take(&mut i).to_string()),
+            "--pipeline" => pipeline = Some(parse_usize(take(&mut i))),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (addr, window) = match (addr, pipeline) {
+        (None, None) => {
+            for w in suite::workloads() {
+                println!("{}", w.name);
+            }
+            return;
+        }
+        (Some(addr), Some(window)) if window > 0 => (addr, window),
+        _ => usage(), // --addr and --pipeline only make sense together
+    };
+    // The same sweep the CI smoke legs run sequentially over v1.
+    let mut lines: Vec<String> = Vec::new();
+    for w in suite::workloads() {
+        lines.push(format!("MIS2 {}", w.name));
+        lines.push(format!("COARSEN {} 2", w.name));
+    }
+    lines.push("SOLVE ecology2 cg".into());
+    lines.push("SOLVE tmt_sym gmres".into());
+    let mut client = match PipelinedClient::connect(&addr, window) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let responses = match client.request_many(&lines) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: pipelined sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = client.quit();
+    let mut failed = false;
+    for response in &responses {
+        println!("{response}");
+        failed |= !response.starts_with("OK ");
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

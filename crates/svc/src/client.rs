@@ -1,14 +1,56 @@
-//! Minimal blocking client for the line protocol: one request line out,
-//! one response line back. Used by the e2e tests, the `mis2svc client`
-//! mode, and the CI server-smoke leg.
+//! Protocol clients: the blocking v1 [`Client`] (one request line out,
+//! one response line back) and the windowed v2 [`PipelinedClient`] that
+//! keeps many tagged requests in flight and reassembles responses by tag.
+//!
+//! Both are used by the e2e tests, the `mis2svc` bin, and the CI smoke
+//! legs.
 
-use std::io::{self, BufRead, BufReader, Write};
+use crate::proto;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// A connected protocol client.
+/// Read one response line, distinguishing the three ways it can go wrong:
+/// a clean EOF before any byte (server closed between responses), a
+/// truncated line (server died mid-response), or a plain I/O error —
+/// which includes `WouldBlock`/`TimedOut` when a read timeout is set.
+fn read_response_line(reader: &mut BufReader<TcpStream>) -> io::Result<String> {
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection (clean EOF before a response line)",
+        ));
+    }
+    if !response.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "server closed the connection mid-line (truncated response: {:?})",
+                response.trim_end()
+            ),
+        ));
+    }
+    Ok(response.trim_end_matches(['\r', '\n']).to_string())
+}
+
+/// The error returned by `request` calls after an earlier request on the
+/// same connection already failed: a read error (timeout included) can
+/// leave consumed-but-unparsed bytes behind, so the line framing can no
+/// longer be trusted — reconnect instead of retrying.
+fn poisoned_error() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::BrokenPipe,
+        "connection poisoned by an earlier request error; reconnect",
+    )
+}
+
+/// A connected blocking (v1) protocol client.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    poisoned: bool,
 }
 
 impl Client {
@@ -19,26 +61,239 @@ impl Client {
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            poisoned: false,
         })
     }
 
-    /// Send one request line and block for its response line.
+    /// Bound how long a [`Client::request`] may block waiting for the
+    /// response (`None` = forever, the default). With a timeout set, a
+    /// hung server surfaces as an `io::Error` of kind
+    /// `WouldBlock`/`TimedOut` instead of parking the client for good.
+    /// A timeout may fire after part of a response line was already
+    /// consumed, so the connection is **poisoned** on any request error:
+    /// later `request` calls fail fast instead of reading desynchronized
+    /// frames — reconnect to recover.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one request line and block for its response line. A server
+    /// that closes before responding yields `UnexpectedEof`, with the
+    /// error text distinguishing a clean close from a truncated line.
+    /// Any error poisons the connection (see
+    /// [`Client::set_read_timeout`]).
     pub fn request(&mut self, line: &str) -> io::Result<String> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
-        let mut response = String::new();
-        if self.reader.read_line(&mut response)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        if self.poisoned {
+            return Err(poisoned_error());
         }
-        Ok(response.trim_end_matches(['\r', '\n']).to_string())
+        let attempt = (|| {
+            writeln!(self.writer, "{line}")?;
+            self.writer.flush()?;
+            read_response_line(&mut self.reader)
+        })();
+        if attempt.is_err() {
+            self.poisoned = true;
+        }
+        attempt
     }
 
     /// Polite close: `QUIT` and drop the connection.
     pub fn quit(mut self) -> io::Result<()> {
         let _ = self.request("QUIT")?;
         Ok(())
+    }
+}
+
+/// A v2 pipelined client: writes a *window* of tagged requests before the
+/// first response is read, reads responses as they arrive — in completion
+/// order, not request order — and reassembles them by tag.
+///
+/// The connection upgrades at construction time (`V2` hello); the window
+/// is clamped to the server's advertised `max_inflight`, so the client
+/// never sends a request the server's reader would refuse to accept into
+/// its window.
+pub struct PipelinedClient {
+    // Buffered: a window refill becomes one write syscall at the flush,
+    // not one per request line.
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_tag: u64,
+    window: usize,
+    poisoned: bool,
+}
+
+impl PipelinedClient {
+    /// Connect and upgrade to v2 framing, keeping up to `window` requests
+    /// in flight (clamped to `1..=server max_inflight`).
+    pub fn connect<A: ToSocketAddrs>(addr: A, window: usize) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{}", proto::HELLO_V2)?;
+        writer.flush()?;
+        let hello = read_response_line(&mut reader)?;
+        let server_max = proto::parse_hello_ok(&hello)
+            .filter(|max| *max > 0)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("server rejected the V2 hello: {hello}"),
+                )
+            })?;
+        Ok(PipelinedClient {
+            writer,
+            reader,
+            next_tag: 0,
+            window: window.clamp(1, server_max),
+            poisoned: false,
+        })
+    }
+
+    /// The effective window after clamping to the server's cap.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Bound how long a read for the next response may block (`None` =
+    /// forever, the default).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send every request, keeping up to `window` of them in flight, and
+    /// return the responses **in request order** (tags stripped) — the
+    /// wire order is completion order; the tags are what put them back.
+    ///
+    /// Tags are assigned from this client's private counter, so they are
+    /// unique across the connection's lifetime; a response carrying an
+    /// unknown or already-answered tag (or the server's `T?` marker) is a
+    /// protocol error surfaced as `InvalidData`. Any error poisons the
+    /// connection — un-retired tags may still be in flight, so the
+    /// framing can no longer be trusted; later calls fail fast and the
+    /// caller should reconnect.
+    pub fn request_many<S: AsRef<str>>(&mut self, lines: &[S]) -> io::Result<Vec<String>> {
+        if self.poisoned {
+            return Err(poisoned_error());
+        }
+        let attempt = self.request_many_inner(lines);
+        if attempt.is_err() {
+            self.poisoned = true;
+        }
+        attempt
+    }
+
+    fn request_many_inner<S: AsRef<str>>(&mut self, lines: &[S]) -> io::Result<Vec<String>> {
+        let mut results: Vec<Option<String>> = Vec::with_capacity(lines.len());
+        results.resize_with(lines.len(), || None);
+        let mut tag_to_index: HashMap<u64, usize> = HashMap::with_capacity(self.window);
+        let mut sent = 0;
+        let mut received = 0;
+        while received < lines.len() {
+            // Refill the window, batching the writes into one flush.
+            let mut wrote = false;
+            while sent < lines.len() && sent - received < self.window {
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                writeln!(self.writer, "T{tag} {}", lines[sent].as_ref())?;
+                tag_to_index.insert(tag, sent);
+                sent += 1;
+                wrote = true;
+            }
+            if wrote {
+                self.writer.flush()?;
+            }
+            // Take the next response, whichever request it answers.
+            let response = read_response_line(&mut self.reader)?;
+            if response.starts_with(proto::UNKNOWN_TAG) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("server could not frame a request: {response}"),
+                ));
+            }
+            let (tag, payload) = proto::split_tagged(&response)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let index = tag_to_index.remove(&tag).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown or duplicate tag T{tag}: {payload}"),
+                )
+            })?;
+            results[index] = Some(payload.to_string());
+            received += 1;
+        }
+        Ok(results.into_iter().map(|r| r.unwrap()).collect())
+    }
+
+    /// Single-request convenience over [`PipelinedClient::request_many`].
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        Ok(self.request_many(&[line])?.pop().unwrap())
+    }
+
+    /// Polite close: tagged `QUIT` (the server drains every in-flight
+    /// response first, so `BYE` is the last line) and drop the connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.request("QUIT")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A fake server that accepts one connection, feeds it `response`
+    /// verbatim, and closes.
+    fn fake_server(response: &'static [u8]) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Consume the request line so the client's write can't fail.
+            let mut buf = [0u8; 256];
+            let _ = std::io::Read::read(&mut s, &mut buf);
+            s.write_all(response).unwrap();
+            // Drop closes the connection.
+        });
+        addr
+    }
+
+    #[test]
+    fn clean_eof_and_truncation_are_distinguished() {
+        let mut eof = Client::connect(fake_server(b"")).unwrap();
+        let e = eof.request("PING").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(e.to_string().contains("clean EOF"), "{e}");
+
+        let mut cut = Client::connect(fake_server(b"OK PON")).unwrap();
+        let e = cut.request("PING").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(e.to_string().contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn read_timeout_unparks_a_client_on_a_hung_server() {
+        // A listener that accepts and then never responds.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().unwrap());
+        let mut c = Client::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let e = c.request("PING").unwrap_err();
+        assert!(
+            matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "hung server must surface as a timeout, got: {e}"
+        );
+        // The timeout may have consumed part of a response line, so the
+        // connection is poisoned: a retry must fail fast rather than read
+        // desynchronized frames.
+        let e = c.request("PING").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::BrokenPipe);
+        assert!(e.to_string().contains("poisoned"), "{e}");
+        drop(hold);
     }
 }

@@ -17,19 +17,30 @@
 //! * [`sched`] — a bounded MPMC job queue drained by a few worker-leader
 //!   threads, each running its job on a pool **sub-team**
 //!   (`mis2_prim::pool` sub-team dispatch), so K concurrent jobs split the
-//!   parked workers instead of serializing on one team. Per-job queue-wait
-//!   and run-time statistics feed the `STATS` request.
+//!   parked workers instead of serializing on one team. The scheduler's
+//!   primitive is **completion delivery** (`submit_with`): the leader that
+//!   finishes a job hands the response to a callback instead of parking a
+//!   waiter (blocking `submit` remains as a thin adapter). Per-job
+//!   queue-wait and run-time statistics feed the `STATS` request.
 //! * [`server`] / [`client`] — a loopback TCP server speaking the
 //!   line-oriented protocol of [`proto`] (`MIS2 g`, `COARSEN g L`,
-//!   `SOLVE g cg|gmres`, `STATS`, `PING`, `QUIT`), plus the matching
-//!   blocking client.
+//!   `SOLVE g cg|gmres`, `STATS`, `PING`, `QUIT`). Connections start in
+//!   blocking v1 framing; the `V2` hello upgrades to **pipelined tagged
+//!   frames**: every request carries a client-chosen tag, the per-request
+//!   reader keeps parsing while earlier jobs run (up to the
+//!   `max_inflight` window), and a per-connection writer thread emits
+//!   responses in *completion* order, tags letting the client reassemble.
+//!   [`client::Client`] is the blocking v1 client;
+//!   [`client::PipelinedClient`] drives a v2 window and
+//!   `request_many(..)` reassembles by tag.
 //!
 //! The determinism contract of the underlying algorithms lifts to the
-//! service: a response is **bitwise-identical** to a direct library call,
-//! for every client, concurrency level, sub-team size and backend —
-//! `tests/svc_e2e.rs` at the workspace root asserts exactly that with 16
-//! concurrent clients. [`ops`] is the single definition of each request's
-//! semantics that both paths share.
+//! service: a response's *payload* is **bitwise-identical** to a direct
+//! library call, for every client, concurrency level, arrival order,
+//! sub-team size and backend — `tests/svc_e2e.rs` and
+//! `tests/svc_pipeline.rs` at the workspace root assert exactly that with
+//! concurrent blocking and pipelined clients. [`ops`] is the single
+//! definition of each request's semantics that both paths share.
 //!
 //! ```no_run
 //! use mis2_svc::{client::Client, server};
@@ -48,7 +59,7 @@ pub mod registry;
 pub mod sched;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, PipelinedClient};
 pub use ops::OpKey;
 pub use proto::{GraphRef, Method, Request};
 pub use registry::Registry;

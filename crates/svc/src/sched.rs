@@ -17,7 +17,32 @@
 //!   workers via `mis2_prim::pool`'s sub-team dispatch instead of fighting
 //!   over one team;
 //! * the bounded queue applies backpressure to producers (connection
-//!   handlers block in [`Scheduler::submit`] when the queue is full).
+//!   handlers block in [`Scheduler::submit_with`] when the queue is full).
+//!
+//! ## Completion delivery
+//!
+//! The scheduler's primitive is **completion delivery**, not blocking:
+//! [`Scheduler::submit_with`] takes the job *and* a [`Completion`]
+//! callback, and the worker-leader that finishes the job hands the
+//! response line to the callback instead of parking a waiter. That is what
+//! lets the v2 pipelined server keep one reader thread parsing new
+//! requests while earlier jobs run — each completion pushes its response
+//! into the connection's writer channel, in whatever order jobs finish.
+//!
+//! A completion is invoked **exactly once** for every accepted job, on
+//! whichever thread retires it: a worker-leader after a run or a panic
+//! (`ERR job panicked`), or the thread calling [`Scheduler::shutdown`]
+//! for jobs still queued (`ERR scheduler shut down`). Completions must
+//! never block indefinitely — a blocked completion wedges a worker-leader
+//! (or the shutdown path) for every other connection. The server
+//! guarantees this with its window-slot protocol: a completion only ever
+//! sends into channel capacity its request already reserved.
+//!
+//! [`Scheduler::submit`] remains as a thin blocking adapter: it submits
+//! with a completion that fills a one-shot slot and returns a
+//! [`JobHandle`] whose `wait()` parks on that slot — exactly the v1
+//! one-request-per-connection behavior, now layered on the completion
+//! mode.
 //!
 //! Per-job statistics (queue wait, run time, team size) are aggregated in
 //! [`SchedStats`] and surfaced through the `STATS` request.
@@ -31,6 +56,11 @@ use std::time::Instant;
 
 /// A unit of work: produces the full response line for one request.
 pub type Job = Box<dyn FnOnce() -> String + Send>;
+
+/// Receives the finished response line for one job, exactly once, on the
+/// thread that retired the job. Must not block indefinitely (see the
+/// module docs).
+pub type Completion = Box<dyn FnOnce(String) + Send>;
 
 /// Scheduler sizing. Zeros mean "pick a sensible default".
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,7 +101,8 @@ impl DoneSlot {
     }
 }
 
-/// Handle to a submitted job; [`JobHandle::wait`] blocks until the worker
+/// Handle to a job submitted through the blocking adapter
+/// [`Scheduler::submit`]; [`JobHandle::wait`] blocks until the completion
 /// publishes the response line.
 pub struct JobHandle(Arc<DoneSlot>);
 
@@ -90,7 +121,7 @@ impl JobHandle {
 struct Queued {
     job: Job,
     enqueued: Instant,
-    done: Arc<DoneSlot>,
+    done: Completion,
 }
 
 struct Queue {
@@ -181,30 +212,43 @@ impl Scheduler {
         &self.inner.stats
     }
 
-    /// Enqueue a job, blocking while the queue is full (backpressure).
-    /// After [`Scheduler::shutdown`] the job is rejected immediately with
-    /// an `ERR` response.
-    pub fn submit(&self, job: Job) -> JobHandle {
-        let done = Arc::new(DoneSlot {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-        });
+    /// Enqueue a job with a completion callback, blocking while the queue
+    /// is full (backpressure). The completion receives the full response
+    /// line exactly once — from a worker-leader in completion order, or
+    /// immediately (on this thread) with an `ERR` line if the scheduler is
+    /// already shut down. This is the primitive the pipelined server
+    /// builds on; see the module docs for the no-blocking rule completions
+    /// must obey.
+    pub fn submit_with(&self, job: Job, done: Completion) {
         let mut q = self.inner.queue.lock().unwrap();
         while q.jobs.len() >= self.inner.queue_cap && !q.shutdown {
             q = self.inner.not_full.wait(q).unwrap();
         }
         if q.shutdown {
             drop(q);
-            done.complete(crate::proto::err("scheduler shut down"));
-            return JobHandle(done);
+            done(crate::proto::err("scheduler shut down"));
+            return;
         }
         q.jobs.push_back(Queued {
             job,
             enqueued: Instant::now(),
-            done: Arc::clone(&done),
+            done,
         });
         drop(q);
         self.inner.not_empty.notify_one();
+    }
+
+    /// Blocking adapter over [`Scheduler::submit_with`]: the returned
+    /// handle's `wait()` parks until the completion fires. After
+    /// [`Scheduler::shutdown`] the job is rejected immediately with an
+    /// `ERR` response.
+    pub fn submit(&self, job: Job) -> JobHandle {
+        let done = Arc::new(DoneSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let slot = Arc::clone(&done);
+        self.submit_with(job, Box::new(move |line| slot.complete(line)));
         JobHandle(done)
     }
 
@@ -216,10 +260,13 @@ impl Scheduler {
         {
             let mut q = self.inner.queue.lock().unwrap();
             q.shutdown = true;
-            for queued in q.jobs.drain(..) {
-                queued
-                    .done
-                    .complete(crate::proto::err("scheduler shut down"));
+            let drained: Vec<Queued> = q.jobs.drain(..).collect();
+            drop(q);
+            // Completions run outside the queue lock: one may (briefly)
+            // take other locks, and holding the queue lock across foreign
+            // code invites lock-order inversions.
+            for queued in drained {
+                (queued.done)(crate::proto::err("scheduler shut down"));
             }
         }
         self.inner.not_empty.notify_all();
@@ -266,7 +313,13 @@ fn worker_loop(inner: &Inner) {
             .queue_wait_us
             .fetch_add(wait_us, Ordering::Relaxed);
         inner.stats.run_us.fetch_add(run_us, Ordering::Relaxed);
-        queued.done.complete(line);
+        // A panicking completion must not take the worker-leader down with
+        // it (the job's response is lost to its connection, but every
+        // other connection keeps its scheduler).
+        let done = queued.done;
+        if catch_unwind(AssertUnwindSafe(move || done(line))).is_err() {
+            inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -342,6 +395,90 @@ mod tests {
             }
         });
         assert_eq!(done.load(Ordering::Relaxed), 40);
+        s.shutdown();
+    }
+
+    #[test]
+    fn completions_deliver_in_completion_order_not_submit_order() {
+        // Two workers: a slow job submitted first and a fast job second.
+        // The fast job's completion must arrive first — the scheduler
+        // delivers in completion order, which is the whole point of the
+        // pipelined v2 protocol.
+        let s = sched(2, 2, 8);
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let slow_tx = tx.clone();
+        s.submit_with(
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                "OK slow".into()
+            }),
+            Box::new(move |line| slow_tx.send(line).unwrap()),
+        );
+        let fast_tx = tx.clone();
+        s.submit_with(
+            Box::new(|| "OK fast".into()),
+            Box::new(move |line| fast_tx.send(line).unwrap()),
+        );
+        assert_eq!(rx.recv().unwrap(), "OK fast");
+        assert_eq!(rx.recv().unwrap(), "OK slow");
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_retires_queued_jobs_through_their_completions() {
+        // One worker busy with a slow job; three more queue behind it.
+        // Shutdown must hand every queued job's completion an ERR line
+        // (exactly-once delivery), while the in-flight job finishes.
+        let s = sched(1, 1, 8);
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let slow_tx = tx.clone();
+        s.submit_with(
+            Box::new(move || {
+                started_tx.send(()).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                "OK slow".into()
+            }),
+            Box::new(move |line| slow_tx.send(line).unwrap()),
+        );
+        started_rx.recv().unwrap();
+        for _ in 0..3 {
+            let tx = tx.clone();
+            s.submit_with(
+                Box::new(|| "OK never runs".into()),
+                Box::new(move |line| tx.send(line).unwrap()),
+            );
+        }
+        s.shutdown();
+        drop(tx);
+        let mut lines: Vec<String> = rx.iter().collect();
+        lines.sort();
+        assert_eq!(lines.len(), 4, "every completion fires exactly once");
+        assert_eq!(lines[3], "OK slow");
+        assert!(
+            lines[..3].iter().all(|l| l.starts_with("ERR ")),
+            "{lines:?}"
+        );
+        // A post-shutdown submit_with completes inline with ERR.
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        s.submit_with(
+            Box::new(|| "OK never".into()),
+            Box::new(move |line| tx.send(line).unwrap()),
+        );
+        assert!(rx.recv().unwrap().starts_with("ERR "));
+    }
+
+    #[test]
+    fn panicking_completion_does_not_kill_the_worker() {
+        let s = sched(1, 1, 4);
+        s.submit_with(
+            Box::new(|| "OK doomed".into()),
+            Box::new(|_| panic!("completion kaboom")),
+        );
+        // The same (only) worker must still retire later jobs.
+        let good = s.submit(Box::new(|| "OK fine".into()));
+        assert_eq!(good.wait(), "OK fine");
+        assert_eq!(s.stats().panics.load(Ordering::Relaxed), 1);
         s.shutdown();
     }
 

@@ -1,21 +1,40 @@
 //! The loopback TCP server: accepts line-protocol connections and
-//! multiplexes their compute requests onto the batching scheduler.
+//! pipelines their compute requests through the batching scheduler.
 //!
-//! One OS thread per connection reads request lines; `PING`/`STATS`/`QUIT`
-//! are answered inline, compute requests are submitted to the shared
-//! [`Scheduler`] (blocking the connection on the bounded queue when the
-//! service is saturated — per-connection backpressure instead of unbounded
-//! buffering). Responses preserve request order within a connection.
+//! Each connection gets a **reader** thread (the handler) and a **writer**
+//! thread joined by a bounded response channel. The reader parses request
+//! lines and keeps going while earlier jobs run: `PING`/`STATS` are
+//! answered inline (never queued behind compute), `QUIT` drains and says
+//! goodbye, and compute requests are submitted to the shared [`Scheduler`]
+//! in completion mode — the worker-leader that finishes a job pushes its
+//! response straight into the writer channel, so responses are written in
+//! *completion* order (tagged, on v2 connections, so the client can
+//! reassemble; v1 connections cap the window at 1, which preserves the
+//! classic request-order contract).
+//!
+//! Backpressure is layered: a per-connection in-flight **window**
+//! ([`ServerConfig::max_inflight`]) stops the reader when too many
+//! responses are outstanding, and the scheduler's bounded queue stops it
+//! globally when the whole service is saturated. The window-slot protocol
+//! also guarantees scheduler completions never block on the response
+//! channel: a slot is acquired per request before anything may be sent,
+//! and released by the writer only after the response leaves the channel,
+//! so channel occupancy can never reach its capacity (= the window cap)
+//! while a send is in flight. Teardown (EOF, error, `QUIT`, over-long
+//! line) drops the reader's sender and joins the writer, which drains
+//! every in-flight completion — nothing leaks the connection slot and
+//! nothing wedges the scheduler.
 
 use crate::proto::{self, Request};
 use crate::registry::Registry;
 use crate::sched::{SchedConfig, Scheduler};
 use mis2_graph::Scale;
 use mis2_prim::pool;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +57,11 @@ pub struct ServerConfig {
     /// bytes of interned graphs + cached artifacts; over-budget entries
     /// are evicted artifacts-first in LRU order (see [`Registry`]).
     pub mem_budget: usize,
+    /// Per-connection in-flight window: how many requests a pipelined v2
+    /// connection may have outstanding (accepted but response not yet
+    /// written) before its reader stops accepting more (0 = 64). v1
+    /// connections always run with a window of 1.
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,8 +74,21 @@ impl Default for ServerConfig {
             max_conns: 0,
             scale: Scale::Tiny,
             mem_budget: 0,
+            max_inflight: 0,
         }
     }
+}
+
+/// Service-wide wire counters for the pipelined protocol, surfaced through
+/// `STATS` next to the scheduler's job counters.
+#[derive(Debug, Default)]
+pub struct SvcStats {
+    /// Requests accepted whose response has not yet been written, summed
+    /// over all connections (the `STATS` line subtracts the in-progress
+    /// `STATS` request itself, so an idle server reports 0).
+    pub inflight: AtomicU64,
+    /// Deepest per-connection window ever observed.
+    pub peak_inflight: AtomicU64,
 }
 
 /// Owned claim on one connection slot: releases the slot on drop, so the
@@ -76,6 +113,7 @@ pub struct ServerHandle {
     accept: Option<std::thread::JoinHandle<()>>,
     sched: Arc<Scheduler>,
     registry: Arc<Registry>,
+    svc_stats: Arc<SvcStats>,
 }
 
 impl ServerHandle {
@@ -87,6 +125,11 @@ impl ServerHandle {
     /// The shared graph/artifact registry.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The service-wide wire counters (in-flight window gauges).
+    pub fn svc_stats(&self) -> &Arc<SvcStats> {
+        &self.svc_stats
     }
 
     /// Block forever serving (the accept loop never returns on its own).
@@ -122,15 +165,22 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         queue_cap: cfg.queue_cap,
     }));
     let stop = Arc::new(AtomicBool::new(false));
+    let svc_stats = Arc::new(SvcStats::default());
     let max_conns = if cfg.max_conns == 0 {
         1024
     } else {
         cfg.max_conns
     };
+    let max_inflight = if cfg.max_inflight == 0 {
+        64
+    } else {
+        cfg.max_inflight
+    };
     let accept = {
         let registry = Arc::clone(&registry);
         let sched = Arc::clone(&sched);
         let stop = Arc::clone(&stop);
+        let svc_stats = Arc::clone(&svc_stats);
         let conns = Arc::new(AtomicUsize::new(0));
         std::thread::Builder::new()
             .name("mis2-svc-accept".into())
@@ -146,6 +196,13 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
                         std::thread::sleep(std::time::Duration::from_millis(10));
                         continue;
                     };
+                    // Pipelined responses are many small back-to-back
+                    // writes; without TCP_NODELAY, Nagle + delayed ACK
+                    // stalls each batch ~40ms (v1's strict ping-pong
+                    // never tripped this). The writer's BufWriter already
+                    // coalesces per-batch, so disabling Nagle costs
+                    // nothing on large responses.
+                    let _ = stream.set_nodelay(true);
                     // Claim the slot *first*, then check the claim against
                     // the cap. The old load-then-fetch_add shape is a
                     // TOCTOU: any concurrent decision based on the loaded
@@ -162,13 +219,20 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
                     }
                     let registry = Arc::clone(&registry);
                     let sched = Arc::clone(&sched);
+                    let svc_stats = Arc::clone(&svc_stats);
                     // On spawn failure the closure (and `slot` inside it)
                     // is dropped by Builder::spawn, releasing the claim.
                     let _ = std::thread::Builder::new()
                         .name("mis2-svc-conn".into())
                         .spawn(move || {
                             let _slot = slot;
-                            let _ = handle_connection(stream, &registry, &sched);
+                            let _ = handle_connection(
+                                stream,
+                                &registry,
+                                &sched,
+                                &svc_stats,
+                                max_inflight,
+                            );
                         });
                 }
             })?
@@ -179,23 +243,238 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         accept: Some(accept),
         sched,
         registry,
+        svc_stats,
     })
 }
 
-/// Serve one connection until EOF, error, or `QUIT`.
+/// Per-connection in-flight window: counts requests accepted whose
+/// response has not yet been written to the socket. The reader acquires a
+/// slot per request (blocking at the cap — that is the per-connection
+/// backpressure); the writer releases a slot per response it dequeues.
+///
+/// The slot protocol is what makes scheduler completions safe: a
+/// completion only ever sends while its request's slot is held, and the
+/// response channel's capacity equals the window cap, so occupancy is
+/// always strictly below capacity at the moment of a send — completions
+/// (which run on scheduler worker-leaders) can never block on a full
+/// channel, no matter how slow or dead the client is.
+struct ConnWindow {
+    inflight: Mutex<usize>,
+    changed: Condvar,
+}
+
+impl ConnWindow {
+    fn new() -> ConnWindow {
+        ConnWindow {
+            inflight: Mutex::new(0),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Block until the window has room under `cap`, then take a slot.
+    /// Returns the depth after acquisition (for peak tracking).
+    fn acquire(&self, cap: usize) -> usize {
+        let mut n = self.inflight.lock().unwrap();
+        while *n >= cap {
+            n = self.changed.wait(n).unwrap();
+        }
+        *n += 1;
+        *n
+    }
+
+    fn release(&self) {
+        let mut n = self.inflight.lock().unwrap();
+        *n -= 1;
+        self.changed.notify_all();
+    }
+
+    /// Block until every outstanding response has been written (used by
+    /// `QUIT` so `BYE` is the last line on the wire).
+    fn wait_empty(&self) {
+        let mut n = self.inflight.lock().unwrap();
+        while *n > 0 {
+            n = self.changed.wait(n).unwrap();
+        }
+    }
+}
+
+/// The writer half of a connection: drains the bounded response channel
+/// to the socket, releasing one window slot per dequeued response.
+/// Responses already queued behind a broken socket are still dequeued and
+/// their slots released (so the reader and in-flight completions wind
+/// down instead of wedging); flushing batches opportunistically — flush
+/// happens when the channel momentarily empties, not per line.
+///
+/// On the first write failure the whole socket is shut down: the reader
+/// may be parked in `read_line` happily accepting new requests for a
+/// client that can no longer receive a byte, and the shutdown is what
+/// turns its next read into EOF so the connection winds down instead of
+/// burning scheduler compute on undeliverable responses.
+fn writer_loop(rx: Receiver<String>, stream: TcpStream, win: &ConnWindow, stats: &SvcStats) {
+    let mut out = BufWriter::new(stream);
+    let mut broken = false;
+    let note_broken = |out: &mut BufWriter<TcpStream>, broken: &mut bool| {
+        if !*broken {
+            *broken = true;
+            let _ = out.get_ref().shutdown(std::net::Shutdown::Both);
+        }
+    };
+    // Outer recv parks until the next response (or until every sender is
+    // gone, which is the teardown signal).
+    'conn: while let Ok(recv_line) = rx.recv() {
+        let mut line = recv_line;
+        loop {
+            if !broken && writeln!(out, "{line}").is_err() {
+                note_broken(&mut out, &mut broken);
+            }
+            win.release();
+            stats.inflight.fetch_sub(1, Ordering::Relaxed);
+            match rx.try_recv() {
+                Ok(next) => line = next,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'conn,
+            }
+        }
+        if !broken && out.flush().is_err() {
+            note_broken(&mut out, &mut broken);
+        }
+    }
+    if !broken {
+        let _ = out.flush();
+    }
+}
+
+/// Framing mode of one connection: v1 until the `V2` hello arrives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    V1,
+    V2,
+}
+
+/// Serve one connection until EOF, error, or `QUIT` — the **reader** side.
+///
+/// The reader parses lines and keeps accepting while earlier jobs run;
+/// every response (inline or completed) flows through the bounded channel
+/// into the writer thread. On exit the reader drops its sender and joins
+/// the writer, which finishes once the last in-flight completion has
+/// delivered — so teardown drains naturally and the connection slot (held
+/// by this thread) is released only after everything is accounted for.
 fn handle_connection(
     stream: TcpStream,
     registry: &Arc<Registry>,
     sched: &Scheduler,
+    stats: &Arc<SvcStats>,
+    max_inflight: usize,
 ) -> io::Result<()> {
-    let mut writer = stream.try_clone()?;
+    let write_stream = stream.try_clone()?;
+    let win = Arc::new(ConnWindow::new());
+    // Capacity = window cap: see ConnWindow for why this bound makes
+    // completion sends non-blocking.
+    let (tx, rx) = sync_channel::<String>(max_inflight);
+    let writer = {
+        let win = Arc::clone(&win);
+        let stats = Arc::clone(stats);
+        std::thread::Builder::new()
+            .name("mis2-svc-write".into())
+            .spawn(move || writer_loop(rx, write_stream, &win, &stats))?
+    };
+    let result = read_loop(stream, registry, sched, stats, max_inflight, &win, &tx);
+    // Teardown: drop our sender; in-flight completions still hold clones,
+    // so the writer keeps draining until the last one delivers, then
+    // exits. Joining it is the "drain" in drain-or-cancel: responses the
+    // client can still read are written, the rest die with the socket.
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+/// Acquire one window slot (blocking at `cap` — the per-connection
+/// backpressure) and record it in the service-wide gauges.
+fn acquire_slot(win: &ConnWindow, cap: usize, stats: &SvcStats) {
+    let depth = win.acquire(cap);
+    stats.inflight.fetch_add(1, Ordering::Relaxed);
+    stats
+        .peak_inflight
+        .fetch_max(depth as u64, Ordering::Relaxed);
+}
+
+/// Send one response into the writer channel under an already-acquired
+/// slot. The send cannot block (see [`ConnWindow`]); a send error means
+/// the writer is already gone, so the slot is released directly to keep
+/// accounting exact.
+fn send_response(line: String, tx: &SyncSender<String>, win: &ConnWindow, stats: &SvcStats) {
+    if tx.send(line).is_err() {
+        win.release();
+        stats.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_loop(
+    stream: TcpStream,
+    registry: &Arc<Registry>,
+    sched: &Scheduler,
+    stats: &Arc<SvcStats>,
+    max_inflight: usize,
+    win: &Arc<ConnWindow>,
+    tx: &SyncSender<String>,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut mode = Mode::V1;
+    let mut buf: Vec<u8> = Vec::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        buf.clear();
+        // Bounded *byte* read: an adversarial client streaming an
+        // unterminated line must not grow this buffer without limit, and
+        // the over-long check must run before any UTF-8 validation — the
+        // cap can land mid-codepoint, which a `read_line` would reject
+        // first, closing the connection without the promised error.
+        // One byte past MAX_LINE without a newline is the proof of an
+        // over-long line.
+        let n = (&mut reader)
+            .take(proto::MAX_LINE as u64 + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
             return Ok(()); // client closed
         }
+        // v1 connections keep the classic one-in-flight, in-order
+        // contract; v2 connections open the window to the configured cap.
+        // (The V2-hello branch below upgrades `mode` and then continues,
+        // so one computation per line is always current.)
+        let cap = match mode {
+            Mode::V1 => 1,
+            Mode::V2 => max_inflight,
+        };
+        // On v2, a response to an unframeable line goes under the
+        // reserved T? marker (the tag cannot be trusted); bare on v1.
+        let frame_unframeable = |e: String| match mode {
+            Mode::V1 => e,
+            Mode::V2 => proto::tagged_unknown(&e),
+        };
+        if n > proto::MAX_LINE && buf.last() != Some(&b'\n') {
+            // Acquire under the *current* cap — with a pipelined window
+            // in flight this must not wait for a full drain.
+            acquire_slot(win, cap, stats);
+            send_response(
+                frame_unframeable(proto::err("line too long")),
+                tx,
+                win,
+                stats,
+            );
+            return Ok(()); // close: the rest of the line is unframeable
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            // The line boundary itself is byte-based, so later lines
+            // still frame fine: answer and keep the connection.
+            acquire_slot(win, cap, stats);
+            send_response(
+                frame_unframeable(proto::err("invalid utf-8")),
+                tx,
+                win,
+                stats,
+            );
+            continue;
+        };
         let trimmed = line.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             continue;
@@ -206,37 +485,97 @@ fn handle_connection(
         if trimmed == "PANIC" {
             panic!("injected connection-handler panic (test hook)");
         }
-        let response = match Request::parse(trimmed) {
-            Err(e) => proto::err(&e),
-            Ok(Request::Ping) => proto::ok("PONG"),
+        let (tag, parsed) = match mode {
+            Mode::V1 if trimmed == proto::HELLO_V2 => {
+                mode = Mode::V2;
+                acquire_slot(win, cap, stats);
+                send_response(proto::hello_ok(max_inflight), tx, win, stats);
+                continue;
+            }
+            Mode::V1 => (None, Request::parse(trimmed)),
+            Mode::V2 => match proto::split_tagged(trimmed) {
+                // The tag itself is unparseable (this covers v1-style
+                // untagged lines after the upgrade): answer under the
+                // reserved T? marker, keep the connection.
+                Err(e) => {
+                    acquire_slot(win, cap, stats);
+                    send_response(proto::tagged_unknown(&proto::err(&e)), tx, win, stats);
+                    continue;
+                }
+                Ok((tag, rest)) => (Some(tag), Request::parse(rest)),
+            },
+        };
+        let frame = move |response: String| match tag {
+            Some(t) => proto::tagged(t, &response),
+            None => response,
+        };
+        match parsed {
+            // Parse failures still carry the request's tag, so a
+            // pipelining client can correlate the error.
+            Err(e) => {
+                acquire_slot(win, cap, stats);
+                send_response(frame(proto::err(&e)), tx, win, stats);
+            }
+            // PING/STATS answer inline — they never queue behind compute
+            // jobs (they still take a window slot, so a full window
+            // backpressures them like everything else).
+            Ok(Request::Ping) => {
+                acquire_slot(win, cap, stats);
+                send_response(frame(proto::ok("PONG")), tx, win, stats);
+            }
+            Ok(Request::Stats) => {
+                acquire_slot(win, cap, stats);
+                let body = stats_body(registry, sched, stats, max_inflight);
+                send_response(frame(proto::ok(&body)), tx, win, stats);
+            }
             Ok(Request::Quit) => {
-                writeln!(writer, "{}", proto::ok("BYE"))?;
-                writer.flush()?;
+                // Drain: every response already in flight is written
+                // before BYE, which is the last line on the wire.
+                win.wait_empty();
+                acquire_slot(win, cap, stats);
+                send_response(frame(proto::ok("BYE")), tx, win, stats);
                 return Ok(());
             }
-            Ok(Request::Stats) => proto::ok(&stats_body(registry, sched)),
             Ok(req) => {
-                // Compute request: batch it onto the scheduler and block
-                // this connection until its response line is ready.
+                // Compute request: acquire a window slot, then submit in
+                // completion mode. The reader moves straight on to the
+                // next line — this is the pipelining. The completion runs
+                // on a scheduler worker-leader and must not block; the
+                // slot it holds guarantees its send cannot.
+                acquire_slot(win, cap, stats);
                 let registry = Arc::clone(registry);
-                sched
-                    .submit(Box::new(move || crate::ops::execute(&registry, &req)))
-                    .wait()
+                let tx = tx.clone();
+                let win = Arc::clone(win);
+                let stats = Arc::clone(stats);
+                sched.submit_with(
+                    Box::new(move || crate::ops::execute(&registry, &req)),
+                    Box::new(move |response| {
+                        send_response(frame(response), &tx, &win, &stats);
+                    }),
+                );
             }
-        };
-        writeln!(writer, "{response}")?;
-        writer.flush()?;
+        }
     }
 }
 
-/// The `STATS` response body: registry, scheduler and pool counters.
-fn stats_body(registry: &Registry, sched: &Scheduler) -> String {
+/// The `STATS` response body: registry, scheduler, wire-window and pool
+/// counters.
+fn stats_body(
+    registry: &Registry,
+    sched: &Scheduler,
+    svc: &SvcStats,
+    max_inflight: usize,
+) -> String {
     let r = registry.stats();
     let s = sched.stats();
+    // The STATS request reporting this line is itself holding a window
+    // slot; subtract it so an otherwise-idle server reports inflight=0.
+    let inflight = svc.inflight.load(Ordering::Relaxed).saturating_sub(1);
     format!(
         "STATS graphs={} artifacts={} hits={} misses={} bytes={} mem_budget={} evictions={} \
          graph_builds={} jobs={} queue_wait_us={} run_us={} \
-         panics={} workers={} team={} pool_spawned={} pool_contended={}",
+         panics={} inflight={} max_inflight={} peak_inflight={} \
+         workers={} team={} pool_spawned={} pool_contended={}",
         r.graphs,
         r.artifacts,
         r.hits,
@@ -249,6 +588,9 @@ fn stats_body(registry: &Registry, sched: &Scheduler) -> String {
         s.queue_wait_us.load(Ordering::Relaxed),
         s.run_us.load(Ordering::Relaxed),
         s.panics.load(Ordering::Relaxed),
+        inflight,
+        max_inflight,
+        svc.peak_inflight.load(Ordering::Relaxed),
         sched.workers(),
         sched.team(),
         pool::spawned_workers(),
@@ -393,6 +735,262 @@ mod tests {
         let mut c = Client::connect(h.addr()).unwrap();
         let stats = c.request("STATS").unwrap();
         assert!(stats.contains("mem_budget=123456"), "{stats}");
+        h.shutdown();
+    }
+
+    /// Raw v2 socket for framing tests: hello already exchanged.
+    struct RawV2 {
+        w: TcpStream,
+        r: BufReader<TcpStream>,
+    }
+
+    impl RawV2 {
+        fn connect(addr: SocketAddr) -> RawV2 {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            let mut raw = RawV2 {
+                w: s.try_clone().unwrap(),
+                r: BufReader::new(s),
+            };
+            raw.send(proto::HELLO_V2);
+            let hello = raw.recv();
+            assert!(
+                proto::parse_hello_ok(&hello).is_some(),
+                "bad hello response: {hello}"
+            );
+            raw
+        }
+
+        fn send(&mut self, line: &str) {
+            writeln!(self.w, "{line}").unwrap();
+            self.w.flush().unwrap();
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            assert!(self.r.read_line(&mut line).unwrap() > 0, "unexpected EOF");
+            line.trim_end_matches(['\r', '\n']).to_string()
+        }
+    }
+
+    #[test]
+    fn v2_hello_upgrades_and_responses_echo_tags() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut c = RawV2::connect(h.addr());
+        c.send("T1 PING");
+        assert_eq!(c.recv(), "T1 OK PONG");
+        c.send("T2 STATS");
+        assert!(c.recv().starts_with("T2 OK STATS graphs="));
+        c.send(&format!("T{} PING", u64::MAX));
+        assert_eq!(c.recv(), format!("T{} OK PONG", u64::MAX));
+        c.send("T3 QUIT");
+        assert_eq!(c.recv(), "T3 OK BYE");
+        h.shutdown();
+    }
+
+    #[test]
+    fn v2_duplicate_tags_are_echoed_verbatim() {
+        // Tag uniqueness is the client's responsibility (memcached-opaque
+        // semantics): the server answers each request under the tag it
+        // came with, duplicates included.
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut c = RawV2::connect(h.addr());
+        c.send("T7 PING");
+        c.send("T7 PING");
+        assert_eq!(c.recv(), "T7 OK PONG");
+        assert_eq!(c.recv(), "T7 OK PONG");
+        h.shutdown();
+    }
+
+    #[test]
+    fn v2_parse_failures_still_carry_the_tag() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut c = RawV2::connect(h.addr());
+        for (req, tag) in [
+            ("T9 MIS2", "T9"),                 // missing graph
+            ("T10 COARSEN ecology2 0", "T10"), // bad levels
+            ("T11 FROB x", "T11"),             // unknown command
+            ("T12", "T12"),                    // empty request under a tag
+        ] {
+            c.send(req);
+            let got = c.recv();
+            assert!(got.starts_with(&format!("{tag} ERR ")), "{req:?} -> {got}");
+        }
+        // The connection survives all of it.
+        c.send("T13 PING");
+        assert_eq!(c.recv(), "T13 OK PONG");
+        h.shutdown();
+    }
+
+    #[test]
+    fn v1_lines_on_a_v2_connection_get_tagged_unknown_error() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut c = RawV2::connect(h.addr());
+        for bad in ["PING", "MIS2 ecology2", "Tx PING", "V2"] {
+            c.send(bad);
+            let got = c.recv();
+            assert!(
+                got.starts_with("T? ERR "),
+                "untagged/unparseable-tag line {bad:?} -> {got}"
+            );
+        }
+        c.send("T1 PING");
+        assert_eq!(c.recv(), "T1 OK PONG");
+        h.shutdown();
+    }
+
+    #[test]
+    fn overlong_line_gets_err_and_connection_closes() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let s = TcpStream::connect(h.addr()).unwrap();
+        let mut w = s.try_clone().unwrap();
+        // Exactly MAX_LINE + 1 bytes, no newline: one past the cap, and
+        // the server consumes every byte we send (no RST racing the
+        // response out of the client's receive buffer).
+        let blob = vec![b'a'; proto::MAX_LINE + 1];
+        w.write_all(&blob).unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(s);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR line too long");
+        line.clear();
+        assert_eq!(r.read_line(&mut line).unwrap(), 0, "server must close");
+        h.shutdown();
+    }
+
+    #[test]
+    fn overlong_line_on_v2_gets_a_tagged_unknown_error() {
+        // A truncated line's tag cannot be trusted, so the v2 framing
+        // contract answers under the reserved T? marker before closing.
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut c = RawV2::connect(h.addr());
+        let blob = "a".repeat(proto::MAX_LINE + 1);
+        c.w.write_all(blob.as_bytes()).unwrap();
+        c.w.flush().unwrap();
+        assert_eq!(c.recv(), "T? ERR line too long");
+        let mut rest = String::new();
+        assert_eq!(c.r.read_line(&mut rest).unwrap(), 0, "server must close");
+        h.shutdown();
+    }
+
+    #[test]
+    fn overlong_line_cut_mid_codepoint_still_gets_the_error() {
+        // The byte cap can land inside a multi-byte UTF-8 character; the
+        // over-long check must run on raw bytes, before any UTF-8
+        // validation, or the promised error never reaches the client.
+        let h = serve(ServerConfig::default()).unwrap();
+        let s = TcpStream::connect(h.addr()).unwrap();
+        let mut w = s.try_clone().unwrap();
+        let mut blob = vec![b'a'; proto::MAX_LINE];
+        blob.extend_from_slice("é".as_bytes()); // straddles MAX_LINE + 1
+        w.write_all(&blob).unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(s);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR line too long");
+        h.shutdown();
+    }
+
+    #[test]
+    fn invalid_utf8_line_gets_err_and_connection_survives() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let s = TcpStream::connect(h.addr()).unwrap();
+        let mut w = s.try_clone().unwrap();
+        w.write_all(b"MIS2 \xff\xfe\n").unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(s);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR invalid utf-8");
+        // Line boundaries are byte-based, so the connection keeps framing.
+        writeln!(w, "PING").unwrap();
+        w.flush().unwrap();
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "OK PONG");
+        h.shutdown();
+    }
+
+    #[test]
+    fn a_line_of_exactly_max_line_bytes_is_still_served() {
+        let h = serve(ServerConfig::default()).unwrap();
+        let s = TcpStream::connect(h.addr()).unwrap();
+        let mut w = s.try_clone().unwrap();
+        // "PING" padded with trailing spaces to exactly MAX_LINE content
+        // bytes (split_whitespace ignores the padding): at the cap, not
+        // over it.
+        let mut line = "PING".to_string();
+        line.push_str(&" ".repeat(proto::MAX_LINE - line.len()));
+        writeln!(w, "{line}").unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(s);
+        let mut resp = String::new();
+        r.read_line(&mut resp).unwrap();
+        assert_eq!(resp.trim_end(), "OK PONG");
+        h.shutdown();
+    }
+
+    #[test]
+    fn ping_and_stats_answer_inline_while_compute_is_in_flight() {
+        // One scheduler worker, so the cold compute occupies the only
+        // leader; PING/STATS must still answer immediately because the
+        // reader never queues them.
+        let h = serve(ServerConfig {
+            threads: 1,
+            workers: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = RawV2::connect(h.addr());
+        // Cold compute: graph build + solve, orders of magnitude slower
+        // than the reader's inline path.
+        c.send("T1 SOLVE StocF-1465 cg");
+        c.send("T2 PING");
+        c.send("T3 STATS");
+        assert_eq!(c.recv(), "T2 OK PONG", "PING must overtake the compute");
+        assert!(c.recv().starts_with("T3 OK STATS "));
+        assert!(c.recv().starts_with("T1 OK SOLVE StocF-1465 cg "));
+        h.shutdown();
+    }
+
+    #[test]
+    fn v2_responses_arrive_in_completion_order() {
+        // Two scheduler workers, a slow compute tagged first and a fast
+        // one tagged second: the fast response must arrive first, each
+        // under its own tag.
+        let h = serve(ServerConfig {
+            threads: 2,
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = RawV2::connect(h.addr());
+        // Warm the fast graph so T2 is a pure cache hit.
+        c.send("T0 MIS2 ecology2");
+        assert!(c.recv().starts_with("T0 OK MIS2 "));
+        c.send("T1 SOLVE StocF-1465 gmres");
+        c.send("T2 MIS2 ecology2");
+        assert!(c.recv().starts_with("T2 OK MIS2 ecology2 "));
+        assert!(c.recv().starts_with("T1 OK SOLVE StocF-1465 gmres "));
+        h.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_window_counters() {
+        let h = serve(ServerConfig {
+            max_inflight: 16,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        let stats = c.request("STATS").unwrap();
+        assert!(
+            stats.contains("inflight=0 max_inflight=16"),
+            "idle server must report an empty window: {stats}"
+        );
+        assert!(stats.contains("peak_inflight=1"), "{stats}");
         h.shutdown();
     }
 
