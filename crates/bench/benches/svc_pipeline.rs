@@ -1,6 +1,6 @@
-//! Wire-protocol throughput: the pipelined v2 client (tagged frames,
-//! windowed, out-of-order completion) vs the blocking v1 client, against
-//! the *same* server process.
+//! Wire-protocol throughput ladder: blocking v1 lines, pipelined v2
+//! tagged text frames, and binary v3 frames with interned response bytes,
+//! all against the *same* server process.
 //!
 //! The workload is deliberately the smallest the service can answer — a
 //! `MIS2` request whose artifact is already cached — so the measurement
@@ -9,19 +9,27 @@
 //! write→schedule→compute→read round trip per request; an N-deep window
 //! amortizes that across N in-flight requests (cf. Redis pipelining), so
 //! requests/sec should rise steeply with window depth until the server's
-//! reader or the single scheduler hand-off saturates.
+//! reader saturates. v3 then removes the remaining per-request work on
+//! the server: a cache hit is answered inline from the reader thread with
+//! interned bytes (no scheduler hop, no serialization, no text parse of
+//! the response tag), and the writer coalesces bursts into vectored
+//! writes.
 //!
 //! Acceptance shape (asserted by eye in CI logs, measured in the e2e
-//! suite): the 64-deep window sustains at least 3x the requests/sec of
-//! the blocking v1 client. The run prints an explicit ratio line after the
-//! criterion output to make that check one `grep` away.
+//! suite): the 64-deep v2 window sustains at least 3x the requests/sec of
+//! blocking v1, and the 64-deep v3 window at least 3x v2's. The run
+//! prints explicit ratio lines after the criterion output to make those
+//! checks one `grep` away, and writes the full protocol × window matrix
+//! as `BENCH_svc.json` (override the path with `BENCH_SVC_JSON=`) for the
+//! CI artifact upload.
 
 use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
-use mis2_svc::client::{Client, PipelinedClient};
+use mis2_svc::client::{Client, PipelinedClient, V3Client};
 use mis2_svc::{server, ServerConfig};
+use std::io::Write as _;
 use std::time::Instant;
 
-/// Requests per measured batch — one v2 window's worth at the deepest
+/// Requests per measured batch — one window's worth at the deepest
 /// setting, and the same count issued one-at-a-time over v1.
 const BATCH: usize = 64;
 
@@ -45,6 +53,38 @@ fn time_batches(rounds: usize, mut run: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() / rounds as f64
 }
 
+/// One measured cell of the protocol × window matrix.
+struct Cell {
+    proto: &'static str,
+    window: usize,
+    rps: f64,
+}
+
+/// Hand-rolled JSON (the workspace is std-only): an array of
+/// `{proto, window, req_per_s}` objects plus the batch size and the two
+/// acceptance ratios.
+fn write_bench_json(cells: &[Cell], v2_over_v1: f64, v3_over_v2: f64) -> std::io::Result<String> {
+    let path = std::env::var("BENCH_SVC_JSON").unwrap_or_else(|_| "BENCH_svc.json".to_string());
+    let mut out = String::from("{\n  \"bench\": \"svc_pipeline\",\n");
+    out.push_str(&format!("  \"batch\": {BATCH},\n"));
+    out.push_str(&format!(
+        "  \"ratio_v2_w64_over_v1\": {v2_over_v1:.3},\n  \"ratio_v3_w64_over_v2_w64\": {v3_over_v2:.3},\n"
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"proto\": \"{}\", \"window\": {}, \"req_per_s\": {:.1}}}{}\n",
+            c.proto,
+            c.window,
+            c.rps,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::File::create(&path)?.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
 fn bench_svc_pipeline(c: &mut Criterion) {
     let handle = server::serve(ServerConfig {
         threads: 2,
@@ -53,8 +93,8 @@ fn bench_svc_pipeline(c: &mut Criterion) {
     .unwrap();
     let addr = handle.addr();
 
-    // Warm-up: intern the graph and cache the artifact so the measured
-    // requests never recompute anything.
+    // Warm-up: intern the graph, cache the artifact, and render the
+    // response bytes once, so every measured request is a cache hit.
     let mut blocking = Client::connect(addr).unwrap();
     assert!(blocking.request(REQUEST).unwrap().starts_with("OK "));
 
@@ -79,24 +119,66 @@ fn bench_svc_pipeline(c: &mut Criterion) {
             b.iter(|| pipelined.request_many(&lines).unwrap())
         });
     }
+
+    for window in [1usize, 8, 64] {
+        let mut v3 = V3Client::connect(addr, window).unwrap();
+        assert_eq!(v3.window(), window);
+        group.bench_function(format!("64_requests/v3_w{window}").as_str(), |b| {
+            b.iter(|| v3.request_many(&lines).unwrap())
+        });
+    }
     group.finish();
 
-    // Explicit acceptance ratio: 64-deep pipelined vs blocking v1
-    // requests/sec on the same connection kinds as above, fresh
-    // connections, fixed round count.
+    // Explicit acceptance ratios: requests/sec per protocol at the window
+    // ladder, fresh connections, fixed round count. The same numbers feed
+    // the BENCH_svc.json artifact.
     let rounds = 20;
+    let mut cells: Vec<Cell> = Vec::new();
+
     let mut v1 = Client::connect(addr).unwrap();
     let v1_batch = time_batches(rounds, || {
         for line in &lines {
             v1.request(line).unwrap();
         }
     });
-    let mut v2 = PipelinedClient::connect(addr, 64).unwrap();
-    let v2_batch = time_batches(rounds, || {
-        v2.request_many(&lines).unwrap();
+    cells.push(Cell {
+        proto: "v1",
+        window: 1,
+        rps: BATCH as f64 / v1_batch,
     });
-    let v1_rps = BATCH as f64 / v1_batch;
-    let v2_rps = BATCH as f64 / v2_batch;
+
+    for window in [1usize, 8, 64] {
+        let mut v2 = PipelinedClient::connect(addr, window).unwrap();
+        let batch = time_batches(rounds, || {
+            v2.request_many(&lines).unwrap();
+        });
+        cells.push(Cell {
+            proto: "v2",
+            window,
+            rps: BATCH as f64 / batch,
+        });
+    }
+
+    for window in [1usize, 8, 64] {
+        let mut v3 = V3Client::connect(addr, window).unwrap();
+        let batch = time_batches(rounds, || {
+            v3.request_many(&lines).unwrap();
+        });
+        cells.push(Cell {
+            proto: "v3",
+            window,
+            rps: BATCH as f64 / batch,
+        });
+    }
+
+    let rps = |proto: &str, window: usize| {
+        cells
+            .iter()
+            .find(|c| c.proto == proto && c.window == window)
+            .map(|c| c.rps)
+            .unwrap()
+    };
+    let (v1_rps, v2_rps, v3_rps) = (rps("v1", 1), rps("v2", 64), rps("v3", 64));
     println!(
         "svc_pipeline/acceptance: blocking_v1 {:.0} req/s, pipelined_w64 {:.0} req/s, \
          ratio {:.2}x (target >= 3x)",
@@ -104,6 +186,18 @@ fn bench_svc_pipeline(c: &mut Criterion) {
         v2_rps,
         v2_rps / v1_rps
     );
+    println!(
+        "svc_pipeline/acceptance: pipelined_w64 {:.0} req/s, v3_w64 {:.0} req/s, \
+         ratio {:.2}x (target >= 3x)",
+        v2_rps,
+        v3_rps,
+        v3_rps / v2_rps
+    );
+
+    match write_bench_json(&cells, v2_rps / v1_rps, v3_rps / v2_rps) {
+        Ok(path) => println!("svc_pipeline/json: wrote {path}"),
+        Err(e) => eprintln!("svc_pipeline/json: write failed: {e}"),
+    }
 
     handle.shutdown();
 }

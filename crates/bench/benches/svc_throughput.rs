@@ -64,7 +64,7 @@ fn batched_scheduler(sched: &Scheduler, specs: &[(Arc<CsrGraph>, OpKey)]) {
             let (g, op) = (Arc::clone(g), op.clone());
             sched.submit(Box::new(move || {
                 let _ = ops::compute(&g, &op);
-                String::new()
+                ops::Response::ok_text(String::new())
             }))
         })
         .collect();

@@ -4,15 +4,22 @@
 //! mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]
 //!                [--queue-cap N] [--scale tiny|small|paper]
 //!                [--mem-budget BYTES[k|m|g]] [--max-inflight N]
+//!                [--max-conns N]
 //! mis2svc client --addr HOST:PORT REQUEST...
-//! mis2svc workloads [--addr HOST:PORT --pipeline N]
+//! mis2svc workloads [--addr HOST:PORT --pipeline N [--proto v2|v3]]
 //! ```
 //!
-//! `--mem-budget` bounds the registry's cached bytes (graphs + artifacts;
-//! 0 or absent = unbounded): over budget, artifacts evict before graphs in
-//! LRU order, and responses stay byte-identical either way.
-//! `--max-inflight` caps how many pipelined (v2) requests one connection
-//! may keep outstanding (0 or absent = 64).
+//! `--mem-budget` bounds the registry's cached bytes (graphs, artifacts,
+//! and interned response bytes; 0 or absent = unbounded): over budget,
+//! response bytes evict before artifacts before graphs in LRU order, and
+//! responses stay byte-identical either way. `--max-inflight` caps how
+//! many pipelined (v2/v3) requests one connection may keep outstanding
+//! (absent = 64). Zero is a usage error for every flag whose zero value
+//! the server cannot honor (`--threads`, `--workers`, `--queue-cap`,
+//! `--max-conns`, `--max-inflight`): the explicit `0` would silently
+//! become a default — worse, a `--max-inflight 0` hello would advertise
+//! a window no client accepts — so the daemon refuses it up front,
+//! mirroring the client's `max_inflight=0` hello rejection.
 //!
 //! `serve` binds the loopback listener, prints `mis2svc listening on ADDR`
 //! and serves until killed. `client` sends one request line (the remaining
@@ -20,22 +27,24 @@
 //! response is `OK ...`. `workloads` lists the suite graph names — used by
 //! the CI smoke leg to sweep every workload through a running server.
 //! With `--addr` and `--pipeline N` it instead runs the whole sweep
-//! (MIS2 + COARSEN 2 per workload, plus two SOLVEs) through a v2
-//! [`PipelinedClient`] with an N-deep window, printing one response per
-//! line in request order with tags stripped — so its output is directly
-//! comparable to a sequential v1 sweep, which is exactly what the CI
-//! pipelined smoke leg diffs.
+//! (MIS2 + COARSEN 2 per workload, plus two SOLVEs) through a
+//! [`PipelinedClient`] with an N-deep window — or, with `--proto v3`, a
+//! binary-frame [`V3Client`] — printing one response per line in request
+//! order, tags stripped and frames rendered back to text, so the output
+//! of every protocol is directly comparable to a sequential v1 sweep.
+//! That is exactly what the CI pipelined and v3 smoke legs diff.
 
 use mis2_graph::{suite, Scale};
-use mis2_svc::{client::Client, client::PipelinedClient, server};
+use mis2_svc::{client::Client, client::PipelinedClient, client::V3Client, server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]\n\
          \x20                     [--queue-cap N] [--scale tiny|small|paper]\n\
          \x20                     [--mem-budget BYTES[k|m|g]] [--max-inflight N]\n\
+         \x20                     [--max-conns N]\n\
          \x20      mis2svc client --addr HOST:PORT REQUEST...\n\
-         \x20      mis2svc workloads [--addr HOST:PORT --pipeline N]"
+         \x20      mis2svc workloads [--addr HOST:PORT --pipeline N [--proto v2|v3]]"
     );
     std::process::exit(2);
 }
@@ -50,12 +59,27 @@ fn main() {
     }
 }
 
-fn parse_usize(s: &str) -> usize {
-    s.parse().unwrap_or_else(|_| usage())
+/// A positive count. An explicit `0` is a usage error: it would silently
+/// become the flag's default — or, for `--max-inflight`, a hello
+/// advertising a window no client accepts — so the daemon refuses it up
+/// front instead of serving with a value the operator didn't ask for.
+fn parse_nonzero(flag: &str, s: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(0) => {
+            eprintln!("error: {flag} must be at least 1 (got 0)");
+            usage();
+        }
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: {flag} expects a positive integer, got {s:?}");
+            usage();
+        }
+    }
 }
 
 /// Byte count with an optional binary suffix: `4m` = 4 MiB, `200k`, `1g`.
-fn parse_bytes(s: &str) -> usize {
+/// `0` is legal here (documented as "unbounded"); overflow is not.
+fn parse_bytes(flag: &str, s: &str) -> usize {
     let (digits, shift) = match s.as_bytes().last() {
         Some(b'k' | b'K') => (&s[..s.len() - 1], 10),
         Some(b'm' | b'M') => (&s[..s.len() - 1], 20),
@@ -66,7 +90,10 @@ fn parse_bytes(s: &str) -> usize {
         .parse::<usize>()
         .ok()
         .and_then(|v| v.checked_shl(shift).filter(|b| *b >> shift == v))
-        .unwrap_or_else(|| usage())
+        .unwrap_or_else(|| {
+            eprintln!("error: {flag} expects BYTES[k|m|g] within the machine's usize, got {s:?}");
+            usage()
+        })
 }
 
 fn cmd_serve(argv: &[String]) {
@@ -79,11 +106,12 @@ fn cmd_serve(argv: &[String]) {
         };
         match argv[i].as_str() {
             "--addr" => cfg.addr = take(&mut i).to_string(),
-            "--threads" => cfg.threads = parse_usize(take(&mut i)),
-            "--workers" => cfg.workers = parse_usize(take(&mut i)),
-            "--queue-cap" => cfg.queue_cap = parse_usize(take(&mut i)),
-            "--mem-budget" => cfg.mem_budget = parse_bytes(take(&mut i)),
-            "--max-inflight" => cfg.max_inflight = parse_usize(take(&mut i)),
+            "--threads" => cfg.threads = parse_nonzero("--threads", take(&mut i)),
+            "--workers" => cfg.workers = parse_nonzero("--workers", take(&mut i)),
+            "--queue-cap" => cfg.queue_cap = parse_nonzero("--queue-cap", take(&mut i)),
+            "--max-conns" => cfg.max_conns = parse_nonzero("--max-conns", take(&mut i)),
+            "--mem-budget" => cfg.mem_budget = parse_bytes("--mem-budget", take(&mut i)),
+            "--max-inflight" => cfg.max_inflight = parse_nonzero("--max-inflight", take(&mut i)),
             "--scale" => cfg.scale = Scale::parse(take(&mut i)).unwrap_or_else(|| usage()),
             _ => usage(),
         }
@@ -101,12 +129,28 @@ fn cmd_serve(argv: &[String]) {
     }
 }
 
+/// The sweep the CI smoke legs run: MIS2 + COARSEN 2 per suite workload,
+/// plus one solve per method.
+fn sweep_lines() -> Vec<String> {
+    let mut lines: Vec<String> = Vec::new();
+    for w in suite::workloads() {
+        lines.push(format!("MIS2 {}", w.name));
+        lines.push(format!("COARSEN {} 2", w.name));
+    }
+    lines.push("SOLVE ecology2 cg".into());
+    lines.push("SOLVE tmt_sym gmres".into());
+    lines
+}
+
 /// `workloads`: list the suite graph names; with `--addr` + `--pipeline N`
-/// run the full sweep through an N-deep pipelined v2 window instead,
-/// printing the responses in request order (tags stripped).
+/// run the full sweep through an N-deep window instead — a tagged-line v2
+/// connection by default, a binary-frame v3 connection with `--proto v3` —
+/// printing the responses in request order (tags stripped, frames rendered
+/// back to text), byte-comparable to a sequential v1 sweep.
 fn cmd_workloads(argv: &[String]) {
     let mut addr: Option<String> = None;
     let mut pipeline: Option<usize> = None;
+    let mut proto = "v2".to_string();
     let mut i = 0;
     while i < argv.len() {
         let take = |i: &mut usize| -> &str {
@@ -115,7 +159,8 @@ fn cmd_workloads(argv: &[String]) {
         };
         match argv[i].as_str() {
             "--addr" => addr = Some(take(&mut i).to_string()),
-            "--pipeline" => pipeline = Some(parse_usize(take(&mut i))),
+            "--pipeline" => pipeline = Some(parse_nonzero("--pipeline", take(&mut i))),
+            "--proto" => proto = take(&mut i).to_string(),
             _ => usage(),
         }
         i += 1;
@@ -127,32 +172,37 @@ fn cmd_workloads(argv: &[String]) {
             }
             return;
         }
-        (Some(addr), Some(window)) if window > 0 => (addr, window),
+        (Some(addr), Some(window)) => (addr, window),
         _ => usage(), // --addr and --pipeline only make sense together
     };
-    // The same sweep the CI smoke legs run sequentially over v1.
-    let mut lines: Vec<String> = Vec::new();
-    for w in suite::workloads() {
-        lines.push(format!("MIS2 {}", w.name));
-        lines.push(format!("COARSEN {} 2", w.name));
-    }
-    lines.push("SOLVE ecology2 cg".into());
-    lines.push("SOLVE tmt_sym gmres".into());
-    let mut client = match PipelinedClient::connect(&addr, window) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: cannot connect to {addr}: {e}");
-            std::process::exit(1);
+    let lines = sweep_lines();
+    let responses = match proto.as_str() {
+        "v2" => {
+            let mut client = PipelinedClient::connect(&addr, window).unwrap_or_else(|e| {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            });
+            let responses = client.request_many(&lines).unwrap_or_else(|e| {
+                eprintln!("error: pipelined sweep failed: {e}");
+                std::process::exit(1);
+            });
+            let _ = client.quit();
+            responses
         }
-    };
-    let responses = match client.request_many(&lines) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: pipelined sweep failed: {e}");
-            std::process::exit(1);
+        "v3" => {
+            let mut client = V3Client::connect(&addr, window).unwrap_or_else(|e| {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            });
+            let responses = client.request_many(&lines).unwrap_or_else(|e| {
+                eprintln!("error: v3 sweep failed: {e}");
+                std::process::exit(1);
+            });
+            let _ = client.quit();
+            responses
         }
+        _ => usage(),
     };
-    let _ = client.quit();
     let mut failed = false;
     for response in &responses {
         println!("{response}");

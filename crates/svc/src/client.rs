@@ -1,10 +1,13 @@
 //! Protocol clients: the blocking v1 [`Client`] (one request line out,
-//! one response line back) and the windowed v2 [`PipelinedClient`] that
-//! keeps many tagged requests in flight and reassembles responses by tag.
+//! one response line back), the windowed v2 [`PipelinedClient`] that
+//! keeps many tagged requests in flight and reassembles responses by
+//! tag, and the binary v3 [`V3Client`] — the same windowed shape over
+//! the length-prefixed frames of [`crate::codec`].
 //!
-//! Both are used by the e2e tests, the `mis2svc` bin, and the CI smoke
+//! All are used by the e2e tests, the `mis2svc` bin, and the CI smoke
 //! legs.
 
+use crate::codec;
 use crate::proto;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -232,6 +235,158 @@ impl PipelinedClient {
 
     /// Polite close: tagged `QUIT` (the server drains every in-flight
     /// response first, so `BYE` is the last line) and drop the connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.request("QUIT")?;
+        Ok(())
+    }
+}
+
+/// A v3 binary-frame client: the windowed, tag-reassembling shape of
+/// [`PipelinedClient`] over the length-prefixed frames of
+/// [`crate::codec`] — no response-line parsing, just fixed-offset header
+/// reads.
+///
+/// The connection upgrades at construction time (`V3` text hello; the
+/// server's `OK V3 max_inflight=N` answer is the last text line on the
+/// wire). Responses come back as frames whose status byte replaces the
+/// `OK `/`ERR ` prefix; [`V3Client::request_many`] renders each back to
+/// its v1-equivalent text line, which keeps every caller (tests, bin
+/// sweeps, benches) byte-comparable across all three protocols.
+pub struct V3Client {
+    // Buffered: a window refill becomes one write syscall at the flush,
+    // not one per frame.
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_tag: u64,
+    window: usize,
+    poisoned: bool,
+}
+
+impl V3Client {
+    /// Connect and upgrade to v3 framing, keeping up to `window` requests
+    /// in flight (clamped to `1..=server max_inflight`).
+    pub fn connect<A: ToSocketAddrs>(addr: A, window: usize) -> io::Result<V3Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{}", codec::HELLO_V3)?;
+        writer.flush()?;
+        let hello = read_response_line(&mut reader)?;
+        let server_max = codec::parse_hello_ok(&hello)
+            .filter(|max| *max > 0)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("server rejected the V3 hello: {hello}"),
+                )
+            })?;
+        Ok(V3Client {
+            writer,
+            reader,
+            next_tag: 0,
+            window: window.clamp(1, server_max),
+            poisoned: false,
+        })
+    }
+
+    /// The effective window after clamping to the server's cap.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Bound how long a read for the next frame may block (`None` =
+    /// forever, the default).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send every request as a frame, keeping up to `window` in flight,
+    /// and return the responses **in request order**, rendered to their
+    /// v1 text form (`OK <body>` / `ERR <body>`). Same tag discipline and
+    /// poisoning rules as [`PipelinedClient::request_many`].
+    pub fn request_many<S: AsRef<str>>(&mut self, lines: &[S]) -> io::Result<Vec<String>> {
+        if self.poisoned {
+            return Err(poisoned_error());
+        }
+        let attempt = self.request_many_inner(lines);
+        if attempt.is_err() {
+            self.poisoned = true;
+        }
+        attempt
+    }
+
+    fn request_many_inner<S: AsRef<str>>(&mut self, lines: &[S]) -> io::Result<Vec<String>> {
+        let mut results: Vec<Option<String>> = Vec::with_capacity(lines.len());
+        results.resize_with(lines.len(), || None);
+        // Tags are assigned consecutively from this client's counter, so a
+        // response's index is `tag - base` — pure arithmetic, no per-batch
+        // tag map. Out-of-range or already-answered tags are still
+        // protocol errors.
+        let base_tag = self.next_tag;
+        let mut payload: Vec<u8> = Vec::new();
+        let mut sent = 0;
+        let mut received = 0;
+        while received < lines.len() {
+            // Refill the window, batching the frames into one flush.
+            let mut wrote = false;
+            while sent < lines.len() && sent - received < self.window {
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                codec::write_frame(
+                    &mut self.writer,
+                    tag,
+                    codec::STATUS_OK,
+                    lines[sent].as_ref().as_bytes(),
+                )?;
+                sent += 1;
+                wrote = true;
+            }
+            if wrote {
+                self.writer.flush()?;
+            }
+            // Take the next frame, whichever request it answers. The
+            // payload buffer is reused across the whole batch.
+            let (tag, status) = codec::read_frame_into(&mut self.reader, &mut payload)?
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-batch",
+                    )
+                })?;
+            let index = tag
+                .checked_sub(base_tag)
+                .map(|i| i as usize)
+                .filter(|i| *i < sent && results[*i].is_none())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response frame for unknown or duplicate tag {tag}"),
+                    )
+                })?;
+            // Render back to the v1 text line (status byte -> prefix).
+            let prefix = if status == codec::STATUS_OK {
+                "OK "
+            } else {
+                "ERR "
+            };
+            let mut line = String::with_capacity(prefix.len() + payload.len());
+            line.push_str(prefix);
+            line.push_str(&String::from_utf8_lossy(&payload));
+            results[index] = Some(line);
+            received += 1;
+        }
+        Ok(results.into_iter().map(|r| r.unwrap()).collect())
+    }
+
+    /// Single-request convenience over [`V3Client::request_many`].
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        Ok(self.request_many(&[line])?.pop().unwrap())
+    }
+
+    /// Polite close: framed `QUIT` (the server drains every in-flight
+    /// response first, so `BYE` is the last frame) and drop the
+    /// connection.
     pub fn quit(mut self) -> io::Result<()> {
         let _ = self.request("QUIT")?;
         Ok(())

@@ -1,0 +1,354 @@
+//! The binary v3 frame codec: length-prefixed frames with a fixed
+//! little-endian header, no per-frame text parsing.
+//!
+//! ## Frame layout
+//!
+//! Every v3 frame — request and response alike — is a fixed 13-byte
+//! header followed by exactly `len` payload bytes:
+//!
+//! ```text
+//! offset  size  field    encoding
+//! ------  ----  -------  --------------------------------------------
+//!      0     8  tag      u64, little-endian (client-chosen, echoed)
+//!      8     4  len      u32, little-endian (payload byte count)
+//!     12     1  status   u8: 0 = OK, 1 = ERR (0 on requests)
+//!     13   len  payload  raw bytes
+//! ```
+//!
+//! A *request* payload is the v1 request text (`MIS2 ecology2`,
+//! `COARSEN g 3`, ... — see [`crate::proto`]); a *response* payload is
+//! the v1 response body, i.e. everything after the `OK ` / `ERR ` prefix,
+//! with the prefix folded into the `status` byte. That makes the mapping
+//! between a v3 frame and its v1 line mechanical ([`Frame::to_line`]),
+//! which is how the e2e tests and the CI v3 smoke leg prove every v3
+//! payload byte-identical to the v1 text.
+//!
+//! ## Negotiation
+//!
+//! A connection upgrades by sending the text hello line [`HELLO_V3`]
+//! (`V3`) as its first line; the server answers the *text* line
+//! `OK V3 max_inflight=<n>` ([`hello_ok`]) and both directions switch to
+//! binary frames from the next byte on. v1 and v2 connections are
+//! unchanged and mix freely with v3 on one server — the framing mode is
+//! per-connection.
+//!
+//! The codec itself is payload-agnostic: tags and arbitrary payload bytes
+//! round-trip unchanged ([`encode_frame`] / [`decode_frame`] are exact
+//! inverses, property-tested), while the *server* additionally requires
+//! request payloads to be UTF-8 text and caps payloads at
+//! [`MAX_PAYLOAD`] bytes — an oversized header is answered with an ERR
+//! frame under its own tag (binary tags always parse, so there is no v3
+//! analog of v2's reserved `T?` marker) and the connection closes, the
+//! same contract as v2's over-long lines.
+//!
+//! ## Why binary
+//!
+//! v2 parses decimal tags and re-renders every response into a fresh
+//! `String`. The v3 header is stamped and read with fixed-offset
+//! little-endian loads, and a cached response is written straight from
+//! the registry's interned bytes (see [`crate::registry`]) — a hit is a
+//! header stamp plus a vectored write, zero serialization and zero
+//! payload allocation.
+
+use crate::proto;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The untagged text hello line that upgrades a connection to v3 binary
+/// framing.
+pub const HELLO_V3: &str = "V3";
+
+/// Fixed header size in bytes: `u64` tag + `u32` len + `u8` status.
+pub const HEADER_LEN: usize = 13;
+
+/// `status` byte of a successful response (and of every request).
+pub const STATUS_OK: u8 = 0;
+
+/// `status` byte of an error response.
+pub const STATUS_ERR: u8 = 1;
+
+/// Maximum payload bytes the server accepts or emits in one frame — the
+/// same bound as v1/v2's [`proto::MAX_LINE`], for the same reason: a
+/// hostile header must not make the server allocate without limit.
+pub const MAX_PAYLOAD: usize = proto::MAX_LINE;
+
+/// One decoded v3 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub tag: u64,
+    pub status: u8,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Render the frame back to its v1 text line (`OK <payload>` /
+    /// `ERR <payload>`): the mechanical inverse mapping the e2e diffs
+    /// rely on. Response payloads are always UTF-8 (the server renders
+    /// them from strings); invalid bytes are replaced rather than
+    /// panicking because this also runs on untrusted test input.
+    pub fn to_line(&self) -> String {
+        let body = String::from_utf8_lossy(&self.payload);
+        if self.status == STATUS_OK {
+            format!("OK {body}")
+        } else {
+            format!("ERR {body}")
+        }
+    }
+}
+
+/// Why a byte buffer failed to decode as a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header + advertised payload require.
+    Truncated { need: usize, have: usize },
+    /// The header advertises a payload larger than [`MAX_PAYLOAD`].
+    Oversized { len: usize },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "oversized frame: payload {len} > max {MAX_PAYLOAD}")
+            }
+        }
+    }
+}
+
+/// Stamp a header. Fixed-offset little-endian stores — no formatting, no
+/// allocation.
+pub fn encode_header(tag: u64, len: u32, status: u8) -> [u8; HEADER_LEN] {
+    let mut hdr = [0u8; HEADER_LEN];
+    hdr[0..8].copy_from_slice(&tag.to_le_bytes());
+    hdr[8..12].copy_from_slice(&len.to_le_bytes());
+    hdr[12] = status;
+    hdr
+}
+
+/// Read a header back: `(tag, len, status)`.
+pub fn decode_header(hdr: &[u8; HEADER_LEN]) -> (u64, u32, u8) {
+    let tag = u64::from_le_bytes(hdr[0..8].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes"));
+    (tag, len, hdr[12])
+}
+
+/// Encode one whole frame into a fresh buffer (test/client convenience —
+/// the server's writer stamps headers into its batch buffer instead).
+pub fn encode_frame(tag: u64, status: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&encode_header(tag, payload.len() as u32, status));
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Decode one frame from the front of `buf`, returning it and the bytes
+/// consumed. Exact inverse of [`encode_frame`] for any tag, status, and
+/// payload bytes (property-tested); rejects truncated buffers and
+/// headers advertising more than [`MAX_PAYLOAD`].
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            need: HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    let hdr: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("length checked");
+    let (tag, len, status) = decode_header(hdr);
+    let len = len as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized { len });
+    }
+    let total = HEADER_LEN + len;
+    if buf.len() < total {
+        return Err(FrameError::Truncated {
+            need: total,
+            have: buf.len(),
+        });
+    }
+    Ok((
+        Frame {
+            tag,
+            status,
+            payload: buf[HEADER_LEN..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+/// Read exactly one header from a stream. `Ok(None)` is a clean EOF (the
+/// peer closed between frames); EOF *inside* a header is an
+/// `UnexpectedEof` error (the peer died mid-frame).
+pub fn read_header(r: &mut impl BufRead) -> io::Result<Option<[u8; HEADER_LEN]>> {
+    let mut hdr = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        let n = r.read(&mut hdr[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("connection closed mid-header ({got} of {HEADER_LEN} bytes)"),
+            ));
+        }
+        got += n;
+    }
+    Ok(Some(hdr))
+}
+
+/// Read one whole frame (header + payload) from a stream; `Ok(None)` is a
+/// clean EOF between frames. An oversized header is `InvalidData` — used
+/// by the client, which trusts the server to respect [`MAX_PAYLOAD`].
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Frame>> {
+    let mut payload = Vec::new();
+    Ok(
+        read_frame_into(r, &mut payload)?.map(|(tag, status)| Frame {
+            tag,
+            status,
+            payload,
+        }),
+    )
+}
+
+/// [`read_frame`] without the per-frame allocation: the payload lands in
+/// the caller's buffer (cleared and refilled), and only `(tag, status)`
+/// is returned. This is the hot-loop read for clients pulling a window's
+/// worth of responses.
+pub fn read_frame_into(
+    r: &mut impl BufRead,
+    payload: &mut Vec<u8>,
+) -> io::Result<Option<(u64, u8)>> {
+    let Some(hdr) = read_header(r)? else {
+        return Ok(None);
+    };
+    let (tag, len, status) = decode_header(&hdr);
+    if len as usize > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::Oversized { len: len as usize }.to_string(),
+        ));
+    }
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)?;
+    Ok(Some((tag, status)))
+}
+
+/// Write one frame (client convenience; callers batch via `BufWriter`).
+pub fn write_frame(w: &mut impl Write, tag: u64, status: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_header(tag, payload.len() as u32, status))?;
+    w.write_all(payload)
+}
+
+/// The server's *text* answer to the [`HELLO_V3`] hello, advertising the
+/// per-connection window cap. Binary framing starts on the next byte.
+pub fn hello_ok(max_inflight: usize) -> String {
+    proto::hello_ok_for(HELLO_V3, max_inflight)
+}
+
+/// Parse the window cap out of a [`hello_ok`] line.
+pub fn parse_hello_ok(line: &str) -> Option<usize> {
+    proto::parse_hello_ok_for(HELLO_V3, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        for (tag, len, status) in [
+            (0u64, 0u32, STATUS_OK),
+            (42, 17, STATUS_ERR),
+            (u64::MAX, u32::MAX, 7),
+        ] {
+            let hdr = encode_header(tag, len, status);
+            assert_eq!(decode_header(&hdr), (tag, len, status));
+        }
+    }
+
+    #[test]
+    fn header_is_little_endian_at_fixed_offsets() {
+        let hdr = encode_header(0x0102_0304_0506_0708, 0x0A0B_0C0D, 0xEE);
+        assert_eq!(
+            &hdr[0..8],
+            &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+        );
+        assert_eq!(&hdr[8..12], &[0x0D, 0x0C, 0x0B, 0x0A]);
+        assert_eq!(hdr[12], 0xEE);
+    }
+
+    #[test]
+    fn frame_round_trips_through_encode_decode() {
+        let f = Frame {
+            tag: 99,
+            status: STATUS_OK,
+            payload: b"MIS2 ecology2".to_vec(),
+        };
+        let buf = encode_frame(f.tag, f.status, &f.payload);
+        let (got, used) = decode_frame(&buf).unwrap();
+        assert_eq!(got, f);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn truncated_and_oversized_buffers_are_rejected() {
+        let buf = encode_frame(7, STATUS_OK, b"hello");
+        for cut in 0..buf.len() {
+            assert!(
+                matches!(decode_frame(&buf[..cut]), Err(FrameError::Truncated { .. })),
+                "cut at {cut} must be truncated"
+            );
+        }
+        let big = encode_header(1, (MAX_PAYLOAD + 1) as u32, STATUS_OK);
+        assert!(matches!(
+            decode_frame(&big),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn frames_render_back_to_v1_lines() {
+        let ok = Frame {
+            tag: 1,
+            status: STATUS_OK,
+            payload: b"PONG".to_vec(),
+        };
+        assert_eq!(ok.to_line(), "OK PONG");
+        let err = Frame {
+            tag: 2,
+            status: STATUS_ERR,
+            payload: b"nope".to_vec(),
+        };
+        assert_eq!(err.to_line(), "ERR nope");
+    }
+
+    #[test]
+    fn stream_reads_distinguish_clean_eof_from_mid_frame_death() {
+        let buf = encode_frame(3, STATUS_OK, b"xyz");
+        let mut full = io::Cursor::new(buf.clone());
+        let f = read_frame(&mut full).unwrap().unwrap();
+        assert_eq!(
+            (f.tag, f.status, f.payload.as_slice()),
+            (3, STATUS_OK, &b"xyz"[..])
+        );
+        assert!(read_frame(&mut full).unwrap().is_none(), "clean EOF");
+
+        let mut cut = io::Cursor::new(buf[..HEADER_LEN - 2].to_vec());
+        let e = read_frame(&mut cut).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn hello_round_trips_the_window_cap() {
+        let line = hello_ok(64);
+        assert_eq!(line, "OK V3 max_inflight=64");
+        assert_eq!(parse_hello_ok(&line), Some(64));
+        assert_eq!(parse_hello_ok("OK V2 max_inflight=64"), None);
+        assert_eq!(parse_hello_ok("ERR nope"), None);
+    }
+}

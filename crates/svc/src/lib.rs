@@ -30,9 +30,14 @@
 //!   reader keeps parsing while earlier jobs run (up to the
 //!   `max_inflight` window), and a per-connection writer thread emits
 //!   responses in *completion* order, tags letting the client reassemble.
-//!   [`client::Client`] is the blocking v1 client;
+//!   The `V3` hello upgrades instead to the **binary frame** protocol of
+//!   [`codec`] — fixed 13-byte little-endian headers, response bytes
+//!   interned in the registry and served zero-serialization on cache
+//!   hits, and the per-connection writer coalescing each batch into one
+//!   vectored write. [`client::Client`] is the blocking v1 client;
 //!   [`client::PipelinedClient`] drives a v2 window and
-//!   `request_many(..)` reassembles by tag.
+//!   [`client::V3Client`] a v3 window, both with `request_many(..)`
+//!   reassembling by tag. All three protocols mix freely on one server.
 //!
 //! The determinism contract of the underlying algorithms lifts to the
 //! service: a response's *payload* is **bitwise-identical** to a direct
@@ -53,13 +58,14 @@
 //! ```
 
 pub mod client;
+pub mod codec;
 pub mod ops;
 pub mod proto;
 pub mod registry;
 pub mod sched;
 pub mod server;
 
-pub use client::{Client, PipelinedClient};
+pub use client::{Client, PipelinedClient, V3Client};
 pub use ops::OpKey;
 pub use proto::{GraphRef, Method, Request};
 pub use registry::Registry;

@@ -8,13 +8,15 @@
 //! result — is bitwise-identical no matter which thread, sub-team size, or
 //! backend computed it. That is the service's determinism contract.
 
-use crate::proto::{self, Method, Request};
-use crate::registry::Registry;
+use crate::codec;
+use crate::proto::{GraphRef, Method, Request};
+use crate::registry::{Registry, RespBytes};
 use mis2_coarsen::hierarchy::{coarsen_recursive, Level};
 use mis2_core::Mis2Result;
 use mis2_graph::CsrGraph;
 use mis2_prim::hash::splitmix64;
 use mis2_solver::{gmres, pcg, Jacobi, SolveOpts, SolveResult};
+use std::sync::Arc;
 
 /// Cache key for a derived artifact: the operation plus every parameter
 /// that influences the result. Paired with a graph reference by the
@@ -184,22 +186,117 @@ pub fn body(graph_token: &str, op: &OpKey, artifact: &Artifact) -> String {
     }
 }
 
-/// Execute one *compute* request against a registry and return the full
-/// response line (`OK ...` / `ERR ...`). `STATS`/`PING`/`QUIT` are
-/// connection-level and handled by the server, not here.
-pub fn execute(reg: &Registry, req: &Request) -> String {
-    let (graph, op) = match req {
-        Request::Mis2 { graph } => (graph, OpKey::Mis2),
-        Request::Coarsen { graph, levels } => (graph, OpKey::Coarsen { levels: *levels }),
-        Request::Solve { graph, method } => (graph, OpKey::Solve { method: *method }),
-        Request::Stats | Request::Ping | Request::Quit => {
-            return proto::err("not a compute request");
+/// The body of a response: freshly rendered text, or response bytes
+/// interned in the registry and shared zero-copy onto the v3 wire.
+pub enum Body {
+    Text(String),
+    Interned(Arc<RespBytes>),
+}
+
+/// One response, protocol-agnostic: `to_line()` renders the v1/v2 text
+/// form (`OK ...` / `ERR ...`), while the v3 writer folds `status()` into
+/// a binary header and puts `Body`'s bytes on the wire directly — for an
+/// [`Body::Interned`] body, without copying or re-serializing anything.
+///
+/// This is the type the scheduler's jobs produce and its completions
+/// receive, so interned bytes survive the whole job → completion → writer
+/// path as one shared `Arc`.
+pub struct Response {
+    ok: bool,
+    body: Body,
+}
+
+impl Response {
+    /// A successful response with a freshly rendered body.
+    pub fn ok_text(body: String) -> Response {
+        Response {
+            ok: true,
+            body: Body::Text(body),
         }
-    };
-    match reg.artifact(graph, &op) {
-        Ok(artifact) => proto::ok(&body(graph.token(), &op, &artifact)),
-        Err(e) => proto::err(&e),
     }
+
+    /// An error response (newlines collapsed, exactly like
+    /// [`crate::proto::err`], so the text rendering stays one line).
+    pub fn err(msg: &str) -> Response {
+        Response {
+            ok: false,
+            body: Body::Text(msg.replace('\n', "; ")),
+        }
+    }
+
+    /// A successful response served from interned bytes — only `OK`
+    /// bodies are ever interned (errors are never cached).
+    pub fn interned(bytes: Arc<RespBytes>) -> Response {
+        Response {
+            ok: true,
+            body: Body::Interned(bytes),
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// The v3 frame status byte this response carries.
+    pub fn status(&self) -> u8 {
+        if self.ok {
+            codec::STATUS_OK
+        } else {
+            codec::STATUS_ERR
+        }
+    }
+
+    /// The body bytes as they go on a v3 wire (no `OK `/`ERR ` prefix).
+    pub fn body_bytes(&self) -> &[u8] {
+        match &self.body {
+            Body::Text(s) => s.as_bytes(),
+            Body::Interned(b) => &b.body,
+        }
+    }
+
+    /// Decompose for the writer: status byte plus the owned body.
+    pub fn into_parts(self) -> (u8, Body) {
+        let status = self.status();
+        (status, self.body)
+    }
+
+    /// Render the v1/v2 text line (`OK <body>` / `ERR <body>`).
+    pub fn to_line(&self) -> String {
+        let prefix = if self.ok { "OK" } else { "ERR" };
+        format!("{prefix} {}", String::from_utf8_lossy(self.body_bytes()))
+    }
+}
+
+/// The `(graph, op)` a compute request names; `None` for the
+/// connection-level requests (`STATS`/`PING`/`QUIT`).
+pub fn request_op(req: &Request) -> Option<(&GraphRef, OpKey)> {
+    match req {
+        Request::Mis2 { graph } => Some((graph, OpKey::Mis2)),
+        Request::Coarsen { graph, levels } => Some((graph, OpKey::Coarsen { levels: *levels })),
+        Request::Solve { graph, method } => Some((graph, OpKey::Solve { method: *method })),
+        Request::Stats | Request::Ping | Request::Quit => None,
+    }
+}
+
+/// Execute one *compute* request against a registry. The success path
+/// returns the registry's interned response bytes ([`Response::interned`])
+/// so every protocol — and every later cache hit — serves the same shared
+/// serialization. `STATS`/`PING`/`QUIT` are connection-level and handled
+/// by the server, not here.
+pub fn execute_response(reg: &Registry, req: &Request) -> Response {
+    let Some((graph, op)) = request_op(req) else {
+        return Response::err("not a compute request");
+    };
+    match reg.response(graph, &op) {
+        Ok(bytes) => Response::interned(bytes),
+        Err(e) => Response::err(&e),
+    }
+}
+
+/// Text-line adapter over [`execute_response`]: the full v1 response line.
+/// The direct-call side of every e2e diff goes through here.
+pub fn execute(reg: &Registry, req: &Request) -> String {
+    execute_response(reg, req).to_line()
 }
 
 #[cfg(test)]
@@ -255,5 +352,38 @@ mod tests {
         );
         assert!(err_line.starts_with("ERR "), "{err_line}");
         assert!(!err_line.contains('\n'), "{err_line}");
+    }
+
+    #[test]
+    fn response_renders_lines_and_status_bytes() {
+        let ok = Response::ok_text("PONG".into());
+        assert!(ok.is_ok());
+        assert_eq!(ok.status(), codec::STATUS_OK);
+        assert_eq!(ok.to_line(), "OK PONG");
+        assert_eq!(ok.body_bytes(), b"PONG");
+
+        let err = Response::err("a\nb");
+        assert!(!err.is_ok());
+        assert_eq!(err.status(), codec::STATUS_ERR);
+        assert_eq!(err.to_line(), "ERR a; b");
+    }
+
+    #[test]
+    fn interned_responses_share_the_registry_bytes() {
+        let reg = Registry::new(Scale::Tiny);
+        let req = Request::parse("MIS2 ecology2").unwrap();
+        let resp = execute_response(&reg, &req);
+        assert!(resp.is_ok());
+        let Body::Interned(bytes) = &resp.body else {
+            panic!("compute success must carry interned bytes");
+        };
+        let again = reg
+            .response(&GraphRef::Suite("ecology2".into()), &OpKey::Mis2)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(bytes, &again),
+            "the response and the registry must share one interned Arc"
+        );
+        assert_eq!(resp.to_line(), execute(&reg, &req));
     }
 }

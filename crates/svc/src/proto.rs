@@ -1,6 +1,9 @@
 //! The line-oriented request protocol spoken over the loopback socket —
 //! v1 (blocking, one response in request order) and the pipelined,
-//! tag-framed v2.
+//! tag-framed v2. (The binary v3 framing lives in [`crate::codec`]; its
+//! request payloads are these same v1 request texts, and its upgrade
+//! hello reuses this module's negotiation spelling via
+//! [`hello_ok_for`].)
 //!
 //! ## v1 — one request line, one response line, in order
 //!
@@ -276,18 +279,33 @@ pub fn tagged_unknown(response: &str) -> String {
     format!("{UNKNOWN_TAG} {response}")
 }
 
+/// The server's answer to a protocol-upgrade hello: `OK <version>
+/// max_inflight=<n>`, advertising the per-connection in-flight window
+/// cap. Shared by the v2 upgrade here and the v3 upgrade in
+/// [`crate::codec`] — one spelling of the negotiation, two framings
+/// after it.
+pub fn hello_ok_for(version: &str, max_inflight: usize) -> String {
+    ok(&format!("{version} max_inflight={max_inflight}"))
+}
+
+/// Parse the window cap out of a [`hello_ok_for`] line for `version`;
+/// `None` if the line is not that version's hello answer.
+pub fn parse_hello_ok_for(version: &str, line: &str) -> Option<usize> {
+    let rest = line.strip_prefix("OK ")?.strip_prefix(version)?;
+    rest.split_whitespace()
+        .find_map(|f| f.strip_prefix("max_inflight="))
+        .and_then(|v| v.parse().ok())
+}
+
 /// The server's answer to the [`HELLO_V2`] hello, advertising the
 /// per-connection in-flight window cap.
 pub fn hello_ok(max_inflight: usize) -> String {
-    ok(&format!("{HELLO_V2} max_inflight={max_inflight}"))
+    hello_ok_for(HELLO_V2, max_inflight)
 }
 
 /// Parse the window cap out of a [`hello_ok`] response line.
 pub fn parse_hello_ok(line: &str) -> Option<usize> {
-    let rest = line.strip_prefix("OK ")?.strip_prefix(HELLO_V2)?;
-    rest.split_whitespace()
-        .find_map(|f| f.strip_prefix("max_inflight="))
-        .and_then(|v| v.parse().ok())
+    parse_hello_ok_for(HELLO_V2, line)
 }
 
 #[cfg(test)]

@@ -1,10 +1,15 @@
 //! The graph registry: a **memory-bounded, cost-aware evicting cache** of
-//! interned graphs and their derived artifacts.
+//! interned graphs, their derived artifacts, and the artifacts'
+//! **serialized response bytes**.
 //!
 //! Graphs (suite workloads built at the registry's [`Scale`], or `.mtx`
 //! files) are interned behind `Arc<CsrGraph>`; every derived artifact
 //! (MIS-2 result, coarse hierarchy, solve result) is cached by
-//! `(graph ref, `[`OpKey`]`)`.
+//! `(graph ref, `[`OpKey`]`)`; and alongside each artifact the registry
+//! interns its rendered response body ([`RespBytes`], same key), so a
+//! repeat request can be answered without re-serializing the artifact —
+//! on the v3 binary protocol, without allocating a single payload byte
+//! (the writer sends the shared `Arc`'d bytes directly).
 //!
 //! ## Cache semantics
 //!
@@ -27,11 +32,15 @@
 //!   [`Artifact`]; 0 = unbounded, the [`Registry::new`] default). When an
 //!   insert pushes `bytes` over the budget, entries are evicted until it
 //!   fits again.
-//! * **Cost-aware segmented LRU eviction.** Victims are chosen from two
-//!   segments in order: *artifacts first* (cheap to recompute from their
-//!   still-interned graph), then *graphs* (a rebuild pays file I/O or
-//!   generation, and usually invalidates nothing — artifacts outlive their
-//!   graph's eviction). Within a segment the least-recently-used entry
+//! * **Cost-aware segmented LRU eviction.** Victims are chosen from three
+//!   segments in order: *response bytes first* (a re-render from the
+//!   still-cached artifact is the cheapest possible recovery), then
+//!   *artifacts* (cheap to recompute from their still-interned graph),
+//!   then *graphs* (a rebuild pays file I/O or generation, and usually
+//!   invalidates nothing — artifacts outlive their graph's eviction).
+//!   Evicting an artifact also drops its interned response bytes — the
+//!   bytes are a rendering *of* that artifact, and must not outlive it.
+//!   Within a segment the least-recently-used entry
 //!   goes first. **Pinned entries are never dropped mid-use**: an entry
 //!   whose `Arc` is still shared (in-flight compute, a response being
 //!   rendered, a caller-held handle) is skipped, so `bytes` can
@@ -70,6 +79,36 @@ pub struct RegistryStats {
     /// Graphs actually built/loaded (interning is single-flight, so a
     /// cold burst of N identical requests bumps this by exactly 1).
     pub graph_builds: u64,
+    /// Interned response-byte entries cached right now.
+    pub resp: usize,
+    /// Approximate heap bytes of the interned response bytes (a subset of
+    /// `bytes`).
+    pub resp_bytes: usize,
+    /// Requests answered straight from interned response bytes — every
+    /// `resp_hits` is also counted in `hits` (the artifact was logically
+    /// reused), so `hits + misses` still equals the request count.
+    pub resp_hits: u64,
+}
+
+/// The interned serialized response for one `(graph, op)` key: the body
+/// text (everything after `OK `) as ready-to-send bytes, plus the wire
+/// token it was rendered with. Response bodies embed the client's graph
+/// spelling ([`GraphRef::token`]); cache keys are canonical — so a hit
+/// under a *different* spelling of the same graph must re-render (token
+/// mismatch), replacing the entry. In practice clients reuse one
+/// spelling and every repeat is a zero-serialization hit.
+pub struct RespBytes {
+    /// The wire token the body embeds.
+    pub token: String,
+    /// The response body, ready for the wire.
+    pub body: Box<[u8]>,
+}
+
+impl RespBytes {
+    /// Approximate heap footprint charged against the memory budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.token.capacity() + self.body.len()
+    }
 }
 
 type ArtifactKey = (GraphRef, OpKey);
@@ -98,6 +137,11 @@ impl<T> Entry<T> {
 struct State {
     graphs: HashMap<GraphRef, Entry<CsrGraph>>,
     artifacts: HashMap<ArtifactKey, Entry<Artifact>>,
+    /// Interned response bytes, keyed like artifacts. No in-flight set:
+    /// rendering from a cached artifact is cheap enough that a rare
+    /// concurrent double-render (last insert wins, bytes identical) beats
+    /// another wait/notify protocol.
+    resp: HashMap<ArtifactKey, Entry<RespBytes>>,
     graphs_inflight: HashSet<GraphRef>,
     artifacts_inflight: HashSet<ArtifactKey>,
     /// Memoized spelling → canonical key resolutions (successful ones
@@ -109,8 +153,10 @@ struct State {
     /// client-controlled, so letting it grow unbounded would reopen the
     /// very memory hole the budget closes.
     aliases: HashMap<GraphRef, GraphRef>,
-    /// Sum of `bytes` over both maps.
+    /// Sum of `bytes` over all three maps.
     bytes: usize,
+    /// Sum of `bytes` over the `resp` map alone (the `resp_bytes` gauge).
+    resp_bytes: usize,
     /// Monotonic access clock for LRU stamps.
     tick: u64,
 }
@@ -134,14 +180,15 @@ pub struct Registry {
     misses: AtomicU64,
     evictions: AtomicU64,
     graph_builds: AtomicU64,
+    resp_hits: AtomicU64,
 }
 
 /// Remove the least-recently-used *evictable* entry from one cache
-/// segment, returning the bytes it freed (`None`: empty or all pinned).
-/// An O(n) scan — cache cardinality is the tenant/workload count, not the
-/// graph size, so scanning under the lock stays cheaper than maintaining
-/// an order structure that must also skip pinned entries.
-fn pop_lru<K, T>(map: &mut HashMap<K, Entry<T>>) -> Option<usize>
+/// segment, returning its key and the bytes it freed (`None`: empty or
+/// all pinned). An O(n) scan — cache cardinality is the tenant/workload
+/// count, not the graph size, so scanning under the lock stays cheaper
+/// than maintaining an order structure that must also skip pinned entries.
+fn pop_lru<K, T>(map: &mut HashMap<K, Entry<T>>) -> Option<(K, usize)>
 where
     K: Clone + Eq + std::hash::Hash,
 {
@@ -151,7 +198,7 @@ where
         .min_by_key(|(_, e)| e.last_used)
         .map(|(k, _)| k.clone())?;
     let e = map.remove(&key).expect("victim key just observed");
-    Some(e.bytes)
+    Some((key, e.bytes))
 }
 
 /// Drop guard clearing an in-flight marker even if the build panics (a
@@ -192,10 +239,12 @@ impl Registry {
             state: Mutex::new(State {
                 graphs: HashMap::new(),
                 artifacts: HashMap::new(),
+                resp: HashMap::new(),
                 graphs_inflight: HashSet::new(),
                 artifacts_inflight: HashSet::new(),
                 aliases: HashMap::new(),
                 bytes: 0,
+                resp_bytes: 0,
                 tick: 0,
             }),
             inflight_done: Condvar::new(),
@@ -203,6 +252,7 @@ impl Registry {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             graph_builds: AtomicU64::new(0),
+            resp_hits: AtomicU64::new(0),
         }
     }
 
@@ -321,6 +371,14 @@ impl Registry {
     /// next waiter takes over the compute).
     pub fn artifact(&self, gref: &GraphRef, op: &OpKey) -> Result<Arc<Artifact>, String> {
         let key = (self.canon_key(gref), op.clone());
+        self.artifact_keyed(key)
+    }
+
+    /// [`Registry::artifact`] on an already-canonical key — same contract
+    /// as [`Registry::graph_canonical`]: canonicalization happens exactly
+    /// once per request, at the public entry points.
+    fn artifact_keyed(&self, key: ArtifactKey) -> Result<Arc<Artifact>, String> {
+        let op = key.1.clone();
         {
             let mut st = self.state.lock().unwrap();
             loop {
@@ -350,7 +408,7 @@ impl Registry {
             artifact: Some(key.clone()),
         };
         let g = self.graph_canonical(key.0.clone())?;
-        let computed = ops::compute(&g, op);
+        let computed = ops::compute(&g, &op);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let bytes = computed.heap_bytes();
         let value = Arc::new(computed);
@@ -369,24 +427,127 @@ impl Registry {
         Ok(value)
     }
 
+    /// Probe the interned response bytes for `(graph, op)`: `Some` iff the
+    /// bytes are cached *and* were rendered with this request's wire token
+    /// (response bodies echo the client's spelling). A hit counts in
+    /// `hits` (the artifact was logically reused) and in `resp_hits`, and
+    /// refreshes **all three** LRU stamps — response bytes, artifact, and
+    /// graph — so a key served purely through byte hits never looks cold.
+    ///
+    /// This is the server's inline fast path: cheap enough (one lock, one
+    /// probe) to run on the v3 reader thread before anything is scheduled.
+    pub fn try_response(&self, gref: &GraphRef, op: &OpKey) -> Option<Arc<RespBytes>> {
+        let key = (self.canon_key(gref), op.clone());
+        self.try_response_keyed(&key, gref.token())
+    }
+
+    /// [`Registry::try_response`] on an already-canonical key.
+    fn try_response_keyed(&self, key: &ArtifactKey, token: &str) -> Option<Arc<RespBytes>> {
+        let mut st = self.state.lock().unwrap();
+        let tick = st.next_tick();
+        let e = st.resp.get_mut(key)?;
+        if e.value.token != token {
+            return None; // different spelling of the graph: re-render
+        }
+        e.last_used = tick;
+        let value = Arc::clone(&e.value);
+        if let Some(a) = st.artifacts.get_mut(key) {
+            a.last_used = tick;
+        }
+        if let Some(g) = st.graphs.get_mut(&key.0) {
+            g.last_used = tick;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.resp_hits.fetch_add(1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    /// Count a response served from interned bytes a connection memoized
+    /// locally (the server's hot-key fast path): logically an artifact
+    /// reuse *and* a response-bytes hit, so `hits + misses == requests`
+    /// stays exact, without taking the cache lock — the memo holds its
+    /// own `Arc`, and LRU stamps refresh only on real registry probes.
+    pub fn count_external_resp_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.resp_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Get or render the interned response bytes for `(graph, op)`. A miss
+    /// goes through the artifact cache (hit or single-flight compute, with
+    /// the usual counters), renders the body once, and interns it —
+    /// byte-costed against the memory budget like any entry. Every request
+    /// bumps exactly one of `hits`/`misses`, whichever cache level served
+    /// it, so the `hits + misses == requests` invariant is unchanged.
+    pub fn response(&self, gref: &GraphRef, op: &OpKey) -> Result<Arc<RespBytes>, String> {
+        let key = (self.canon_key(gref), op.clone());
+        if let Some(r) = self.try_response_keyed(&key, gref.token()) {
+            return Ok(r);
+        }
+        let artifact = self.artifact_keyed(key.clone())?;
+        let body = ops::body(gref.token(), op, &artifact);
+        let value = Arc::new(RespBytes {
+            token: gref.token().to_string(),
+            body: body.into_bytes().into_boxed_slice(),
+        });
+        let bytes = value.heap_bytes();
+        let mut st = self.state.lock().unwrap();
+        let tick = st.next_tick();
+        if let Some(old) = st.resp.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            // Replaced (token mismatch or a concurrent render): the old
+            // entry's charge goes away with it.
+            st.bytes -= old.bytes;
+            st.resp_bytes -= old.bytes;
+        }
+        st.bytes += bytes;
+        st.resp_bytes += bytes;
+        self.enforce_budget(&mut st);
+        Ok(value)
+    }
+
     /// Evict until `bytes <= budget` or nothing evictable remains.
-    /// Segmented LRU: least-recently-used *artifact* first (recomputable
-    /// from its interned graph), then least-recently-used *graph*; pinned
-    /// entries (shared `Arc`s) are never dropped mid-use.
+    /// Segmented LRU: least-recently-used *response bytes* first (a
+    /// re-render from the cached artifact is nearly free), then artifacts
+    /// (recomputable from their interned graph) — taking each evicted
+    /// artifact's response bytes with it, since the bytes render that
+    /// artifact and must not outlive it — then graphs; pinned entries
+    /// (shared `Arc`s) are never dropped mid-use, except that an evicted
+    /// artifact's response-byte sibling is removed unconditionally
+    /// (invalidation, not a space decision; any outstanding `Arc` keeps
+    /// its bytes alive until the response is written).
     fn enforce_budget(&self, st: &mut State) {
         if self.budget == 0 {
             return;
         }
         while st.bytes > self.budget {
-            let mut freed = pop_lru(&mut st.artifacts);
-            if freed.is_none() {
-                freed = pop_lru(&mut st.graphs);
+            if let Some((_, freed)) = pop_lru(&mut st.resp) {
+                st.bytes -= freed;
+                st.resp_bytes -= freed;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
-            let Some(freed) = freed else {
-                break; // everything left is pinned; retried on the next insert
-            };
-            st.bytes -= freed;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some((key, freed)) = pop_lru(&mut st.artifacts) {
+                st.bytes -= freed;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(sib) = st.resp.remove(&key) {
+                    st.bytes -= sib.bytes;
+                    st.resp_bytes -= sib.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+            if let Some((_, freed)) = pop_lru(&mut st.graphs) {
+                st.bytes -= freed;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            break; // everything left is pinned; retried on the next insert
         }
     }
 
@@ -405,6 +566,9 @@ impl Registry {
             mem_budget: self.budget,
             evictions: self.evictions.load(Ordering::Relaxed),
             graph_builds: self.graph_builds.load(Ordering::Relaxed),
+            resp: st.resp.len(),
+            resp_bytes: st.resp_bytes,
+            resp_hits: self.resp_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -699,6 +863,169 @@ mod tests {
         // Unpinned now: the next stats() housekeeping collects it.
         let s = reg.stats();
         assert!(s.bytes <= budget, "{s:?}");
+    }
+
+    #[test]
+    fn response_bytes_intern_and_hit() {
+        let reg = Registry::new(Scale::Tiny);
+        let r = GraphRef::Suite("ecology2".into());
+        let a = reg.response(&r, &OpKey::Mis2).unwrap();
+        assert_eq!(a.token, "ecology2");
+        assert!(a.body.starts_with(b"MIS2 ecology2 size="));
+        let b = reg.response(&r, &OpKey::Mis2).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the interned Arc");
+        let via_probe = reg.try_response(&r, &OpKey::Mis2).unwrap();
+        assert!(Arc::ptr_eq(&a, &via_probe));
+        let s = reg.stats();
+        assert_eq!((s.resp, s.artifacts, s.graphs), (1, 1, 1));
+        assert_eq!((s.hits, s.misses, s.resp_hits), (2, 1, 2));
+        assert!(s.resp_bytes > 0 && s.resp_bytes < s.bytes, "{s:?}");
+    }
+
+    #[test]
+    fn response_rerenders_on_token_mismatch_without_double_counting() {
+        // Two spellings of one .mtx file: canonical keying shares the
+        // artifact, but response bodies embed the wire token, so the
+        // second spelling must re-render (artifact hit, not a byte hit)
+        // and replace the interned entry without double-charging bytes.
+        let g = mis2_graph::gen::erdos_renyi(26, 52, 11);
+        let dir = std::env::temp_dir().join("mis2_svc_registry_resp_token");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.mtx");
+        io::write_graph_file(&g, &path).unwrap();
+        let plain = path.to_str().unwrap().to_string();
+        let dotted = format!(
+            "{}/../{}/g.mtx",
+            dir.to_str().unwrap(),
+            dir.file_name().unwrap().to_str().unwrap()
+        );
+        let reg = Registry::new(Scale::Tiny);
+        let a = reg
+            .response(&GraphRef::Mtx(plain.clone()), &OpKey::Mis2)
+            .unwrap();
+        assert_eq!(a.token, plain);
+        let b = reg
+            .response(&GraphRef::Mtx(dotted.clone()), &OpKey::Mis2)
+            .unwrap();
+        assert_eq!(b.token, dotted, "body must echo the request's spelling");
+        let s = reg.stats();
+        assert_eq!((s.resp, s.artifacts, s.graphs), (1, 1, 1));
+        assert_eq!(
+            (s.hits, s.misses, s.resp_hits),
+            (1, 1, 0),
+            "the re-render is an artifact hit, not a byte hit: {s:?}"
+        );
+        assert_eq!(s.resp_bytes, b.heap_bytes(), "old entry's charge must go");
+        // The replacing spelling now owns the entry.
+        assert!(reg
+            .try_response(&GraphRef::Mtx(dotted), &OpKey::Mis2)
+            .is_some());
+        assert!(reg
+            .try_response(&GraphRef::Mtx(plain), &OpKey::Mis2)
+            .is_none());
+    }
+
+    #[test]
+    fn response_bytes_evict_before_artifacts_and_graphs() {
+        let r = GraphRef::Suite("ecology2".into());
+        let ops3 = [
+            OpKey::Mis2,
+            OpKey::Coarsen { levels: 2 },
+            OpKey::Coarsen { levels: 3 },
+        ];
+        let probe = Registry::new(Scale::Tiny);
+        for op in &ops3 {
+            probe.response(&r, op).unwrap();
+        }
+        // One byte under the full working set: the final insert must evict
+        // exactly one entry, and the segmented order says it is the LRU
+        // *response bytes* — never an artifact or the graph.
+        let budget = probe.stats().bytes - 1;
+        let reg = Registry::with_budget(Scale::Tiny, budget);
+        for op in &ops3 {
+            reg.response(&r, op).unwrap();
+        }
+        let s = reg.stats();
+        assert!(s.evictions >= 1, "{s:?}");
+        assert_eq!(
+            (s.artifacts, s.graphs),
+            (3, 1),
+            "artifacts and the graph must survive while response bytes go: {s:?}"
+        );
+        assert!(s.resp < 3, "{s:?}");
+        assert!(
+            reg.try_response(&r, &ops3[0]).is_none(),
+            "the LRU response entry must be the victim"
+        );
+    }
+
+    #[test]
+    fn response_hit_refreshes_artifact_and_graph_stamps() {
+        // A key served purely through byte hits must not look LRU-cold at
+        // the artifact segment: touch (op1) via try_response, then apply
+        // enough pressure to drain the response segment and evict one
+        // artifact — the victim must be the untouched op2, not op1.
+        let r = GraphRef::Suite("ecology2".into());
+        let (op1, op2, op3) = (
+            OpKey::Mis2,
+            OpKey::Coarsen { levels: 2 },
+            OpKey::Coarsen { levels: 3 },
+        );
+        let probe = Registry::new(Scale::Tiny);
+        for op in [&op1, &op2, &op3] {
+            probe.artifact(&r, op).unwrap();
+        }
+        // Graph + all three artifacts minus one byte: holding every
+        // artifact is over budget, so exactly one artifact must go (after
+        // the small response entries drain first).
+        let budget = probe.stats().bytes - 1;
+        let reg = Registry::with_budget(Scale::Tiny, budget);
+        reg.response(&r, &op1).unwrap();
+        reg.response(&r, &op2).unwrap();
+        assert!(reg.try_response(&r, &op1).is_some(), "refreshing hit");
+        reg.artifact(&r, &op3).unwrap();
+        let s = reg.stats();
+        assert_eq!(s.resp, 0, "response segment must drain first: {s:?}");
+        assert_eq!(s.artifacts, 2, "{s:?}");
+        assert_eq!(s.graphs, 1, "the graph must survive: {s:?}");
+        // op1 (refreshed by the byte hit) must be resident, op2 evicted.
+        let (h0, m0) = (s.hits, s.misses);
+        reg.artifact(&r, &op1).unwrap();
+        let s = reg.stats();
+        assert_eq!(
+            (s.hits, s.misses),
+            (h0 + 1, m0),
+            "the byte-hit-refreshed artifact was evicted: {s:?}"
+        );
+        reg.artifact(&r, &op2).unwrap();
+        assert_eq!(
+            reg.stats().misses,
+            m0 + 1,
+            "the untouched artifact must have been the victim"
+        );
+    }
+
+    #[test]
+    fn response_bytes_are_invalidated_with_their_artifact() {
+        // Invalidation, not a space decision: when an artifact is evicted
+        // its interned response bytes go too, even while a response
+        // holding the Arc is still in flight (the Arc keeps the bytes
+        // alive; the cache just stops serving them).
+        let reg = Registry::with_budget(Scale::Tiny, 1);
+        let r = GraphRef::Suite("ecology2".into());
+        let held = reg.response(&r, &OpKey::Mis2).unwrap(); // pins the entry
+        let s = reg.stats(); // re-enforces: the unpinned artifact evicts
+        assert_eq!(s.artifacts, 0, "{s:?}");
+        assert_eq!(
+            (s.resp, s.resp_bytes),
+            (0, 0),
+            "response bytes must be invalidated with their artifact: {s:?}"
+        );
+        assert!(
+            reg.try_response(&r, &OpKey::Mis2).is_none(),
+            "invalidated bytes must not serve"
+        );
+        assert!(held.body.starts_with(b"MIS2 "), "held Arc stays valid");
     }
 
     #[test]

@@ -24,10 +24,12 @@
 //! The scheduler's primitive is **completion delivery**, not blocking:
 //! [`Scheduler::submit_with`] takes the job *and* a [`Completion`]
 //! callback, and the worker-leader that finishes the job hands the
-//! response line to the callback instead of parking a waiter. That is what
-//! lets the v2 pipelined server keep one reader thread parsing new
-//! requests while earlier jobs run — each completion pushes its response
-//! into the connection's writer channel, in whatever order jobs finish.
+//! structured [`crate::ops::Response`] to the callback instead of parking
+//! a waiter. That is what lets the pipelined servers keep one reader
+//! thread parsing new requests while earlier jobs run — each completion
+//! pushes its response into the connection's writer channel, in whatever
+//! order jobs finish, and the per-connection writer renders it for its
+//! protocol (v2 text line or v3 binary frame).
 //!
 //! A completion is invoked **exactly once** for every accepted job, on
 //! whichever thread retires it: a worker-leader after a run or a panic
@@ -54,13 +56,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// A unit of work: produces the full response line for one request.
-pub type Job = Box<dyn FnOnce() -> String + Send>;
+/// A unit of work: produces the [`crate::ops::Response`] for one request.
+/// Carrying the structured response (rather than a pre-rendered `String`)
+/// is what lets the v3 server hand interned response bytes straight to the
+/// writer — the protocol-specific rendering happens per connection, after
+/// the scheduler is done.
+pub type Job = Box<dyn FnOnce() -> crate::ops::Response + Send>;
 
-/// Receives the finished response line for one job, exactly once, on the
+/// Receives the finished response for one job, exactly once, on the
 /// thread that retired the job. Must not block indefinitely (see the
 /// module docs).
-pub type Completion = Box<dyn FnOnce(String) + Send>;
+pub type Completion = Box<dyn FnOnce(crate::ops::Response) + Send>;
 
 /// Scheduler sizing. Zeros mean "pick a sensible default".
 #[derive(Debug, Clone, Copy, Default)]
@@ -90,28 +96,28 @@ pub struct SchedStats {
 
 /// One-shot completion slot a submitter waits on.
 struct DoneSlot {
-    result: Mutex<Option<String>>,
+    result: Mutex<Option<crate::ops::Response>>,
     ready: Condvar,
 }
 
 impl DoneSlot {
-    fn complete(&self, line: String) {
-        *self.result.lock().unwrap() = Some(line);
+    fn complete(&self, resp: crate::ops::Response) {
+        *self.result.lock().unwrap() = Some(resp);
         self.ready.notify_all();
     }
 }
 
 /// Handle to a job submitted through the blocking adapter
 /// [`Scheduler::submit`]; [`JobHandle::wait`] blocks until the completion
-/// publishes the response line.
+/// publishes the response, rendered to its v1 text line.
 pub struct JobHandle(Arc<DoneSlot>);
 
 impl JobHandle {
     pub fn wait(self) -> String {
         let mut guard = self.0.result.lock().unwrap();
         loop {
-            if let Some(line) = guard.take() {
-                return line;
+            if let Some(resp) = guard.take() {
+                return resp.to_line();
             }
             guard = self.0.ready.wait(guard).unwrap();
         }
@@ -226,7 +232,7 @@ impl Scheduler {
         }
         if q.shutdown {
             drop(q);
-            done(crate::proto::err("scheduler shut down"));
+            done(crate::ops::Response::err("scheduler shut down"));
             return;
         }
         q.jobs.push_back(Queued {
@@ -248,7 +254,7 @@ impl Scheduler {
             ready: Condvar::new(),
         });
         let slot = Arc::clone(&done);
-        self.submit_with(job, Box::new(move |line| slot.complete(line)));
+        self.submit_with(job, Box::new(move |resp| slot.complete(resp)));
         JobHandle(done)
     }
 
@@ -266,7 +272,7 @@ impl Scheduler {
             // take other locks, and holding the queue lock across foreign
             // code invites lock-order inversions.
             for queued in drained {
-                (queued.done)(crate::proto::err("scheduler shut down"));
+                (queued.done)(crate::ops::Response::err("scheduler shut down"));
             }
         }
         self.inner.not_empty.notify_all();
@@ -298,12 +304,12 @@ fn worker_loop(inner: &Inner) {
         // workers; concurrent leaders' sub-teams split the pool. A panic
         // inside a job must not kill the worker — it becomes an ERR
         // response for that one request.
-        let line = match catch_unwind(AssertUnwindSafe(|| pool::with_pool(inner.team, queued.job)))
+        let resp = match catch_unwind(AssertUnwindSafe(|| pool::with_pool(inner.team, queued.job)))
         {
-            Ok(line) => line,
+            Ok(resp) => resp,
             Err(_) => {
                 inner.stats.panics.fetch_add(1, Ordering::Relaxed);
-                crate::proto::err("job panicked")
+                crate::ops::Response::err("job panicked")
             }
         };
         let run_us = start.elapsed().as_micros() as u64;
@@ -317,7 +323,7 @@ fn worker_loop(inner: &Inner) {
         // it (the job's response is lost to its connection, but every
         // other connection keeps its scheduler).
         let done = queued.done;
-        if catch_unwind(AssertUnwindSafe(move || done(line))).is_err() {
+        if catch_unwind(AssertUnwindSafe(move || done(resp))).is_err() {
             inner.stats.panics.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -326,6 +332,11 @@ fn worker_loop(inner: &Inner) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::Response;
+
+    fn ok(body: &str) -> Response {
+        Response::ok_text(body.to_string())
+    }
 
     fn sched(threads: usize, workers: usize, cap: usize) -> Scheduler {
         Scheduler::new(SchedConfig {
@@ -339,7 +350,7 @@ mod tests {
     fn jobs_complete_with_their_own_results() {
         let s = sched(2, 2, 8);
         let handles: Vec<JobHandle> = (0..20)
-            .map(|i| s.submit(Box::new(move || format!("OK job {i}"))))
+            .map(|i| s.submit(Box::new(move || Response::ok_text(format!("job {i}")))))
             .collect();
         for (i, h) in handles.into_iter().enumerate() {
             assert_eq!(h.wait(), format!("OK job {i}"));
@@ -369,7 +380,7 @@ mod tests {
         let s = sched(1, 1, 4);
         let bad = s.submit(Box::new(|| panic!("kaboom")));
         assert!(bad.wait().starts_with("ERR "));
-        let good = s.submit(Box::new(|| "OK fine".into()));
+        let good = s.submit(Box::new(|| ok("fine")));
         assert_eq!(good.wait(), "OK fine");
         assert_eq!(s.stats().panics.load(Ordering::Relaxed), 1);
         s.shutdown();
@@ -387,7 +398,7 @@ mod tests {
                 let done = Arc::clone(&done);
                 scope.spawn(move || {
                     for j in 0..5u64 {
-                        let h = s.submit(Box::new(move || format!("OK {p}/{j}")));
+                        let h = s.submit(Box::new(move || Response::ok_text(format!("{p}/{j}"))));
                         assert_eq!(h.wait(), format!("OK {p}/{j}"));
                         done.fetch_add(1, Ordering::Relaxed);
                     }
@@ -410,14 +421,14 @@ mod tests {
         s.submit_with(
             Box::new(|| {
                 std::thread::sleep(std::time::Duration::from_millis(150));
-                "OK slow".into()
+                ok("slow")
             }),
-            Box::new(move |line| slow_tx.send(line).unwrap()),
+            Box::new(move |resp| slow_tx.send(resp.to_line()).unwrap()),
         );
         let fast_tx = tx.clone();
         s.submit_with(
-            Box::new(|| "OK fast".into()),
-            Box::new(move |line| fast_tx.send(line).unwrap()),
+            Box::new(|| ok("fast")),
+            Box::new(move |resp| fast_tx.send(resp.to_line()).unwrap()),
         );
         assert_eq!(rx.recv().unwrap(), "OK fast");
         assert_eq!(rx.recv().unwrap(), "OK slow");
@@ -437,16 +448,16 @@ mod tests {
             Box::new(move || {
                 started_tx.send(()).unwrap();
                 std::thread::sleep(std::time::Duration::from_millis(100));
-                "OK slow".into()
+                ok("slow")
             }),
-            Box::new(move |line| slow_tx.send(line).unwrap()),
+            Box::new(move |resp| slow_tx.send(resp.to_line()).unwrap()),
         );
         started_rx.recv().unwrap();
         for _ in 0..3 {
             let tx = tx.clone();
             s.submit_with(
-                Box::new(|| "OK never runs".into()),
-                Box::new(move |line| tx.send(line).unwrap()),
+                Box::new(|| ok("never runs")),
+                Box::new(move |resp| tx.send(resp.to_line()).unwrap()),
             );
         }
         s.shutdown();
@@ -462,8 +473,8 @@ mod tests {
         // A post-shutdown submit_with completes inline with ERR.
         let (tx, rx) = std::sync::mpsc::channel::<String>();
         s.submit_with(
-            Box::new(|| "OK never".into()),
-            Box::new(move |line| tx.send(line).unwrap()),
+            Box::new(|| ok("never")),
+            Box::new(move |resp| tx.send(resp.to_line()).unwrap()),
         );
         assert!(rx.recv().unwrap().starts_with("ERR "));
     }
@@ -472,11 +483,11 @@ mod tests {
     fn panicking_completion_does_not_kill_the_worker() {
         let s = sched(1, 1, 4);
         s.submit_with(
-            Box::new(|| "OK doomed".into()),
+            Box::new(|| ok("doomed")),
             Box::new(|_| panic!("completion kaboom")),
         );
         // The same (only) worker must still retire later jobs.
-        let good = s.submit(Box::new(|| "OK fine".into()));
+        let good = s.submit(Box::new(|| ok("fine")));
         assert_eq!(good.wait(), "OK fine");
         assert_eq!(s.stats().panics.load(Ordering::Relaxed), 1);
         s.shutdown();
@@ -487,13 +498,13 @@ mod tests {
         let s = sched(1, 1, 4);
         let slow = s.submit(Box::new(|| {
             std::thread::sleep(std::time::Duration::from_millis(50));
-            "OK slow".into()
+            ok("slow")
         }));
         assert_eq!(slow.wait(), "OK slow");
         s.shutdown();
         // shutdown takes &self (handlers may still hold Arc clones), so
         // the same scheduler must now reject and survive a second call.
-        let rejected = s.submit(Box::new(|| "OK never".into()));
+        let rejected = s.submit(Box::new(|| ok("never")));
         assert!(rejected.wait().starts_with("ERR "));
         s.shutdown();
     }

@@ -1,0 +1,141 @@
+//! Property tests for the v3 frame codec, driven by the repo's
+//! deterministic splitmix64 case generator (the container builds offline,
+//! so the `proptest` crate is replaced by explicit seeded sampling — same
+//! properties, reproducible cases):
+//!
+//! * encode → decode is the identity for arbitrary tags, statuses, and
+//!   payload bytes (streamed reads included);
+//! * every strict prefix of an encoded frame is rejected as truncated —
+//!   never misdecoded;
+//! * headers advertising more than `MAX_PAYLOAD` are rejected;
+//! * tags round-trip bit-exactly regardless of what payload bytes follow
+//!   them (no payload byte can masquerade as framing).
+
+use mis2_prim::hash::splitmix64;
+use mis2_svc::codec::{
+    self, decode_frame, encode_frame, encode_header, read_frame, Frame, FrameError,
+};
+
+/// Deterministic stream of pseudo-random u64s for one test case.
+struct Rng(u64);
+
+impl Rng {
+    fn new(test: u64, case: u64) -> Self {
+        Rng(splitmix64(test.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+
+    /// Arbitrary payload bytes, length in `[0, max_len)` — raw `next()`
+    /// bytes, so newlines, NULs, invalid UTF-8, and bytes that look like
+    /// frame headers all occur.
+    fn payload(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.range(0, max_len);
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    /// A tag biased toward the interesting edges of the u64 range.
+    fn tag(&mut self) -> u64 {
+        match self.next() % 4 {
+            0 => 0,
+            1 => u64::MAX,
+            2 => self.next() % 256,
+            _ => self.next(),
+        }
+    }
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn encode_decode_round_trip_is_identity() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(101, case);
+        let frame = Frame {
+            tag: rng.tag(),
+            status: rng.next() as u8,
+            payload: rng.payload(512),
+        };
+        let buf = encode_frame(frame.tag, frame.status, &frame.payload);
+        assert_eq!(buf.len(), codec::HEADER_LEN + frame.payload.len());
+        let (decoded, used) = decode_frame(&buf).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(decoded, frame, "case {case}");
+        assert_eq!(used, buf.len(), "case {case}");
+        // The streamed read sees the same frame, then a clean EOF.
+        let mut cursor = std::io::Cursor::new(buf);
+        let via_stream = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(via_stream, decoded, "case {case}");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "case {case}");
+    }
+}
+
+#[test]
+fn every_strict_prefix_is_rejected_as_truncated() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(102, case);
+        let buf = encode_frame(rng.tag(), rng.next() as u8, &rng.payload(96));
+        // Every cut, not a sample: truncation must never misdecode.
+        for cut in 0..buf.len() {
+            match decode_frame(&buf[..cut]) {
+                Err(FrameError::Truncated { need, have }) => {
+                    assert_eq!(have, cut, "case {case} cut {cut}");
+                    assert!(need > cut, "case {case} cut {cut}: need {need}");
+                }
+                other => panic!("case {case} cut {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_headers_are_rejected_with_the_advertised_length() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(103, case);
+        let len = codec::MAX_PAYLOAD
+            + 1
+            + (rng.next() as usize % (u32::MAX as usize - codec::MAX_PAYLOAD));
+        let hdr = encode_header(rng.tag(), len as u32, rng.next() as u8);
+        match decode_frame(&hdr) {
+            Err(FrameError::Oversized { len: got }) => {
+                assert_eq!(got, len, "case {case}");
+            }
+            other => panic!("case {case}: expected Oversized, got {other:?}"),
+        }
+        // The streamed read refuses before allocating the payload.
+        let mut cursor = std::io::Cursor::new(hdr.to_vec());
+        let e = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "case {case}");
+    }
+}
+
+#[test]
+fn tags_are_preserved_across_arbitrary_payload_bytes() {
+    // Many frames back to back on one stream: each tag must come back
+    // bit-exact and in order, no matter what bytes the payloads contain
+    // (including bytes that spell valid headers).
+    for case in 0..CASES {
+        let mut rng = Rng::new(104, case);
+        let frames: Vec<(u64, Vec<u8>)> = (0..rng.range(1, 16))
+            .map(|_| (rng.tag(), rng.payload(256)))
+            .collect();
+        let mut wire: Vec<u8> = Vec::new();
+        for (tag, payload) in &frames {
+            codec::write_frame(&mut wire, *tag, codec::STATUS_OK, payload).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        for (i, (tag, payload)) in frames.iter().enumerate() {
+            let f = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(f.tag, *tag, "case {case} frame {i}");
+            assert_eq!(&f.payload, payload, "case {case} frame {i}");
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "case {case}");
+    }
+}
