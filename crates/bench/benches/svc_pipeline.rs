@@ -25,7 +25,8 @@
 
 use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
 use mis2_svc::client::{Client, PipelinedClient, V3Client};
-use mis2_svc::{server, ServerConfig};
+use mis2_svc::shard::{route, RouterConfig};
+use mis2_svc::{server, ServerConfig, ServerHandle};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -42,6 +43,44 @@ const REQUEST: &str = "MIS2 af_shell7";
 
 fn batch_lines() -> Vec<&'static str> {
     vec![REQUEST; BATCH]
+}
+
+/// The sharded-leg workload: cache-hot `MIS2` over six differently-owned
+/// suite graphs, so a multi-shard cluster actually spreads the batch
+/// across its shards instead of funneling one key to one owner.
+fn shard_batch_lines() -> Vec<String> {
+    let graphs = [
+        "ecology2",
+        "parabolic_fem",
+        "thermal2",
+        "tmt_sym",
+        "apache2",
+        "StocF-1465",
+    ];
+    (0..BATCH)
+        .map(|i| format!("MIS2 {}", graphs[i % graphs.len()]))
+        .collect()
+}
+
+/// Spin up an `n`-shard cluster behind a router; returns the handles to
+/// keep alive plus the router, whose address the client dials.
+fn spawn_cluster(n: usize) -> (Vec<ServerHandle>, mis2_svc::shard::RouterHandle) {
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|_| {
+            server::serve(ServerConfig {
+                threads: 2,
+                ..Default::default()
+            })
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = shards.iter().map(|h| h.addr().to_string()).collect();
+    let router = route(RouterConfig {
+        shards: addrs,
+        ..Default::default()
+    })
+    .unwrap();
+    (shards, router)
 }
 
 /// Mean seconds per batch of `BATCH` requests over `rounds` rounds.
@@ -63,12 +102,20 @@ struct Cell {
 /// Hand-rolled JSON (the workspace is std-only): an array of
 /// `{proto, window, req_per_s}` objects plus the batch size and the two
 /// acceptance ratios.
-fn write_bench_json(cells: &[Cell], v2_over_v1: f64, v3_over_v2: f64) -> std::io::Result<String> {
+fn write_bench_json(
+    cells: &[Cell],
+    v2_over_v1: f64,
+    v3_over_v2: f64,
+    shard3_over_shard1: f64,
+) -> std::io::Result<String> {
     let path = std::env::var("BENCH_SVC_JSON").unwrap_or_else(|_| "BENCH_svc.json".to_string());
     let mut out = String::from("{\n  \"bench\": \"svc_pipeline\",\n");
     out.push_str(&format!("  \"batch\": {BATCH},\n"));
     out.push_str(&format!(
         "  \"ratio_v2_w64_over_v1\": {v2_over_v1:.3},\n  \"ratio_v3_w64_over_v2_w64\": {v3_over_v2:.3},\n"
+    ));
+    out.push_str(&format!(
+        "  \"ratio_v3_shard3_over_shard1\": {shard3_over_shard1:.3},\n"
     ));
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -171,6 +218,37 @@ fn bench_svc_pipeline(c: &mut Criterion) {
         });
     }
 
+    // Sharded leg: the same 64-request cache-hot batch, spread over six
+    // graphs, through a router fronting 1 and then 3 shard processes.
+    // Aggregate req/s should scale with shard count on multi-core hosts;
+    // on a single-CPU runner the cells are informational (recorded, not
+    // asserted) — the batch still proves the routed path end to end.
+    let shard_lines = shard_batch_lines();
+    for nshards in [1usize, 3] {
+        let (shards, router) = spawn_cluster(nshards);
+        let mut client = V3Client::connect(router.addr(), 64).unwrap();
+        // Warm every shard: first pass computes + interns per owner.
+        let warm = client.request_many(&shard_lines).unwrap();
+        assert!(warm.iter().all(|r| r.starts_with("OK ")));
+        let batch = time_batches(rounds, || {
+            client.request_many(&shard_lines).unwrap();
+        });
+        cells.push(Cell {
+            proto: if nshards == 1 {
+                "v3_shard1"
+            } else {
+                "v3_shard3"
+            },
+            window: 64,
+            rps: BATCH as f64 / batch,
+        });
+        client.quit().unwrap();
+        router.shutdown();
+        for h in shards {
+            h.shutdown();
+        }
+    }
+
     let rps = |proto: &str, window: usize| {
         cells
             .iter()
@@ -194,7 +272,14 @@ fn bench_svc_pipeline(c: &mut Criterion) {
         v3_rps / v2_rps
     );
 
-    match write_bench_json(&cells, v2_rps / v1_rps, v3_rps / v2_rps) {
+    let (s1, s3) = (rps("v3_shard1", 64), rps("v3_shard3", 64));
+    println!(
+        "svc_pipeline/shards: v3_shard1 {s1:.0} req/s, v3_shard3 {s3:.0} req/s, \
+         scale {:.2}x (informational on single-CPU hosts)",
+        s3 / s1
+    );
+
+    match write_bench_json(&cells, v2_rps / v1_rps, v3_rps / v2_rps, s3 / s1) {
         Ok(path) => println!("svc_pipeline/json: wrote {path}"),
         Err(e) => eprintln!("svc_pipeline/json: write failed: {e}"),
     }

@@ -5,6 +5,8 @@
 //!                [--queue-cap N] [--scale tiny|small|paper]
 //!                [--mem-budget BYTES[k|m|g]] [--max-inflight N]
 //!                [--max-conns N]
+//! mis2svc route  --shard HOST:PORT [--shard HOST:PORT ...]
+//!                [--addr HOST:PORT] [--max-inflight N] [--max-conns N]
 //! mis2svc client --addr HOST:PORT REQUEST...
 //! mis2svc workloads [--addr HOST:PORT --pipeline N [--proto v2|v3]]
 //! ```
@@ -33,9 +35,19 @@
 //! order, tags stripped and frames rendered back to text, so the output
 //! of every protocol is directly comparable to a sequential v1 sweep.
 //! That is exactly what the CI pipelined and v3 smoke legs diff.
+//!
+//! `route` runs the shard router: each `--shard` names one running
+//! `mis2svc serve` process, requests are consistent-hashed to the shard
+//! owning their graph, and the router is protocol-transparent — `client`
+//! and `workloads --pipeline N [--proto v2|v3]` work against it
+//! unchanged, with responses byte-identical to a single unsharded
+//! server's. `STATS` through the router answers the merged cluster line
+//! (every counter summed across shards, plus `shards= shards_up=
+//! shard_bytes= shard_evictions=` at the end); a dead shard fails fast
+//! with `ERR shard down` on its keys only.
 
 use mis2_graph::{suite, Scale};
-use mis2_svc::{client::Client, client::PipelinedClient, client::V3Client, server};
+use mis2_svc::{client::Client, client::PipelinedClient, client::V3Client, server, shard};
 
 fn usage() -> ! {
     eprintln!(
@@ -43,6 +55,8 @@ fn usage() -> ! {
          \x20                     [--queue-cap N] [--scale tiny|small|paper]\n\
          \x20                     [--mem-budget BYTES[k|m|g]] [--max-inflight N]\n\
          \x20                     [--max-conns N]\n\
+         \x20      mis2svc route  --shard HOST:PORT [--shard HOST:PORT ...]\n\
+         \x20                     [--addr HOST:PORT] [--max-inflight N] [--max-conns N]\n\
          \x20      mis2svc client --addr HOST:PORT REQUEST...\n\
          \x20      mis2svc workloads [--addr HOST:PORT --pipeline N [--proto v2|v3]]"
     );
@@ -53,6 +67,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("serve") => cmd_serve(&argv[1..]),
+        Some("route") => cmd_route(&argv[1..]),
         Some("client") => cmd_client(&argv[1..]),
         Some("workloads") => cmd_workloads(&argv[1..]),
         _ => usage(),
@@ -124,6 +139,44 @@ fn cmd_serve(argv: &[String]) {
         }
         Err(e) => {
             eprintln!("error: cannot serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `route`: front N running `mis2svc serve` shards with the
+/// consistent-hash router of [`shard::route`]. Prints the bound address
+/// (`mis2svc routing on ADDR`) and serves until killed; every shard must
+/// answer a v3 hello at startup, and the advertised downstream window is
+/// clamped to the smallest shard window.
+fn cmd_route(argv: &[String]) {
+    let mut cfg = shard::RouterConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> &str {
+            *i += 1;
+            argv.get(*i).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = take(&mut i).to_string(),
+            "--shard" => cfg.shards.push(take(&mut i).to_string()),
+            "--max-conns" => cfg.max_conns = parse_nonzero("--max-conns", take(&mut i)),
+            "--max-inflight" => cfg.max_inflight = parse_nonzero("--max-inflight", take(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if cfg.shards.is_empty() {
+        eprintln!("error: route needs at least one --shard");
+        usage();
+    }
+    match shard::route(cfg) {
+        Ok(handle) => {
+            println!("mis2svc routing on {}", handle.addr());
+            handle.wait();
+        }
+        Err(e) => {
+            eprintln!("error: cannot route: {e}");
             std::process::exit(1);
         }
     }

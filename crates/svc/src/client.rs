@@ -8,7 +8,9 @@
 //! legs.
 
 use crate::codec;
-use crate::proto;
+use crate::proto::{self, Request};
+use crate::registry;
+use crate::shard::{shard_key, Ring};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -389,6 +391,172 @@ impl V3Client {
     /// connection.
     pub fn quit(mut self) -> io::Result<()> {
         let _ = self.request("QUIT")?;
+        Ok(())
+    }
+}
+
+/// One shard's connection inside a [`ShardedClient`]: the address (the
+/// ring identity) plus the live v3 connection, `None` once the shard has
+/// failed (fail-fast: its keys answer `ERR shard down` from then on).
+struct ShardConn {
+    addr: String,
+    conn: Option<V3Client>,
+}
+
+/// A shard-aware client: consistent-hashes each request's graph to its
+/// owning shard (the same [`Ring`] + [`shard_key`] rule the router
+/// uses), fans a batch out across the shards — one thread per shard,
+/// each driving its own pipelined [`V3Client`] window with the existing
+/// base-offset tag reassembly — and merges the responses back into
+/// request order.
+///
+/// Failure semantics mirror the router and the per-connection poisoning
+/// contract: a shard whose batch errors (death mid-window included) is
+/// marked dead, every request routed to it — in this batch and later
+/// ones — answers the literal line `ERR shard down`, and the surviving
+/// shards keep serving. The call itself still returns `Ok`, so one dead
+/// shard never masks the other shards' responses.
+pub struct ShardedClient {
+    shards: Vec<ShardConn>,
+    ring: Ring,
+    window: usize,
+}
+
+impl ShardedClient {
+    /// Connect to every shard and upgrade each to v3 framing. The
+    /// per-shard window is `window` clamped to the smallest shard's
+    /// advertised cap, so every shard accepts the same depth. All shards
+    /// must be reachable at construction (a client that starts with a
+    /// dead shard should say so loudly); shards may die afterwards.
+    pub fn connect(addrs: &[String], window: usize) -> io::Result<ShardedClient> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "sharded client needs at least one shard",
+            ));
+        }
+        let mut shards = Vec::with_capacity(addrs.len());
+        let mut effective = window.max(1);
+        for addr in addrs {
+            let conn = V3Client::connect(addr.as_str(), window)?;
+            effective = effective.min(conn.window());
+            shards.push(ShardConn {
+                addr: addr.clone(),
+                conn: Some(conn),
+            });
+        }
+        Ok(ShardedClient {
+            shards,
+            ring: Ring::new(addrs),
+            window: effective,
+        })
+    }
+
+    /// The effective per-shard window after clamping to every shard's cap.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Index of the shard owning `graph` — exposed so tests can predict
+    /// which keys a killed shard takes down.
+    pub fn shard_of(&self, graph: &proto::GraphRef) -> usize {
+        self.ring.shard_of(&shard_key(graph))
+    }
+
+    /// Send every request line, each through its owning shard, and
+    /// return the responses **in request order** rendered to their v1
+    /// text form — exactly what [`V3Client::request_many`] returns for
+    /// the same lines on an unsharded server. Lines that do not name a
+    /// graph (`PING`, `STATS`, parse errors) go to shard 0, whose server
+    /// answers them with the very strings a single server would.
+    pub fn request_many<S: AsRef<str> + Sync>(&mut self, lines: &[S]) -> io::Result<Vec<String>> {
+        let mut batches: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, line) in lines.iter().enumerate() {
+            let shard = match Request::parse(line.as_ref()) {
+                Ok(ref req) => match crate::ops::request_op(req) {
+                    Some((graph, _)) => self.ring.shard_of(&shard_key(graph)),
+                    None => 0,
+                },
+                Err(_) => 0,
+            };
+            batches[shard].push(i);
+        }
+        let mut results: Vec<Option<String>> = Vec::with_capacity(lines.len());
+        results.resize_with(lines.len(), || None);
+        let per_shard: Vec<Vec<(usize, String)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(batches.iter())
+                .map(|(shard, batch)| {
+                    s.spawn(move || -> Vec<(usize, String)> {
+                        if batch.is_empty() {
+                            return Vec::new();
+                        }
+                        let sub: Vec<&str> = batch.iter().map(|&i| lines[i].as_ref()).collect();
+                        let responses = match shard.conn.as_mut() {
+                            Some(conn) => match conn.request_many(&sub) {
+                                Ok(r) => r,
+                                Err(_) => {
+                                    // Death mid-window: the connection is
+                                    // poisoned (tags can't be trusted), so
+                                    // fail-fast every key this shard owns.
+                                    shard.conn = None;
+                                    vec!["ERR shard down".to_string(); batch.len()]
+                                }
+                            },
+                            None => vec!["ERR shard down".to_string(); batch.len()],
+                        };
+                        batch.iter().copied().zip(responses).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+        for (i, response) in per_shard.into_iter().flatten() {
+            results[i] = Some(response);
+        }
+        Ok(results.into_iter().map(|r| r.unwrap()).collect())
+    }
+
+    /// Single-request convenience over [`ShardedClient::request_many`].
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        Ok(self.request_many(&[line])?.pop().unwrap())
+    }
+
+    /// The merged cluster `STATS` line (`OK STATS ...` with every shard's
+    /// counters summed and the `shards= shards_up= shard_bytes=
+    /// shard_evictions=` gauges appended — see
+    /// [`registry::merge_stats_bodies`]). Fetched over short-lived v1
+    /// connections so it never perturbs the pipelined v3 windows; a dead
+    /// shard contributes zeros.
+    pub fn stats(&self) -> String {
+        let fetch = |addr: &str| -> Option<String> {
+            let mut c = Client::connect(addr).ok()?;
+            c.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+            let line = c.request("STATS").ok()?;
+            let body = line.strip_prefix("OK ")?.to_string();
+            let _ = c.quit();
+            Some(body)
+        };
+        let bodies: Vec<Option<String>> = self.shards.iter().map(|s| fetch(&s.addr)).collect();
+        format!("OK {}", registry::merge_stats_bodies(&bodies))
+    }
+
+    /// Polite close: framed `QUIT` to every live shard (each drains its
+    /// in-flight responses first), ignoring shards that already died.
+    pub fn quit(self) -> io::Result<()> {
+        for shard in self.shards {
+            if let Some(conn) = shard.conn {
+                let _ = conn.quit();
+            }
+        }
         Ok(())
     }
 }

@@ -137,7 +137,18 @@ pub fn decode_header(hdr: &[u8; HEADER_LEN]) -> (u64, u32, u8) {
 
 /// Encode one whole frame into a fresh buffer (test/client convenience —
 /// the server's writer stamps headers into its batch buffer instead).
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`]: an oversized body would
+/// otherwise truncate the length through the `u32` cast and emit a frame
+/// the peer rejects as `Oversized`, poisoning the connection. Callers
+/// that can see untrusted sizes use [`write_frame`], which returns an
+/// error instead.
 pub fn encode_frame(tag: u64, status: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "{}",
+        FrameError::Oversized { len: payload.len() }
+    );
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
     buf.extend_from_slice(&encode_header(tag, payload.len() as u32, status));
     buf.extend_from_slice(payload);
@@ -239,7 +250,19 @@ pub fn read_frame_into(
 }
 
 /// Write one frame (client convenience; callers batch via `BufWriter`).
+///
+/// Rejects payloads over [`MAX_PAYLOAD`] with `InvalidData` *before*
+/// writing anything: encoding one would truncate the length through the
+/// `u32` cast (or advertise a length the peer rejects as `Oversized`),
+/// desynchronizing the stream and poisoning the connection. Refusing at
+/// encode time keeps the failure scoped to the one oversized request.
 pub fn write_frame(w: &mut impl Write, tag: u64, status: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            FrameError::Oversized { len: payload.len() }.to_string(),
+        ));
+    }
     w.write_all(&encode_header(tag, payload.len() as u32, status))?;
     w.write_all(payload)
 }
@@ -341,6 +364,37 @@ mod tests {
         let mut cut = io::Cursor::new(buf[..HEADER_LEN - 2].to_vec());
         let e = read_frame(&mut cut).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn write_frame_accepts_exactly_max_payload() {
+        let payload = vec![0x5A_u8; MAX_PAYLOAD];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 9, STATUS_OK, &payload).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + MAX_PAYLOAD);
+        let (f, used) = decode_frame(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!((f.tag, f.status), (9, STATUS_OK));
+        assert_eq!(f.payload, payload);
+    }
+
+    #[test]
+    fn write_frame_rejects_one_past_max_payload_without_writing() {
+        let payload = vec![0u8; MAX_PAYLOAD + 1];
+        let mut buf = Vec::new();
+        let e = write_frame(&mut buf, 9, STATUS_OK, &payload).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            buf.is_empty(),
+            "an oversized payload must not desynchronize the stream"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "oversized frame")]
+    fn encode_frame_panics_past_max_payload() {
+        let payload = vec![0u8; MAX_PAYLOAD + 1];
+        let _ = encode_frame(1, STATUS_OK, &payload);
     }
 
     #[test]

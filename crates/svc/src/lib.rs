@@ -38,6 +38,13 @@
 //!   [`client::PipelinedClient`] drives a v2 window and
 //!   [`client::V3Client`] a v3 window, both with `request_many(..)`
 //!   reassembling by tag. All three protocols mix freely on one server.
+//! * [`shard`] — cluster scale: a consistent-hash [`shard::Ring`] over
+//!   shard identities, the `mis2svc route` proxy ([`shard::route`])
+//!   fronting N server processes with one pipelined v3 upstream per
+//!   shard, tag remapping, fail-fast `ERR shard down` containment when a
+//!   shard dies, and per-shard `STATS` merged into one cluster line
+//!   ([`registry::merge_stats_bodies`]); [`client::ShardedClient`] is
+//!   the client-side equivalent of the router.
 //!
 //! The determinism contract of the underlying algorithms lifts to the
 //! service: a response's *payload* is **bitwise-identical** to a direct
@@ -64,10 +71,12 @@ pub mod proto;
 pub mod registry;
 pub mod sched;
 pub mod server;
+pub mod shard;
 
-pub use client::{Client, PipelinedClient, V3Client};
+pub use client::{Client, PipelinedClient, ShardedClient, V3Client};
 pub use ops::OpKey;
 pub use proto::{GraphRef, Method, Request};
 pub use registry::Registry;
 pub use sched::{SchedConfig, Scheduler};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use shard::{route, Ring, RouterConfig, RouterHandle};

@@ -233,6 +233,19 @@ impl Response {
         }
     }
 
+    /// Rebuild a response from its v3 wire form (status byte + payload)
+    /// — the inverse of [`Response::status`] / [`Response::body_bytes`],
+    /// used by the shard router to re-emit an upstream shard's frame to a
+    /// downstream client. Response payloads are always UTF-8 (servers
+    /// render them from strings); invalid bytes are replaced rather than
+    /// trusted, exactly like [`crate::codec::Frame::to_line`].
+    pub fn from_wire(status: u8, payload: &[u8]) -> Response {
+        Response {
+            ok: status == codec::STATUS_OK,
+            body: Body::Text(String::from_utf8_lossy(payload).into_owned()),
+        }
+    }
+
     pub fn is_ok(&self) -> bool {
         self.ok
     }
@@ -366,6 +379,15 @@ mod tests {
         assert!(!err.is_ok());
         assert_eq!(err.status(), codec::STATUS_ERR);
         assert_eq!(err.to_line(), "ERR a; b");
+    }
+
+    #[test]
+    fn wire_form_round_trips_through_from_wire() {
+        for resp in [Response::ok_text("PONG".into()), Response::err("nope")] {
+            let back = Response::from_wire(resp.status(), resp.body_bytes());
+            assert_eq!(back.status(), resp.status());
+            assert_eq!(back.to_line(), resp.to_line());
+        }
     }
 
     #[test]

@@ -462,16 +462,6 @@ impl Registry {
         Some(value)
     }
 
-    /// Count a response served from interned bytes a connection memoized
-    /// locally (the server's hot-key fast path): logically an artifact
-    /// reuse *and* a response-bytes hit, so `hits + misses == requests`
-    /// stays exact, without taking the cache lock — the memo holds its
-    /// own `Arc`, and LRU stamps refresh only on real registry probes.
-    pub fn count_external_resp_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        self.resp_hits.fetch_add(1, Ordering::Relaxed);
-    }
-
     /// Get or render the interned response bytes for `(graph, op)`. A miss
     /// goes through the artifact cache (hit or single-flight compute, with
     /// the usual counters), renders the body once, and interns it —
@@ -571,6 +561,80 @@ impl Registry {
             resp_hits: self.resp_hits.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Parse a `STATS key=value ...` body into its pairs, in line order.
+/// Words without `=` (the leading `STATS` itself) and non-numeric values
+/// are skipped, so the parser tolerates future gauges it doesn't know.
+pub fn parse_stats_body(body: &str) -> Vec<(&str, u64)> {
+    body.split_whitespace()
+        .filter_map(|w| {
+            let (k, v) = w.split_once('=')?;
+            Some((k, v.parse::<u64>().ok()?))
+        })
+        .collect()
+}
+
+/// Merge per-shard `STATS` bodies into one cluster-wide line. Each shard
+/// slot is `Some(body)` for a reachable shard or `None` for a dead one
+/// (which contributes zeros).
+///
+/// The merged line keeps the single-server shape — every key a shard
+/// reported, in first-seen order, with values **summed** across shards —
+/// so existing greps (`bytes=`, `evictions=`, `inflight=`…) match the
+/// cluster totals exactly as they match one server's. Cluster-only
+/// gauges append at the END of the line, after every summed key:
+///
+/// ```text
+/// shards=<N> shards_up=<K> shard_bytes=b0,b1,… shard_evictions=e0,e1,…
+/// ```
+///
+/// where the comma lists give each shard's own `bytes` / `evictions` in
+/// ring order (zeros for a dead shard), letting callers attribute load
+/// per shard without a second round of per-shard STATS calls.
+pub fn merge_stats_bodies(shards: &[Option<String>]) -> String {
+    let parsed: Vec<Option<Vec<(&str, u64)>>> = shards
+        .iter()
+        .map(|b| b.as_deref().map(parse_stats_body))
+        .collect();
+    let mut keys: Vec<&str> = Vec::new();
+    for pairs in parsed.iter().flatten() {
+        for (k, _) in pairs {
+            if !keys.contains(k) {
+                keys.push(k);
+            }
+        }
+    }
+    let mut line = String::from("STATS");
+    for key in &keys {
+        let sum: u64 = parsed
+            .iter()
+            .flatten()
+            .flat_map(|pairs| pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| *v))
+            .sum();
+        line.push_str(&format!(" {key}={sum}"));
+    }
+    let per_shard = |key: &str| -> String {
+        parsed
+            .iter()
+            .map(|p| {
+                p.as_ref()
+                    .and_then(|pairs| pairs.iter().find(|(k, _)| *k == key))
+                    .map_or(0, |(_, v)| *v)
+                    .to_string()
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let up = parsed.iter().filter(|p| p.is_some()).count();
+    line.push_str(&format!(
+        " shards={} shards_up={} shard_bytes={} shard_evictions={}",
+        shards.len(),
+        up,
+        per_shard("bytes"),
+        per_shard("evictions")
+    ));
+    line
 }
 
 #[cfg(test)]
@@ -1038,5 +1102,43 @@ mod tests {
         let s = reg.stats();
         assert_eq!(s.evictions, 0);
         assert_eq!((s.graphs, s.artifacts), (3, 3));
+    }
+
+    #[test]
+    fn stats_bodies_parse_and_skip_unknown_words() {
+        let pairs = parse_stats_body("STATS graphs=2 bytes=100 note=x evictions=3");
+        assert_eq!(pairs, vec![("graphs", 2), ("bytes", 100), ("evictions", 3)]);
+    }
+
+    #[test]
+    fn merged_stats_sum_keys_and_append_cluster_gauges() {
+        let shards = vec![
+            Some("STATS graphs=2 bytes=100 evictions=1 inflight=0".to_string()),
+            Some("STATS graphs=3 bytes=50 evictions=4 inflight=2".to_string()),
+        ];
+        let line = merge_stats_bodies(&shards);
+        assert_eq!(
+            line,
+            "STATS graphs=5 bytes=150 evictions=5 inflight=2 \
+             shards=2 shards_up=2 shard_bytes=100,50 shard_evictions=1,4"
+        );
+        // The grep contract: the FIRST `bytes=` / `evictions=` match on
+        // the line is the cluster sum, exactly where a single server
+        // puts its own.
+        let first_bytes = line.split_whitespace().find(|w| w.starts_with("bytes="));
+        assert_eq!(first_bytes, Some("bytes=150"));
+    }
+
+    #[test]
+    fn dead_shards_contribute_zeros_to_merged_stats() {
+        let shards = vec![
+            Some("STATS graphs=2 bytes=100 evictions=1".to_string()),
+            None,
+            Some("STATS graphs=1 bytes=7 evictions=0".to_string()),
+        ];
+        let line = merge_stats_bodies(&shards);
+        assert!(line.contains(" shards=3 shards_up=2 "), "{line}");
+        assert!(line.ends_with("shard_bytes=100,0,7 shard_evictions=1,0,0"));
+        assert!(line.starts_with("STATS graphs=3 bytes=107 evictions=1"));
     }
 }

@@ -118,11 +118,74 @@ pub struct SvcStats {
 /// *panic*, failed thread spawn, or an over-cap rejection. (Before this
 /// guard, a panicking handler skipped its `fetch_sub` and each panic
 /// permanently shrank the usable cap until the server wedged at 0.)
-struct ConnSlot(Arc<AtomicUsize>);
+///
+/// A slot may additionally be *tracked* in a [`ConnTable`]: the same drop
+/// guard then also deregisters the connection's socket, so the live-socket
+/// table and the slot count can never disagree — the property
+/// [`ServerHandle::kill`] (and the shard router's accounting) relies on.
+pub(crate) struct ConnSlot {
+    conns: Arc<AtomicUsize>,
+    tracked: Option<(Arc<ConnTable>, u64)>,
+}
+
+impl ConnSlot {
+    pub(crate) fn new(conns: Arc<AtomicUsize>) -> ConnSlot {
+        ConnSlot {
+            conns,
+            tracked: None,
+        }
+    }
+
+    /// Register `stream` in `table` and tie its deregistration to this
+    /// guard's drop. A failed `try_clone` (fd exhaustion) just leaves the
+    /// connection untracked — `kill()` then can't hard-close it, but slot
+    /// accounting is unaffected.
+    pub(crate) fn track(mut self, table: &Arc<ConnTable>, stream: &TcpStream) -> ConnSlot {
+        if let Some(id) = table.register(stream) {
+            self.tracked = Some((Arc::clone(table), id));
+        }
+        self
+    }
+}
 
 impl Drop for ConnSlot {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
+        if let Some((table, id)) = self.tracked.take() {
+            table.deregister(id);
+        }
+        self.conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Sockets of every live connection, keyed by an id minted at accept.
+/// Entries leave through the owning [`ConnSlot`]'s drop, so the table
+/// tracks exactly the connections still holding a slot; [`kill_all`]
+/// hard-closes whatever is left so handler threads unblock from their
+/// reads and wind down.
+///
+/// [`kill_all`]: ConnTable::kill_all
+#[derive(Default)]
+pub(crate) struct ConnTable {
+    next: AtomicU64,
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+}
+
+impl ConnTable {
+    pub(crate) fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().unwrap().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.conns.lock().unwrap().remove(&id);
+    }
+
+    pub(crate) fn kill_all(&self) {
+        for (_, stream) in self.conns.lock().unwrap().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -136,6 +199,7 @@ pub struct ServerHandle {
     sched: Arc<Scheduler>,
     registry: Arc<Registry>,
     svc_stats: Arc<SvcStats>,
+    conn_table: Arc<ConnTable>,
 }
 
 impl ServerHandle {
@@ -174,6 +238,22 @@ impl ServerHandle {
         }
         self.sched.shutdown();
     }
+
+    /// Hard stop, simulating a crashed shard process in-process: stop
+    /// accepting, then `shutdown(Both)` every live connection socket so
+    /// handler reads hit EOF and in-flight peers (the shard router among
+    /// them) see the connection die mid-window instead of winding down
+    /// cleanly. Used by the kill-one-shard tests; a standalone `mis2svc`
+    /// process gets the same effect from SIGKILL.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.conn_table.kill_all();
+        self.sched.shutdown();
+    }
 }
 
 /// Bind and start serving in background threads.
@@ -198,11 +278,13 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
     } else {
         cfg.max_inflight
     };
+    let conn_table = Arc::new(ConnTable::default());
     let accept = {
         let registry = Arc::clone(&registry);
         let sched = Arc::clone(&sched);
         let stop = Arc::clone(&stop);
         let svc_stats = Arc::clone(&svc_stats);
+        let conn_table = Arc::clone(&conn_table);
         let conns = Arc::new(AtomicUsize::new(0));
         std::thread::Builder::new()
             .name("mis2-svc-accept".into())
@@ -234,11 +316,15 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
                     // path — over-cap rejection, spawn failure, handler
                     // return, handler panic — releases exactly once.
                     let claimed = conns.fetch_add(1, Ordering::AcqRel) + 1;
-                    let slot = ConnSlot(Arc::clone(&conns));
+                    let slot = ConnSlot::new(Arc::clone(&conns));
                     if claimed > max_conns {
                         let _ = writeln!(stream, "{}", proto::err("server busy"));
                         continue; // drop the stream; `slot` releases the claim
                     }
+                    // Only admitted connections enter the kill table; the
+                    // same drop guard that releases the slot deregisters
+                    // the socket, so table and count stay in lockstep.
+                    let slot = slot.track(&conn_table, &stream);
                     let registry = Arc::clone(&registry);
                     let sched = Arc::clone(&sched);
                     let svc_stats = Arc::clone(&svc_stats);
@@ -266,6 +352,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         sched,
         registry,
         svc_stats,
+        conn_table,
     })
 }
 
@@ -280,13 +367,13 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
 /// always strictly below capacity at the moment of a send — completions
 /// (which run on scheduler worker-leaders) can never block on a full
 /// channel, no matter how slow or dead the client is.
-struct ConnWindow {
+pub(crate) struct ConnWindow {
     inflight: Mutex<usize>,
     changed: Condvar,
 }
 
 impl ConnWindow {
-    fn new() -> ConnWindow {
+    pub(crate) fn new() -> ConnWindow {
         ConnWindow {
             inflight: Mutex::new(0),
             changed: Condvar::new(),
@@ -312,7 +399,7 @@ impl ConnWindow {
 
     /// Block until every outstanding response has been written (used by
     /// `QUIT` so `BYE` is the last line on the wire).
-    fn wait_empty(&self) {
+    pub(crate) fn wait_empty(&self) {
         let mut n = self.inflight.lock().unwrap();
         while *n > 0 {
             n = self.changed.wait(n).unwrap();
@@ -322,7 +409,7 @@ impl ConnWindow {
 
 /// One response travelling from the reader (inline answers) or a
 /// scheduler completion into the connection's writer.
-enum Outgoing {
+pub(crate) enum Outgoing {
     /// A v1/v2 text line, written with a trailing `\n`.
     Line(String),
     /// A v3 response: 13-byte binary header stamped by the writer,
@@ -367,6 +454,16 @@ fn encode_outgoing(
             push_scratch(pieces, off, scratch.len() - off);
         }
         Outgoing::Frame { tag, resp } => {
+            // An over-MAX_PAYLOAD body cannot be framed: the header's u32
+            // length would truncate (or advertise a length the peer
+            // rejects as Oversized and poisons the connection on). Swap
+            // in a per-tag ERR so only this request fails and the stream
+            // stays framed.
+            let resp = if resp.body_bytes().len() > codec::MAX_PAYLOAD {
+                ops::Response::err("response too large")
+            } else {
+                resp
+            };
             let (status, body) = resp.into_parts();
             match body {
                 ops::Body::Text(text) => {
@@ -451,7 +548,12 @@ fn write_all_spans(w: &mut TcpStream, spans: &[&[u8]]) -> io::Result<usize> {
 /// that can no longer receive a byte, and the shutdown is what turns its
 /// next read into EOF so the connection winds down instead of burning
 /// scheduler compute on undeliverable responses.
-fn writer_loop(rx: Receiver<Outgoing>, stream: TcpStream, win: &ConnWindow, stats: &SvcStats) {
+pub(crate) fn writer_loop(
+    rx: Receiver<Outgoing>,
+    stream: TcpStream,
+    win: &ConnWindow,
+    stats: &SvcStats,
+) {
     let mut out = stream;
     let mut broken = false;
     let mut scratch: Vec<u8> = Vec::new();
@@ -564,7 +666,7 @@ fn handle_connection(
 
 /// Acquire one window slot (blocking at `cap` — the per-connection
 /// backpressure) and record it in the service-wide gauges.
-fn acquire_slot(win: &ConnWindow, cap: usize, stats: &SvcStats) {
+pub(crate) fn acquire_slot(win: &ConnWindow, cap: usize, stats: &SvcStats) {
     let depth = win.acquire(cap);
     stats.inflight.fetch_add(1, Ordering::Relaxed);
     stats
@@ -584,12 +686,17 @@ fn send_response(item: Outgoing, tx: &SyncSender<Outgoing>, win: &ConnWindow, st
 }
 
 /// [`send_response`] for a v1/v2 text line.
-fn send_line(line: String, tx: &SyncSender<Outgoing>, win: &ConnWindow, stats: &SvcStats) {
+pub(crate) fn send_line(
+    line: String,
+    tx: &SyncSender<Outgoing>,
+    win: &ConnWindow,
+    stats: &SvcStats,
+) {
     send_response(Outgoing::Line(line), tx, win, stats);
 }
 
 /// [`send_response`] for a v3 frame under `tag`.
-fn send_frame(
+pub(crate) fn send_frame(
     tag: u64,
     resp: ops::Response,
     tx: &SyncSender<Outgoing>,
@@ -772,15 +879,21 @@ fn read_loop(
 ///   allocation, just a header stamp and an iovec entry in the writer's
 ///   next batch.
 ///
-/// On top of the registry probe sits a one-entry **hot-key memo**: when
-/// an inline hit is served for a *suite* graph (immutable by
-/// construction, so the bytes can never go stale), the raw request bytes
-/// and the interned `Arc` are remembered, and a byte-identical next
-/// request skips the parse and the registry lock entirely — the classic
+/// On top of the registry probe sits a one-entry **hot-key parse memo**:
+/// when an inline hit is served for a *suite* graph, the raw request
+/// bytes and the parsed [`Request`] are remembered, and a byte-identical
+/// next request skips UTF-8 validation and parsing — the classic
 /// last-value cache for the skewed workloads pipelined clients actually
-/// send. The memo still counts as a registry hit
-/// ([`Registry::count_external_resp_hit`]) so cache accounting stays
-/// exact, and it pins at most one response's bytes per connection.
+/// send. The memoized request still goes through the normal
+/// [`Registry::try_response`] probe, which is deliberate: an earlier
+/// version memoized the interned `Arc` itself and served repeats without
+/// touching the registry, so a graph served exclusively from the memo
+/// never refreshed its resp/artifact/graph LRU stamps, looked
+/// LRU-coldest, and was the first thing evicted under `--mem-budget`
+/// pressure — the hottest key on the connection thrashed in and out of
+/// the cache. Probing the registry per request keeps the stamps (and the
+/// `hits`/`resp_hits` counters) exact while still skipping the per-repeat
+/// parse work.
 #[allow(clippy::too_many_arguments)]
 fn v3_read_loop(
     reader: &mut BufReader<TcpStream>,
@@ -792,7 +905,7 @@ fn v3_read_loop(
     tx: &SyncSender<Outgoing>,
 ) -> io::Result<()> {
     let mut payload: Vec<u8> = Vec::new();
-    let mut memo: Option<(Vec<u8>, Arc<RespBytes>)> = None;
+    let mut memo: Option<(Vec<u8>, Request)> = None;
     loop {
         let Some(hdr) = codec::read_header(reader)? else {
             return Ok(()); // client closed between frames
@@ -809,31 +922,24 @@ fn v3_read_loop(
         }
         payload.resize(len, 0);
         reader.read_exact(&mut payload)?;
-        // Hot-key memo: a byte-identical repeat of the last inline hit is
-        // answered without parsing or locking anything.
-        if let Some((key, bytes)) = &memo {
-            if key == &payload {
-                registry.count_external_resp_hit();
-                acquire_slot(win, max_inflight, stats);
-                send_frame(
-                    tag,
-                    ops::Response::interned(Arc::clone(bytes)),
-                    tx,
-                    win,
-                    stats,
-                );
-                continue;
+        // Hot-key parse memo: a byte-identical repeat of the last inline
+        // hit reuses the parsed request — but still takes the normal
+        // try_response path below, so LRU stamps and hit counters refresh
+        // exactly as if the request had been parsed fresh.
+        let parsed = match &memo {
+            Some((key, req)) if key == &payload => Ok(req.clone()),
+            _ => {
+                let Ok(text) = std::str::from_utf8(&payload) else {
+                    // Lengths are explicit, so the stream stays framed:
+                    // reject this request, keep the connection.
+                    acquire_slot(win, max_inflight, stats);
+                    send_frame(tag, ops::Response::err("invalid utf-8"), tx, win, stats);
+                    continue;
+                };
+                Request::parse(text.trim_end_matches(['\r', '\n']))
             }
-        }
-        let Ok(text) = std::str::from_utf8(&payload) else {
-            // Lengths are explicit, so the stream stays framed: reject
-            // this request, keep the connection.
-            acquire_slot(win, max_inflight, stats);
-            send_frame(tag, ops::Response::err("invalid utf-8"), tx, win, stats);
-            continue;
         };
-        let trimmed = text.trim_end_matches(['\r', '\n']);
-        match Request::parse(trimmed) {
+        match parsed {
             Err(e) => {
                 acquire_slot(win, max_inflight, stats);
                 send_frame(tag, ops::Response::err(&e), tx, win, stats);
@@ -860,12 +966,12 @@ fn v3_read_loop(
                 // a hit (and a resp_hit) so cache accounting stays exact.
                 if let Some((graph, op)) = ops::request_op(&req) {
                     if let Some(bytes) = registry.try_response(graph, &op) {
-                        // Memoize suite-graph hits only: suite graphs are
-                        // immutable by construction, so the bytes can
-                        // never go stale; an `.mtx` path could change on
-                        // disk after an eviction.
+                        // Memoize suite-graph hits only: suite names need
+                        // no filesystem canonicalization, so the cached
+                        // parse is always equivalent to a fresh one; an
+                        // `.mtx` path's resolution could change on disk.
                         if matches!(graph, proto::GraphRef::Suite(_)) {
-                            memo = Some((payload.clone(), Arc::clone(&bytes)));
+                            memo = Some((payload.clone(), req.clone()));
                         }
                         send_frame(tag, ops::Response::interned(bytes), tx, win, stats);
                         continue;
@@ -1491,6 +1597,104 @@ mod tests {
             assert_eq!(f.to_line(), line, "{req}");
         }
         h.shutdown();
+    }
+
+    #[test]
+    fn memo_repeats_keep_the_hot_key_resident_under_eviction_pressure() {
+        // Regression for the memo-hit LRU bug: the v3 hot-key memo used
+        // to answer byte-identical repeats without touching the registry,
+        // so the hot key's resp/artifact/graph stamps never refreshed and
+        // a tight budget evicted exactly the hottest entry. The memo now
+        // only skips the re-parse; every repeat still probes
+        // `try_response`, which refreshes all three stamps.
+        //
+        // Churn distinct COARSEN levels on the *same* graph so the graph
+        // stays shared and eviction pressure lands on the artifact
+        // segment, where the LRU stamp alone picks the victim. Budget =
+        // the hot key's footprint + the largest coarsen artifact + slack:
+        // each new coarsen insert overflows, and evicting the *previous*
+        // coarsen artifact gets back under — unless the hot artifact's
+        // stamp is stale, in which case it is the LRU victim instead.
+        let hot = proto::GraphRef::Suite("ecology2".into());
+        let (hot_bytes, biggest_cold) = {
+            let probe = Registry::new(Scale::Tiny);
+            probe.response(&hot, &ops::OpKey::Mis2).unwrap();
+            let hot_bytes = probe.stats().bytes;
+            probe
+                .response(&hot, &ops::OpKey::Coarsen { levels: 3 })
+                .unwrap();
+            (hot_bytes, probe.stats().bytes - hot_bytes)
+        };
+        let h = serve(ServerConfig {
+            threads: 2,
+            mem_budget: hot_bytes + biggest_cold + 4096,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = RawV3::connect(h.addr());
+        let mut tag = 0u64;
+        let mut ask = |c: &mut RawV3, req: &str| {
+            tag += 1;
+            c.send(tag, req.as_bytes());
+            let f = c.recv();
+            assert_eq!((f.tag, f.status), (tag, codec::STATUS_OK), "{req}");
+        };
+        // Warm the hot key (miss), then once more to arm the memo (hit).
+        ask(&mut c, "MIS2 ecology2");
+        ask(&mut c, "MIS2 ecology2");
+        // Interleave cold computes with byte-identical hot repeats (each
+        // must ride the memo AND refresh the hot entries' stamps).
+        for level in 1..=3 {
+            ask(&mut c, &format!("COARSEN ecology2 {level}"));
+            ask(&mut c, "MIS2 ecology2");
+        }
+        let r = h.registry().stats();
+        assert!(r.evictions > 0, "budget must actually bite: {r:?}");
+        // Hot computed once, each coarsen level once. Had the hot
+        // artifact been evicted, a repeat would have re-missed.
+        assert_eq!(r.misses, 4, "{r:?}");
+        assert!(
+            h.registry().try_response(&hot, &ops::OpKey::Mis2).is_some(),
+            "hot key must still be resident after the churn: {r:?}"
+        );
+        c.send(999, b"QUIT");
+        assert_eq!(c.recv().payload, b"BYE");
+        h.shutdown();
+    }
+
+    #[test]
+    fn oversized_response_body_becomes_a_per_tag_err_frame() {
+        // The v3 header's length field is a u32 capped at MAX_PAYLOAD; a
+        // body past the cap cannot be framed, so the batcher swaps in a
+        // per-tag ERR instead of truncating or poisoning the stream.
+        let mut scratch = Vec::new();
+        let mut pieces = Vec::new();
+        let mut shared = Vec::new();
+        let big = ops::Response::ok_text("x".repeat(codec::MAX_PAYLOAD + 1));
+        encode_outgoing(
+            Outgoing::Frame { tag: 42, resp: big },
+            &mut scratch,
+            &mut pieces,
+            &mut shared,
+        );
+        let (f, used) = codec::decode_frame(&scratch).unwrap();
+        assert_eq!(used, scratch.len());
+        assert_eq!((f.tag, f.status), (42, codec::STATUS_ERR));
+        assert_eq!(f.payload, b"response too large");
+        // Exactly MAX_PAYLOAD still frames intact.
+        scratch.clear();
+        pieces.clear();
+        let max = ops::Response::ok_text("y".repeat(codec::MAX_PAYLOAD));
+        encode_outgoing(
+            Outgoing::Frame { tag: 7, resp: max },
+            &mut scratch,
+            &mut pieces,
+            &mut shared,
+        );
+        let (f, used) = codec::decode_frame(&scratch).unwrap();
+        assert_eq!(used, scratch.len());
+        assert_eq!((f.tag, f.status), (7, codec::STATUS_OK));
+        assert_eq!(f.payload.len(), codec::MAX_PAYLOAD);
     }
 
     #[test]
