@@ -21,7 +21,9 @@
 //! prints explicit ratio lines after the criterion output to make those
 //! checks one `grep` away, and writes the full protocol × window matrix
 //! as `BENCH_svc.json` (override the path with `BENCH_SVC_JSON=`) for the
-//! CI artifact upload.
+//! CI artifact upload. Schema 2 adds client-observed p50/p95/p99 per
+//! cell and the metrics-recording overhead (`svc_pipeline/metrics:` line,
+//! target ≤ 2% on the cache-hit v3-w64 hot path).
 
 use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
 use mis2_svc::client::{Client, PipelinedClient, V3Client};
@@ -92,24 +94,38 @@ fn time_batches(rounds: usize, mut run: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() / rounds as f64
 }
 
-/// One measured cell of the protocol × window matrix.
+/// One measured cell of the protocol × window matrix, with
+/// client-observed latency percentiles over every measured request.
 struct Cell {
     proto: &'static str,
     window: usize,
     rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+/// Nearest-rank p50/p95/p99 in microseconds over raw nanosecond samples.
+fn pcts(mut ns: Vec<u64>) -> (f64, f64, f64) {
+    ns.sort_unstable();
+    let p = |q| mis2_svc::metrics::percentile_ns(&ns, q) as f64 / 1_000.0;
+    (p(0.50), p(0.95), p(0.99))
 }
 
 /// Hand-rolled JSON (the workspace is std-only): an array of
-/// `{proto, window, req_per_s}` objects plus the batch size and the two
-/// acceptance ratios.
+/// `{proto, window, req_per_s, p50_us, p95_us, p99_us}` objects plus the
+/// batch size, the acceptance ratios, and the metrics-recording overhead.
+/// Schema 2 = schema 1 plus the percentile fields and
+/// `metrics_overhead_pct`; every schema-1 field is unchanged.
 fn write_bench_json(
     cells: &[Cell],
     v2_over_v1: f64,
     v3_over_v2: f64,
     shard3_over_shard1: f64,
+    metrics_overhead_pct: f64,
 ) -> std::io::Result<String> {
     let path = std::env::var("BENCH_SVC_JSON").unwrap_or_else(|_| "BENCH_svc.json".to_string());
-    let mut out = String::from("{\n  \"bench\": \"svc_pipeline\",\n");
+    let mut out = String::from("{\n  \"bench\": \"svc_pipeline\",\n  \"schema\": 2,\n");
     out.push_str(&format!("  \"batch\": {BATCH},\n"));
     out.push_str(&format!(
         "  \"ratio_v2_w64_over_v1\": {v2_over_v1:.3},\n  \"ratio_v3_w64_over_v2_w64\": {v3_over_v2:.3},\n"
@@ -117,13 +133,20 @@ fn write_bench_json(
     out.push_str(&format!(
         "  \"ratio_v3_shard3_over_shard1\": {shard3_over_shard1:.3},\n"
     ));
+    out.push_str(&format!(
+        "  \"metrics_overhead_pct\": {metrics_overhead_pct:.2},\n"
+    ));
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"proto\": \"{}\", \"window\": {}, \"req_per_s\": {:.1}}}{}\n",
+            "    {{\"proto\": \"{}\", \"window\": {}, \"req_per_s\": {:.1}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
             c.proto,
             c.window,
             c.rps,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
@@ -183,38 +206,57 @@ fn bench_svc_pipeline(c: &mut Criterion) {
     let mut cells: Vec<Cell> = Vec::new();
 
     let mut v1 = Client::connect(addr).unwrap();
+    let mut v1_lat: Vec<u64> = Vec::new();
     let v1_batch = time_batches(rounds, || {
         for line in &lines {
+            let t = Instant::now();
             v1.request(line).unwrap();
+            v1_lat.push(t.elapsed().as_nanos() as u64);
         }
     });
+    let (p50_us, p95_us, p99_us) = pcts(v1_lat);
     cells.push(Cell {
         proto: "v1",
         window: 1,
         rps: BATCH as f64 / v1_batch,
+        p50_us,
+        p95_us,
+        p99_us,
     });
 
     for window in [1usize, 8, 64] {
         let mut v2 = PipelinedClient::connect(addr, window).unwrap();
+        let mut lat: Vec<u64> = Vec::new();
         let batch = time_batches(rounds, || {
             v2.request_many(&lines).unwrap();
+            lat.extend_from_slice(v2.last_latencies_ns());
         });
+        let (p50_us, p95_us, p99_us) = pcts(lat);
         cells.push(Cell {
             proto: "v2",
             window,
             rps: BATCH as f64 / batch,
+            p50_us,
+            p95_us,
+            p99_us,
         });
     }
 
     for window in [1usize, 8, 64] {
         let mut v3 = V3Client::connect(addr, window).unwrap();
+        let mut lat: Vec<u64> = Vec::new();
         let batch = time_batches(rounds, || {
             v3.request_many(&lines).unwrap();
+            lat.extend_from_slice(v3.last_latencies_ns());
         });
+        let (p50_us, p95_us, p99_us) = pcts(lat);
         cells.push(Cell {
             proto: "v3",
             window,
             rps: BATCH as f64 / batch,
+            p50_us,
+            p95_us,
+            p99_us,
         });
     }
 
@@ -230,9 +272,12 @@ fn bench_svc_pipeline(c: &mut Criterion) {
         // Warm every shard: first pass computes + interns per owner.
         let warm = client.request_many(&shard_lines).unwrap();
         assert!(warm.iter().all(|r| r.starts_with("OK ")));
+        let mut lat: Vec<u64> = Vec::new();
         let batch = time_batches(rounds, || {
             client.request_many(&shard_lines).unwrap();
+            lat.extend_from_slice(client.last_latencies_ns());
         });
+        let (p50_us, p95_us, p99_us) = pcts(lat);
         cells.push(Cell {
             proto: if nshards == 1 {
                 "v3_shard1"
@@ -241,6 +286,9 @@ fn bench_svc_pipeline(c: &mut Criterion) {
             },
             window: 64,
             rps: BATCH as f64 / batch,
+            p50_us,
+            p95_us,
+            p99_us,
         });
         client.quit().unwrap();
         router.shutdown();
@@ -279,7 +327,60 @@ fn bench_svc_pipeline(c: &mut Criterion) {
         s3 / s1
     );
 
-    match write_bench_json(&cells, v2_rps / v1_rps, v3_rps / v2_rps, s3 / s1) {
+    // Metrics-recording overhead: the identical cache-hot v3-w64 batch
+    // against a second server whose recording is compiled in but turned
+    // off (`metrics: false` — the reader then skips even the clock
+    // reads). The two sides alternate batch-by-batch *within* each
+    // round, so scheduler noise and machine drift — which live at
+    // millisecond scale on a shared host — hit both sides equally in
+    // expectation; a pass's ratio of summed times is then drift-free,
+    // and the median over passes is the reported overhead.
+    let off_handle = server::serve(ServerConfig {
+        threads: 2,
+        metrics: false,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut warm_off = Client::connect(off_handle.addr()).unwrap();
+    assert!(warm_off.request(REQUEST).unwrap().starts_with("OK "));
+    let mut on = V3Client::connect(addr, 64).unwrap();
+    let mut off = V3Client::connect(off_handle.addr(), 64).unwrap();
+    on.request_many(&lines).unwrap();
+    off.request_many(&lines).unwrap();
+    let ab_rounds = 400;
+    let (mut on_best, mut off_best) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::new();
+    for _pass in 0..7 {
+        let (mut t_on, mut t_off) = (0.0f64, 0.0f64);
+        for _ in 0..ab_rounds {
+            let t = Instant::now();
+            on.request_many(&lines).unwrap();
+            t_on += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            off.request_many(&lines).unwrap();
+            t_off += t.elapsed().as_secs_f64();
+        }
+        on_best = on_best.min(t_on / ab_rounds as f64);
+        off_best = off_best.min(t_off / ab_rounds as f64);
+        ratios.push(t_on / t_off);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let metrics_overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    println!(
+        "svc_pipeline/metrics: v3_w64 recording-on {:.0} req/s, recording-off {:.0} req/s, \
+         overhead {metrics_overhead_pct:+.2}% (target <= 2%)",
+        BATCH as f64 / on_best,
+        BATCH as f64 / off_best,
+    );
+    off_handle.shutdown();
+
+    match write_bench_json(
+        &cells,
+        v2_rps / v1_rps,
+        v3_rps / v2_rps,
+        s3 / s1,
+        metrics_overhead_pct,
+    ) {
         Ok(path) => println!("svc_pipeline/json: wrote {path}"),
         Err(e) => eprintln!("svc_pipeline/json: write failed: {e}"),
     }

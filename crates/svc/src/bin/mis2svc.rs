@@ -4,7 +4,7 @@
 //! mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]
 //!                [--queue-cap N] [--scale tiny|small|paper]
 //!                [--mem-budget BYTES[k|m|g]] [--max-inflight N]
-//!                [--max-conns N]
+//!                [--max-conns N] [--slow-ms MS]
 //! mis2svc route  --shard HOST:PORT [--shard HOST:PORT ...]
 //!                [--addr HOST:PORT] [--max-inflight N] [--max-conns N]
 //! mis2svc client --addr HOST:PORT REQUEST...
@@ -21,7 +21,10 @@
 //! `--max-conns`, `--max-inflight`): the explicit `0` would silently
 //! become a default — worse, a `--max-inflight 0` hello would advertise
 //! a window no client accepts — so the daemon refuses it up front,
-//! mirroring the client's `max_inflight=0` hello rejection.
+//! mirroring the client's `max_inflight=0` hello rejection. `--slow-ms`
+//! sets the slow-request ring's capture threshold (default 500); `0` is
+//! legal and captures **every** request — the knob CI uses to prove the
+//! ring works.
 //!
 //! `serve` binds the loopback listener, prints `mis2svc listening on ADDR`
 //! and serves until killed. `client` sends one request line (the remaining
@@ -54,7 +57,7 @@ fn usage() -> ! {
         "usage: mis2svc serve  [--addr HOST:PORT] [--threads N] [--workers K]\n\
          \x20                     [--queue-cap N] [--scale tiny|small|paper]\n\
          \x20                     [--mem-budget BYTES[k|m|g]] [--max-inflight N]\n\
-         \x20                     [--max-conns N]\n\
+         \x20                     [--max-conns N] [--slow-ms MS]\n\
          \x20      mis2svc route  --shard HOST:PORT [--shard HOST:PORT ...]\n\
          \x20                     [--addr HOST:PORT] [--max-inflight N] [--max-conns N]\n\
          \x20      mis2svc client --addr HOST:PORT REQUEST...\n\
@@ -92,6 +95,15 @@ fn parse_nonzero(flag: &str, s: &str) -> usize {
     }
 }
 
+/// A count where `0` is a legal, meaningful value (`--slow-ms 0` =
+/// capture every request) — unlike [`parse_nonzero`].
+fn parse_u64(flag: &str, s: &str) -> u64 {
+    s.parse::<u64>().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a non-negative integer, got {s:?}");
+        usage()
+    })
+}
+
 /// Byte count with an optional binary suffix: `4m` = 4 MiB, `200k`, `1g`.
 /// `0` is legal here (documented as "unbounded"); overflow is not.
 fn parse_bytes(flag: &str, s: &str) -> usize {
@@ -127,6 +139,7 @@ fn cmd_serve(argv: &[String]) {
             "--max-conns" => cfg.max_conns = parse_nonzero("--max-conns", take(&mut i)),
             "--mem-budget" => cfg.mem_budget = parse_bytes("--mem-budget", take(&mut i)),
             "--max-inflight" => cfg.max_inflight = parse_nonzero("--max-inflight", take(&mut i)),
+            "--slow-ms" => cfg.slow_ms = parse_u64("--slow-ms", take(&mut i)),
             "--scale" => cfg.scale = Scale::parse(take(&mut i)).unwrap_or_else(|| usage()),
             _ => usage(),
         }
@@ -229,7 +242,7 @@ fn cmd_workloads(argv: &[String]) {
         _ => usage(), // --addr and --pipeline only make sense together
     };
     let lines = sweep_lines();
-    let responses = match proto.as_str() {
+    let (responses, latencies_ns) = match proto.as_str() {
         "v2" => {
             let mut client = PipelinedClient::connect(&addr, window).unwrap_or_else(|e| {
                 eprintln!("error: cannot connect to {addr}: {e}");
@@ -239,8 +252,9 @@ fn cmd_workloads(argv: &[String]) {
                 eprintln!("error: pipelined sweep failed: {e}");
                 std::process::exit(1);
             });
+            let latencies = client.last_latencies_ns().to_vec();
             let _ = client.quit();
-            responses
+            (responses, latencies)
         }
         "v3" => {
             let mut client = V3Client::connect(&addr, window).unwrap_or_else(|e| {
@@ -251,11 +265,13 @@ fn cmd_workloads(argv: &[String]) {
                 eprintln!("error: v3 sweep failed: {e}");
                 std::process::exit(1);
             });
+            let latencies = client.last_latencies_ns().to_vec();
             let _ = client.quit();
-            responses
+            (responses, latencies)
         }
         _ => usage(),
     };
+    print_sweep_percentiles(&lines, &latencies_ns);
     let mut failed = false;
     for response in &responses {
         println!("{response}");
@@ -263,6 +279,32 @@ fn cmd_workloads(argv: &[String]) {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Per-op client-observed p50/p95/p99 of the sweep, to **stderr** —
+/// stdout stays byte-comparable across protocols (the CI smoke legs
+/// sort+diff it), and timings would never diff clean.
+fn print_sweep_percentiles(lines: &[String], latencies_ns: &[u64]) {
+    for op in ["MIS2", "COARSEN", "SOLVE"] {
+        let mut sample: Vec<u64> = lines
+            .iter()
+            .zip(latencies_ns)
+            .filter(|(l, _)| l.split_whitespace().next() == Some(op))
+            .map(|(_, ns)| *ns)
+            .collect();
+        if sample.is_empty() {
+            continue;
+        }
+        sample.sort_unstable();
+        let p = |q| mis2_svc::metrics::percentile_ns(&sample, q) / 1_000;
+        eprintln!(
+            "workloads/latency: op={op} n={} p50_us={} p95_us={} p99_us={}",
+            sample.len(),
+            p(0.50),
+            p(0.95),
+            p(0.99)
+        );
     }
 }
 
@@ -293,7 +335,13 @@ fn cmd_client(argv: &[String]) {
     };
     match client.request(&request) {
         Ok(response) => {
-            println!("{response}");
+            // A METRICS body arrives as one escaped line; print the real
+            // multi-line exposition. Anything else prints verbatim. The
+            // exit code keys off the original response either way.
+            match response.strip_prefix("OK METRICS ") {
+                Some(body) => println!("{}", mis2_svc::metrics::unescape_body(body)),
+                None => println!("{response}"),
+            }
             if !response.starts_with("OK ") {
                 std::process::exit(1);
             }

@@ -14,7 +14,7 @@ use crate::shard::{shard_key, Ring};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Read one response line, distinguishing the three ways it can go wrong:
 /// a clean EOF before any byte (server closed between responses), a
@@ -125,6 +125,7 @@ pub struct PipelinedClient {
     next_tag: u64,
     window: usize,
     poisoned: bool,
+    latencies_ns: Vec<u64>,
 }
 
 impl PipelinedClient {
@@ -152,7 +153,18 @@ impl PipelinedClient {
             next_tag: 0,
             window: window.clamp(1, server_max),
             poisoned: false,
+            latencies_ns: Vec::new(),
         })
+    }
+
+    /// Client-observed latency of each request in the **last completed**
+    /// [`PipelinedClient::request_many`] batch, in nanoseconds, indexed
+    /// like the batch's lines. Measured from the moment the request was
+    /// written into the pipeline to the moment its response was
+    /// reassembled — so it includes queueing behind the window. Copy the
+    /// slice out before `quit()`, which consumes the client.
+    pub fn last_latencies_ns(&self) -> &[u64] {
+        &self.latencies_ns
     }
 
     /// The effective window after clamping to the server's cap.
@@ -192,6 +204,9 @@ impl PipelinedClient {
         let mut results: Vec<Option<String>> = Vec::with_capacity(lines.len());
         results.resize_with(lines.len(), || None);
         let mut tag_to_index: HashMap<u64, usize> = HashMap::with_capacity(self.window);
+        let mut sent_at: Vec<Instant> = Vec::with_capacity(lines.len());
+        self.latencies_ns.clear();
+        self.latencies_ns.resize(lines.len(), 0);
         let mut sent = 0;
         let mut received = 0;
         while received < lines.len() {
@@ -202,6 +217,7 @@ impl PipelinedClient {
                 self.next_tag += 1;
                 writeln!(self.writer, "T{tag} {}", lines[sent].as_ref())?;
                 tag_to_index.insert(tag, sent);
+                sent_at.push(Instant::now());
                 sent += 1;
                 wrote = true;
             }
@@ -225,6 +241,7 @@ impl PipelinedClient {
                 )
             })?;
             results[index] = Some(payload.to_string());
+            self.latencies_ns[index] = sent_at[index].elapsed().as_nanos() as u64;
             received += 1;
         }
         Ok(results.into_iter().map(|r| r.unwrap()).collect())
@@ -262,6 +279,7 @@ pub struct V3Client {
     next_tag: u64,
     window: usize,
     poisoned: bool,
+    latencies_ns: Vec<u64>,
 }
 
 impl V3Client {
@@ -289,7 +307,15 @@ impl V3Client {
             next_tag: 0,
             window: window.clamp(1, server_max),
             poisoned: false,
+            latencies_ns: Vec::new(),
         })
+    }
+
+    /// Client-observed latency of each request in the **last completed**
+    /// [`V3Client::request_many`] batch — same contract as
+    /// [`PipelinedClient::last_latencies_ns`].
+    pub fn last_latencies_ns(&self) -> &[u64] {
+        &self.latencies_ns
     }
 
     /// The effective window after clamping to the server's cap.
@@ -327,6 +353,9 @@ impl V3Client {
         // protocol errors.
         let base_tag = self.next_tag;
         let mut payload: Vec<u8> = Vec::new();
+        let mut sent_at: Vec<Instant> = Vec::with_capacity(lines.len());
+        self.latencies_ns.clear();
+        self.latencies_ns.resize(lines.len(), 0);
         let mut sent = 0;
         let mut received = 0;
         while received < lines.len() {
@@ -341,42 +370,55 @@ impl V3Client {
                     codec::STATUS_OK,
                     lines[sent].as_ref().as_bytes(),
                 )?;
+                sent_at.push(Instant::now());
                 sent += 1;
                 wrote = true;
             }
             if wrote {
                 self.writer.flush()?;
             }
-            // Take the next frame, whichever request it answers. The
-            // payload buffer is reused across the whole batch.
-            let (tag, status) = codec::read_frame_into(&mut self.reader, &mut payload)?
-                .ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "server closed the connection mid-batch",
-                    )
-                })?;
-            let index = tag
-                .checked_sub(base_tag)
-                .map(|i| i as usize)
-                .filter(|i| *i < sent && results[*i].is_none())
-                .ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("response frame for unknown or duplicate tag {tag}"),
-                    )
-                })?;
-            // Render back to the v1 text line (status byte -> prefix).
-            let prefix = if status == codec::STATUS_OK {
-                "OK "
-            } else {
-                "ERR "
-            };
-            let mut line = String::with_capacity(prefix.len() + payload.len());
-            line.push_str(prefix);
-            line.push_str(&String::from_utf8_lossy(&payload));
-            results[index] = Some(line);
-            received += 1;
+            // Take the next frame (blocking), then drain every response
+            // already sitting in the read buffer before refilling: the
+            // server's writer retires responses in coalesced batches, so
+            // consuming the whole batch here turns the refill into one
+            // equally wide write burst instead of a one-frame-per-
+            // response ping-pong — fewer syscalls on both ends.
+            loop {
+                // The payload buffer is reused across the whole batch.
+                let (tag, status) = codec::read_frame_into(&mut self.reader, &mut payload)?
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-batch",
+                        )
+                    })?;
+                let index = tag
+                    .checked_sub(base_tag)
+                    .map(|i| i as usize)
+                    .filter(|i| *i < sent && results[*i].is_none())
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("response frame for unknown or duplicate tag {tag}"),
+                        )
+                    })?;
+                // Render back to the v1 text line (status byte -> prefix).
+                let prefix = if status == codec::STATUS_OK {
+                    "OK "
+                } else {
+                    "ERR "
+                };
+                let mut line = String::with_capacity(prefix.len() + payload.len());
+                line.push_str(prefix);
+                line.push_str(&String::from_utf8_lossy(&payload));
+                results[index] = Some(line);
+                self.latencies_ns[index] = sent_at[index].elapsed().as_nanos() as u64;
+                received += 1;
+                // Another frame's header already buffered? Keep draining.
+                if received >= sent || self.reader.buffer().len() < codec::HEADER_LEN {
+                    break;
+                }
+            }
         }
         Ok(results.into_iter().map(|r| r.unwrap()).collect())
     }

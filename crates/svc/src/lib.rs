@@ -38,6 +38,12 @@
 //!   [`client::PipelinedClient`] drives a v2 window and
 //!   [`client::V3Client`] a v3 window, both with `request_many(..)`
 //!   reassembling by tag. All three protocols mix freely on one server.
+//! * [`metrics`] — full-stack request observability, recorded on every
+//!   protocol: lock-free log2-bucket latency histograms per op ×
+//!   outcome, per-stage spans (parse → probe → queue → run → write), a
+//!   lock-free ring of the last 64 slow requests (`--slow-ms`), and the
+//!   versioned `METRICS` text exposition that the router merges
+//!   bucket-wise across a cluster ([`metrics::merge_expositions`]).
 //! * [`shard`] — cluster scale: a consistent-hash [`shard::Ring`] over
 //!   shard identities, the `mis2svc route` proxy ([`shard::route`])
 //!   fronting N server processes with one pipelined v3 upstream per
@@ -66,6 +72,7 @@
 
 pub mod client;
 pub mod codec;
+pub mod metrics;
 pub mod ops;
 pub mod proto;
 pub mod registry;

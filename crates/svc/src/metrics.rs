@@ -1,0 +1,1545 @@
+//! Request observability: lock-free latency histograms, stage spans, a
+//! slow-request ring, and the versioned `METRICS` text exposition.
+//!
+//! Everything here is std-only and allocation-free on the record path:
+//!
+//! - [`Histo`] is a fixed-boundary log2-bucket histogram (26 buckets,
+//!   1µs..~33.5s). `record(ns)` is two relaxed atomic adds — safe to call
+//!   from the v3 inline hot path. Snapshots merge bucket-wise so the
+//!   shard router can aggregate a cluster.
+//! - [`Counter`] is a cache-line-sharded counter: each recording thread
+//!   owns (round-robin) one padded `AtomicU64`, so concurrent `add`s
+//!   don't bounce a single line between cores.
+//! - [`Span`] carries per-request stage timestamps (parse → cache probe
+//!   → enqueue → job start → job end) from the reader thread to the
+//!   writer thread, which stamps write-retirement once per batch and
+//!   hands the finished span to [`Metrics::record`]. All stage
+//!   arithmetic is deferred to the writer so the reader pays only a few
+//!   `Instant::now()` calls.
+//! - [`SlowRing`] keeps the last 64 requests whose total latency met the
+//!   `--slow-ms` threshold. It is a seqlock-style ring of all-atomic
+//!   slots (no locks, no `unsafe`): writers claim a slot by ticket and
+//!   flip its sequence odd→even around the field stores; readers
+//!   validate the sequence around their loads and skip torn slots.
+//! - [`Metrics::render`] emits the Prometheus-style exposition
+//!   (`# mis2svc metrics schema 1` header, counters, per-op ×
+//!   per-outcome histogram series with `_sum`/`_count`, per-stage
+//!   series, and a slow-ring dump). [`parse_exposition`] and
+//!   [`merge_expositions`] give the router a bucket-wise cluster merge
+//!   that sums every series except `mis2_uptime_seconds` (min over live
+//!   shards) and `mis2_slow_request` lines (passed through with the
+//!   `shard` label rewritten to the source shard index).
+//!
+//! Bucket scheme: bucket 0 holds `ns <= 1000`; bucket `i` holds
+//! `1000·2^(i-1) < ns <= 1000·2^i`; the top bucket (`le="33554432000"`)
+//! also absorbs anything slower. Buckets are emitted **non-cumulative**
+//! (unlike native Prometheus) so `sum(buckets) == _count` holds exactly
+//! — the CI smoke asserts it, and cumulative form is one prefix-sum
+//! away for anyone exporting for real.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Exposition format version; bumped whenever a series is renamed or
+/// its labels change meaning. The header line is
+/// `# mis2svc metrics schema <SCHEMA>`.
+pub const SCHEMA: u64 = 1;
+
+/// Number of histogram buckets: 1µs doubling up to ~33.5s.
+pub const NBUCKETS: usize = 26;
+
+/// Upper bound (inclusive, in ns) of bucket `i`: `1000 << i`.
+pub fn bucket_bound(i: usize) -> u64 {
+    1000u64 << i
+}
+
+/// The unique bucket a duration lands in: the smallest `i` with
+/// `ns <= bucket_bound(i)`, clamped to the top bucket.
+pub fn bucket_of(ns: u64) -> usize {
+    if ns <= 1000 {
+        return 0;
+    }
+    let q = (ns - 1) / 1000; // >= 1, so leading_zeros < 64
+    let i = 64 - q.leading_zeros() as usize;
+    i.min(NBUCKETS - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Lock-free fixed-boundary latency histogram. `record` is two relaxed
+/// atomic adds; no locks anywhere.
+#[derive(Default)]
+pub struct Histo {
+    buckets: [AtomicU64; NBUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histo {
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record `n` observations totalling `sum_ns` nanoseconds that all
+    /// landed in `bucket` — the coalesced form [`Metrics::record_batch`]
+    /// uses to amortize the atomic adds over a writer batch.
+    pub fn record_many(&self, bucket: usize, n: u64, sum_ns: u64) {
+        self.buckets[bucket].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(sum_ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistoSnap {
+        let mut s = HistoSnap::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        s.sum = self.sum.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// A point-in-time copy of a [`Histo`]; `_count` is derived as the sum
+/// of the buckets, so `sum(buckets) == count` holds by construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HistoSnap {
+    pub buckets: [u64; NBUCKETS],
+    pub sum: u64,
+}
+
+impl HistoSnap {
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sum == 0 && self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Bucket-wise saturating merge; associative and commutative.
+    pub fn merge(&mut self, other: &HistoSnap) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile
+    /// (nearest-rank over bucket counts); 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b);
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(NBUCKETS - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded counter
+// ---------------------------------------------------------------------------
+
+const COUNTER_SHARDS: usize = 8;
+
+/// One counter shard, padded to a cache line so neighbouring shards
+/// don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+static NEXT_COUNTER_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Round-robin shard assignment, fixed per thread for its lifetime.
+    static COUNTER_SHARD: usize =
+        NEXT_COUNTER_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+}
+
+/// Cache-line-sharded monotonic counter: `add` touches only the calling
+/// thread's shard; `get` sums all shards.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        let idx = COUNTER_SHARD.with(|s| *s);
+        self.shards[idx].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0u64, |a, s| a.saturating_add(s.0.load(Ordering::Relaxed)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ops, outcomes, stages
+// ---------------------------------------------------------------------------
+
+/// Request operation, for histogram labelling. `Other` covers protocol
+/// chatter (PING, QUIT, hellos) and unparseable lines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    Mis2 = 0,
+    Coarsen = 1,
+    Solve = 2,
+    Stats = 3,
+    Metrics = 4,
+    Other = 5,
+}
+
+pub const NOPS: usize = 6;
+pub const OPS: [Op; NOPS] = [
+    Op::Mis2,
+    Op::Coarsen,
+    Op::Solve,
+    Op::Stats,
+    Op::Metrics,
+    Op::Other,
+];
+
+impl Op {
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Mis2 => "mis2",
+            Op::Coarsen => "coarsen",
+            Op::Solve => "solve",
+            Op::Stats => "stats",
+            Op::Metrics => "metrics",
+            Op::Other => "other",
+        }
+    }
+
+    fn from_index(i: u64) -> Op {
+        OPS.get(i as usize).copied().unwrap_or(Op::Other)
+    }
+}
+
+/// How the request was answered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Served inline from the interned response-byte cache (v3 fast path).
+    RespHit = 0,
+    /// Served inline after the hot-key parse memo skipped the parse.
+    MemoHit = 1,
+    /// Went through the scheduler and computed (or answered inline for
+    /// STATS/METRICS/PING-class requests).
+    Computed = 2,
+    /// Answered with an ERR response.
+    Error = 3,
+}
+
+pub const NOUTCOMES: usize = 4;
+pub const OUTCOMES: [Outcome; NOUTCOMES] = [
+    Outcome::RespHit,
+    Outcome::MemoHit,
+    Outcome::Computed,
+    Outcome::Error,
+];
+
+impl Outcome {
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::RespHit => "resp_hit",
+            Outcome::MemoHit => "memo_hit",
+            Outcome::Computed => "computed",
+            Outcome::Error => "error",
+        }
+    }
+
+    fn from_index(i: u64) -> Outcome {
+        OUTCOMES.get(i as usize).copied().unwrap_or(Outcome::Error)
+    }
+}
+
+/// Request lifecycle stage, for the per-stage histograms.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Wire read + request parse (read-complete → parse-complete).
+    Parse = 0,
+    /// Inline response-cache probe (v3 compute requests only).
+    Probe = 1,
+    /// Scheduler queue wait (enqueue → job start; scheduled requests only).
+    Queue = 2,
+    /// Job execution (job start → job end; scheduled requests only).
+    Run = 3,
+    /// Tail latency: end of the last accounted stage → write retired.
+    Write = 4,
+}
+
+pub const NSTAGES: usize = 5;
+pub const STAGES: [Stage; NSTAGES] = [
+    Stage::Parse,
+    Stage::Probe,
+    Stage::Queue,
+    Stage::Run,
+    Stage::Write,
+];
+
+impl Stage {
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Probe => "probe",
+            Stage::Queue => "queue",
+            Stage::Run => "run",
+            Stage::Write => "write",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// Bytes of the graph key kept in a span (suite tokens fit; longer
+/// paths are truncated for display).
+pub const KEY_BYTES: usize = 24;
+
+/// Fixed-capacity copy of the request's graph key, so spans stay
+/// allocation-free on the hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyBuf {
+    len: u8,
+    buf: [u8; KEY_BYTES],
+}
+
+impl KeyBuf {
+    pub fn new(s: &str) -> KeyBuf {
+        let bytes = s.as_bytes();
+        let len = bytes.len().min(KEY_BYTES);
+        let mut buf = [0u8; KEY_BYTES];
+        buf[..len].copy_from_slice(&bytes[..len]);
+        KeyBuf {
+            len: len as u8,
+            buf,
+        }
+    }
+
+    pub fn display(&self) -> String {
+        String::from_utf8_lossy(&self.buf[..self.len as usize]).into_owned()
+    }
+
+    fn to_words(self) -> [u64; 3] {
+        let mut w = [0u64; 3];
+        for (i, word) in w.iter_mut().enumerate() {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&self.buf[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(chunk);
+        }
+        w
+    }
+
+    fn from_words(w: [u64; 3], len: usize) -> KeyBuf {
+        let mut buf = [0u8; KEY_BYTES];
+        for (i, word) in w.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+        }
+        KeyBuf {
+            len: len.min(KEY_BYTES) as u8,
+            buf,
+        }
+    }
+}
+
+/// Stage stamps for a scheduler-path request, shared between the job
+/// Elapsed nanoseconds between two instants, in u64 arithmetic — the
+/// per-span retire loop runs this at request rate, and `as_nanos`'s
+/// u128 multiply is measurable there. Saturates to 0 on inversion.
+#[inline]
+fn elapsed_ns(from: Instant, to: Instant) -> u64 {
+    let d = to.saturating_duration_since(from);
+    d.as_secs()
+        .wrapping_mul(1_000_000_000)
+        .wrapping_add(u64::from(d.subsec_nanos()))
+}
+
+/// closure (stamps start/end on a worker thread) and the span riding to
+/// the writer. Offsets are ns since `started`.
+#[derive(Debug)]
+pub struct JobStamps {
+    started: Instant,
+    enqueued_ns: AtomicU64,
+    start_ns: AtomicU64,
+    end_ns: AtomicU64,
+}
+
+impl JobStamps {
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    pub fn stamp_enqueued(&self) {
+        self.enqueued_ns.store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    pub fn stamp_start(&self) {
+        self.start_ns.store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    pub fn stamp_end(&self) {
+        self.end_ns.store(self.now_ns(), Ordering::Relaxed);
+    }
+}
+
+/// Per-request stage record, created by the reader thread right after
+/// parse and recorded by the writer thread after the response bytes hit
+/// the socket. The reader only stamps clocks; all bucket arithmetic
+/// happens in [`Metrics::record`] on the writer thread.
+/// Saturating elapsed-ns stamp for the sub-second stage fields —
+/// `u32` keeps [`Span`] inside a single cache line, and a parse or
+/// probe that somehow takes 4+ seconds pins to `u32::MAX`.
+#[inline]
+fn stage_stamp(from: Instant) -> u32 {
+    let d = from.elapsed();
+    if d.as_secs() >= 4 {
+        u32::MAX
+    } else {
+        (d.as_secs() as u32) * 1_000_000_000 + d.subsec_nanos()
+    }
+}
+
+#[derive(Debug)]
+pub struct Span {
+    pub op: Op,
+    pub outcome: Outcome,
+    pub key: KeyBuf,
+    pub started: Instant,
+    pub parse_ns: u32,
+    pub probe_ns: u32,
+    pub probed: bool,
+    pub job: Option<Arc<JobStamps>>,
+}
+
+impl Span {
+    /// Start a span for a request whose read began at `t0` (`None` when
+    /// recording is disabled — returns `None`, so the hot path pays
+    /// nothing). Stamps `parse_ns = t0.elapsed()`; call immediately
+    /// after parse.
+    pub fn start(t0: Option<Instant>, op: Op, key: &str) -> Option<Span> {
+        let started = t0?;
+        Some(Span {
+            op,
+            outcome: Outcome::Computed,
+            key: KeyBuf::new(key),
+            started,
+            parse_ns: stage_stamp(started),
+            probe_ns: 0,
+            probed: false,
+            job: None,
+        })
+    }
+
+    /// The clock-free span for inline answers (cache hits, STATS,
+    /// PING-class chatter, errors): no parse stamp, no probe, no job —
+    /// the request's whole cost is its latency-histogram total, measured
+    /// from `t0` to write-retired without a single extra clock read on
+    /// the hot path.
+    pub fn fast(t0: Option<Instant>, op: Op, outcome: Outcome, key: &str) -> Option<Span> {
+        let started = t0?;
+        Some(Span {
+            op,
+            outcome,
+            key: KeyBuf::new(key),
+            started,
+            parse_ns: 0,
+            probe_ns: 0,
+            probed: false,
+            job: None,
+        })
+    }
+
+    /// Record the inline cache-probe duration (`probe_started` →  now).
+    pub fn stamp_probe(&mut self, probe_started: Instant) {
+        self.probe_ns = stage_stamp(probe_started);
+        self.probed = true;
+    }
+
+    /// Attach scheduler-path stamps; returns the handle the job closure
+    /// uses to stamp start/end from the worker thread.
+    pub fn attach_job(&mut self) -> Arc<JobStamps> {
+        let stamps = Arc::new(JobStamps {
+            started: self.started,
+            enqueued_ns: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            end_ns: AtomicU64::new(0),
+        });
+        self.job = Some(Arc::clone(&stamps));
+        stamps
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slow-request ring
+// ---------------------------------------------------------------------------
+
+/// Capacity of the slow-request ring.
+pub const SLOW_SLOTS: usize = 64;
+
+/// One finished slow request, as handed to the ring.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowSample {
+    pub op: Op,
+    pub outcome: Outcome,
+    pub key: KeyBuf,
+    pub total_ns: u64,
+    pub parse_ns: u64,
+    pub probe_ns: u64,
+    pub queue_ns: u64,
+    pub run_ns: u64,
+    pub write_ns: u64,
+}
+
+/// One slow request read back out of the ring.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Global capture ticket (monotonic across the ring's lifetime).
+    pub seq: u64,
+    pub op: Op,
+    pub outcome: Outcome,
+    pub key: String,
+    pub total_ns: u64,
+    pub parse_ns: u64,
+    pub probe_ns: u64,
+    pub queue_ns: u64,
+    pub run_ns: u64,
+    pub write_ns: u64,
+}
+
+/// Seqlock-style slot: `seq == 0` empty, odd while a writer is storing,
+/// even (>= 2) stable. Everything is a plain atomic, so no `unsafe`.
+#[derive(Default)]
+struct SlowSlot {
+    seq: AtomicU64,
+    ticket: AtomicU64,
+    op: AtomicU64,
+    outcome: AtomicU64,
+    key_len: AtomicU64,
+    key: [AtomicU64; 3],
+    total_ns: AtomicU64,
+    parse_ns: AtomicU64,
+    probe_ns: AtomicU64,
+    queue_ns: AtomicU64,
+    run_ns: AtomicU64,
+    write_ns: AtomicU64,
+}
+
+/// Lock-free ring of the last [`SLOW_SLOTS`] slow-request spans.
+/// Writers never block: a writer that finds its slot mid-write (a
+/// faster writer lapped it) drops its entry instead of spinning.
+pub struct SlowRing {
+    head: AtomicU64,
+    slots: Box<[SlowSlot]>,
+}
+
+impl Default for SlowRing {
+    fn default() -> SlowRing {
+        SlowRing {
+            head: AtomicU64::new(0),
+            slots: (0..SLOW_SLOTS).map(|_| SlowSlot::default()).collect(),
+        }
+    }
+}
+
+impl SlowRing {
+    /// Total slow requests ever captured (including ones since
+    /// overwritten or dropped on contention).
+    pub fn captured(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    pub fn push(&self, s: SlowSample) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[ticket as usize % SLOW_SLOTS];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            return; // another writer mid-store; we were lapped — drop
+        }
+        if slot
+            .seq
+            .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        slot.ticket.store(ticket, Ordering::Relaxed);
+        slot.op.store(s.op as u64, Ordering::Relaxed);
+        slot.outcome.store(s.outcome as u64, Ordering::Relaxed);
+        slot.key_len.store(s.key.len as u64, Ordering::Relaxed);
+        let words = s.key.to_words();
+        for (dst, w) in slot.key.iter().zip(words.iter()) {
+            dst.store(*w, Ordering::Relaxed);
+        }
+        slot.total_ns.store(s.total_ns, Ordering::Relaxed);
+        slot.parse_ns.store(s.parse_ns, Ordering::Relaxed);
+        slot.probe_ns.store(s.probe_ns, Ordering::Relaxed);
+        slot.queue_ns.store(s.queue_ns, Ordering::Relaxed);
+        slot.run_ns.store(s.run_ns, Ordering::Relaxed);
+        slot.write_ns.store(s.write_ns, Ordering::Relaxed);
+        slot.seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// Stable entries, oldest first. Slots being written concurrently
+    /// are retried a few times, then skipped.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            for _ in 0..4 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 == 0 {
+                    break; // never written
+                }
+                if s1 & 1 == 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let words = [
+                    slot.key[0].load(Ordering::Relaxed),
+                    slot.key[1].load(Ordering::Relaxed),
+                    slot.key[2].load(Ordering::Relaxed),
+                ];
+                let entry = SlowEntry {
+                    seq: slot.ticket.load(Ordering::Relaxed),
+                    op: Op::from_index(slot.op.load(Ordering::Relaxed)),
+                    outcome: Outcome::from_index(slot.outcome.load(Ordering::Relaxed)),
+                    key: KeyBuf::from_words(words, slot.key_len.load(Ordering::Relaxed) as usize)
+                        .display(),
+                    total_ns: slot.total_ns.load(Ordering::Relaxed),
+                    parse_ns: slot.parse_ns.load(Ordering::Relaxed),
+                    probe_ns: slot.probe_ns.load(Ordering::Relaxed),
+                    queue_ns: slot.queue_ns.load(Ordering::Relaxed),
+                    run_ns: slot.run_ns.load(Ordering::Relaxed),
+                    write_ns: slot.write_ns.load(Ordering::Relaxed),
+                };
+                if slot.seq.load(Ordering::Acquire) == s1 {
+                    out.push(entry);
+                    break;
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Per-server metrics: per-op × per-outcome latency histograms,
+/// per-stage histograms, and the slow-request ring.
+///
+/// There is deliberately no separate request counter:
+/// `requests_total` is **derived** from the latency histograms' counts,
+/// so the exposition identity `sum(_count) == mis2_requests_total`
+/// holds exactly, on every scrape, with zero extra hot-path work.
+pub struct Metrics {
+    enabled: bool,
+    started: Instant,
+    slow_ms: u64,
+    slow_ns: u64,
+    latency: [[Histo; NOUTCOMES]; NOPS],
+    stages: [Histo; NSTAGES],
+    slow: SlowRing,
+}
+
+impl Metrics {
+    fn build(slow_ms: u64, enabled: bool) -> Metrics {
+        Metrics {
+            enabled,
+            started: Instant::now(),
+            slow_ms,
+            slow_ns: slow_ms.saturating_mul(1_000_000),
+            latency: Default::default(),
+            stages: Default::default(),
+            slow: SlowRing::default(),
+        }
+    }
+
+    pub fn new(slow_ms: u64) -> Metrics {
+        Metrics::build(slow_ms, true)
+    }
+
+    /// A no-op registry: spans are never created (`Span::start` gets
+    /// `None`) and `record` returns immediately. Used by the bench to
+    /// A/B the recording overhead.
+    pub fn disabled(slow_ms: u64) -> Metrics {
+        Metrics::build(slow_ms, false)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn uptime_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Total retired requests: the sum of every latency histogram's
+    /// count. Derived, not counted — see the struct doc.
+    pub fn requests_total(&self) -> u64 {
+        self.latency
+            .iter()
+            .flatten()
+            .map(|h| h.snapshot().count())
+            .sum()
+    }
+
+    pub fn latency_snapshot(&self, op: Op, outcome: Outcome) -> HistoSnap {
+        self.latency[op as usize][outcome as usize].snapshot()
+    }
+
+    pub fn stage_snapshot(&self, stage: Stage) -> HistoSnap {
+        self.stages[stage as usize].snapshot()
+    }
+
+    pub fn slow_captured(&self) -> u64 {
+        self.slow.captured()
+    }
+
+    pub fn slow_snapshot(&self) -> Vec<SlowEntry> {
+        self.slow.snapshot()
+    }
+
+    /// Record a finished request. `retired` is the instant the response
+    /// bytes were written to the socket (one clock read per write
+    /// batch). All stage arithmetic happens here, on the writer thread.
+    ///
+    /// Every span lands in its latency histogram (two relaxed atomic
+    /// adds — the whole hot-path cost for inline answers). The stage
+    /// decomposition is recorded only for **scheduled** spans — the
+    /// requests with an actual multi-stage lifecycle; inline answers
+    /// (cache hits, STATS, errors) are single-stage by definition, and
+    /// stamping their sub-microsecond stages would cost more clock reads
+    /// than the stages take.
+    pub fn record(&self, span: &Span, retired: Instant) {
+        if !self.enabled {
+            return;
+        }
+        let total = elapsed_ns(span.started, retired);
+        self.latency[span.op as usize][span.outcome as usize].record(total);
+
+        let (queue_ns, run_ns) = match &span.job {
+            Some(j) => {
+                let e = j.enqueued_ns.load(Ordering::Relaxed);
+                let s = j.start_ns.load(Ordering::Relaxed);
+                let n = j.end_ns.load(Ordering::Relaxed);
+                let (queue_ns, run_ns) = (s.saturating_sub(e), n.saturating_sub(s));
+                self.stages[Stage::Parse as usize].record(u64::from(span.parse_ns));
+                if span.probed {
+                    self.stages[Stage::Probe as usize].record(u64::from(span.probe_ns));
+                }
+                self.stages[Stage::Queue as usize].record(queue_ns);
+                self.stages[Stage::Run as usize].record(run_ns);
+                self.stages[Stage::Write as usize].record(total.saturating_sub(n));
+                (queue_ns, run_ns)
+            }
+            None => (0, 0),
+        };
+
+        if total >= self.slow_ns {
+            let write_ns = match &span.job {
+                Some(j) => total.saturating_sub(j.end_ns.load(Ordering::Relaxed)),
+                None => total.saturating_sub(u64::from(span.parse_ns) + u64::from(span.probe_ns)),
+            };
+            self.slow.push(SlowSample {
+                op: span.op,
+                outcome: span.outcome,
+                key: span.key,
+                total_ns: total,
+                parse_ns: u64::from(span.parse_ns),
+                probe_ns: u64::from(span.probe_ns),
+                queue_ns,
+                run_ns,
+                write_ns,
+            });
+        }
+    }
+
+    /// Retire a writer batch of spans against one shared write-retired
+    /// stamp, coalescing consecutive fast spans — inline answers below
+    /// the slow threshold — into a single pair of atomic adds per
+    /// `(op, outcome, bucket)` run. At v3-w64 rates the writer retires
+    /// bursts of near-identical cache hits, and the per-span RMWs are
+    /// the dominant recording cost; a run of 64 memo hits costs two
+    /// adds instead of 128. Scheduled and slow spans fall through to
+    /// [`Metrics::record`] unchanged.
+    pub fn record_batch(&self, spans: &mut Vec<Span>, retired: Instant) {
+        if !self.enabled {
+            spans.clear();
+            return;
+        }
+        let mut run: Option<(Op, Outcome, usize, u64, u64)> = None;
+        let flush = |r: &mut Option<(Op, Outcome, usize, u64, u64)>| {
+            if let Some((op, outcome, b, n, sum)) = r.take() {
+                self.latency[op as usize][outcome as usize].record_many(b, n, sum);
+            }
+        };
+        // Spans from the same socket burst share one arrival stamp, so a
+        // run of cache hits also shares `total` — compute the subtraction
+        // once per distinct stamp, not once per span.
+        let mut last: Option<(Instant, u64)> = None;
+        for span in spans.iter() {
+            let total = match last {
+                Some((started, total)) if started == span.started => total,
+                _ => {
+                    let t = elapsed_ns(span.started, retired);
+                    last = Some((span.started, t));
+                    t
+                }
+            };
+            if span.job.is_some() || total >= self.slow_ns {
+                flush(&mut run);
+                self.record(span, retired);
+                continue;
+            }
+            let b = bucket_of(total);
+            match &mut run {
+                Some((op, outcome, rb, n, sum))
+                    if *op == span.op && *outcome == span.outcome && *rb == b =>
+                {
+                    *n += 1;
+                    *sum = sum.wrapping_add(total);
+                }
+                _ => {
+                    flush(&mut run);
+                    run = Some((span.op, span.outcome, b, 1, total));
+                }
+            }
+        }
+        flush(&mut run);
+        spans.clear();
+    }
+
+    /// Render the exposition. `extra` carries server-level gauges and
+    /// counters (cache hits, scheduler totals, bytes on the wire) that
+    /// live outside this registry; each becomes a bare `name value`
+    /// line after the built-in counters.
+    pub fn render(&self, extra: &[(&str, u64)]) -> String {
+        // Snapshot every latency histogram ONCE and derive the request
+        // total from those very snapshots: even with requests retiring
+        // concurrently, the emitted `mis2_requests_total` equals the
+        // emitted `_count` sum exactly.
+        let mut latency: Vec<(Op, Outcome, HistoSnap)> = Vec::new();
+        for op in OPS {
+            for outcome in OUTCOMES {
+                let snap = self.latency_snapshot(op, outcome);
+                if !snap.is_empty() {
+                    latency.push((op, outcome, snap));
+                }
+            }
+        }
+        let requests: u64 = latency.iter().map(|(_, _, s)| s.count()).sum();
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!("# mis2svc metrics schema {SCHEMA}\n"));
+        out.push_str(&format!("mis2_uptime_seconds {}\n", self.uptime_s()));
+        out.push_str(&format!("mis2_requests_total {requests}\n"));
+        out.push_str(&format!("mis2_slow_threshold_ms {}\n", self.slow_ms));
+        out.push_str(&format!(
+            "mis2_slow_captured_total {}\n",
+            self.slow.captured()
+        ));
+        for (name, v) in extra {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (op, outcome, snap) in &latency {
+            render_histo(
+                &mut out,
+                "mis2_request_latency_ns",
+                &format!("op=\"{}\",outcome=\"{}\"", op.label(), outcome.label()),
+                snap,
+            );
+        }
+        for stage in STAGES {
+            let snap = self.stage_snapshot(stage);
+            if snap.is_empty() {
+                continue;
+            }
+            render_histo(
+                &mut out,
+                "mis2_stage_ns",
+                &format!("stage=\"{}\"", stage.label()),
+                &snap,
+            );
+        }
+        for e in self.slow.snapshot() {
+            out.push_str(&format!(
+                "mis2_slow_request{{seq=\"{}\",op=\"{}\",outcome=\"{}\",key=\"{}\",shard=\"0\",\
+                 total_ns=\"{}\",parse_ns=\"{}\",probe_ns=\"{}\",queue_ns=\"{}\",run_ns=\"{}\",\
+                 write_ns=\"{}\"}} 1\n",
+                e.seq,
+                e.op.label(),
+                e.outcome.label(),
+                escape_label(&e.key),
+                e.total_ns,
+                e.parse_ns,
+                e.probe_ns,
+                e.queue_ns,
+                e.run_ns,
+                e.write_ns,
+            ));
+        }
+        out
+    }
+}
+
+fn render_histo(out: &mut String, name: &str, labels: &str, snap: &HistoSnap) {
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        out.push_str(&format!(
+            "{name}_bucket{{{labels},le=\"{}\"}} {b}\n",
+            bucket_bound(i)
+        ));
+    }
+    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", snap.sum));
+    out.push_str(&format!("{name}_count{{{labels}}} {}\n", snap.count()));
+}
+
+// ---------------------------------------------------------------------------
+// Exposition parsing and cluster merge
+// ---------------------------------------------------------------------------
+
+/// One exposition line: `name value` or `name{labels} value`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: u64,
+}
+
+impl Sample {
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: the schema from the header plus every sample in
+/// document order.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    pub schema: u64,
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Value of the first sample with this name (label-free counters).
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+}
+
+/// Escape a label value for the exposition (`\` → `\\`, `"` → `\"`).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+    }
+    out
+}
+
+fn render_sample(s: &Sample) -> String {
+    if s.labels.is_empty() {
+        format!("{} {}\n", s.name, s.value)
+    } else {
+        format!("{}{{{}}} {}\n", s.name, render_labels(&s.labels), s.value)
+    }
+}
+
+/// Parse a label block: the text between `{` and `}`. Honors `\\` and
+/// `\"` escapes inside quoted values.
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label `{key}`: expected opening quote"));
+        }
+        let mut val = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('\\') => val.push('\\'),
+                    Some('"') => val.push('"'),
+                    other => return Err(format!("label `{key}`: bad escape {other:?}")),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => val.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("label `{key}`: unterminated value"));
+        }
+        labels.push((key, val));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("expected `,` between labels, got {c:?}")),
+        }
+    }
+    Ok(labels)
+}
+
+/// Parse one exposition body. The first line must be the schema header;
+/// later `#` comment lines and blank lines are skipped.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty exposition")?;
+    let schema = header
+        .strip_prefix("# mis2svc metrics schema ")
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .ok_or_else(|| format!("bad exposition header: {header:?}"))?;
+    let mut samples = Vec::new();
+    for line in lines {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Split `name{labels} value` / `name value`. The value is the
+        // text after the last space *outside* the label block.
+        let (head, value) = match line.rfind('}') {
+            Some(close) => {
+                let rest = line[close + 1..].trim();
+                (&line[..close + 1], rest)
+            }
+            None => line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("bad sample line: {line:?}"))?,
+        };
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("bad sample value in: {line:?}"))?;
+        let (name, labels) = match head.find('{') {
+            Some(open) => {
+                let close = head
+                    .rfind('}')
+                    .ok_or_else(|| format!("unclosed labels: {line:?}"))?;
+                (
+                    head[..open].to_string(),
+                    parse_labels(&head[open + 1..close]).map_err(|e| format!("{line:?}: {e}"))?,
+                )
+            }
+            None => (head.to_string(), Vec::new()),
+        };
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(Exposition { schema, samples })
+}
+
+/// Merge per-shard expositions for the router's `METRICS` response.
+///
+/// - Every ordinary series (counters, histogram buckets, `_sum`,
+///   `_count`) is summed across live shards, keeping first-seen order.
+/// - `mis2_uptime_seconds` becomes the **min** over live shards — the
+///   youngest member bounds how much history the merged counters cover.
+/// - `mis2_slow_request` lines pass through unsummed, with the `shard`
+///   label rewritten to the source shard's index.
+/// - `mis2_shards` / `mis2_shards_up` cluster gauges are appended.
+///
+/// `bodies[i]` is shard `i`'s exposition, or `None` if it was down (or
+/// answered garbage).
+pub fn merge_expositions(bodies: &[Option<String>]) -> String {
+    let mut order: Vec<Sample> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut slow: Vec<Sample> = Vec::new();
+    let mut uptimes: Vec<u64> = Vec::new();
+    let mut up = 0usize;
+    for (shard, body) in bodies.iter().enumerate() {
+        let Some(body) = body else { continue };
+        let Ok(exp) = parse_exposition(body) else {
+            continue;
+        };
+        up += 1;
+        for s in exp.samples {
+            if s.name == "mis2_slow_request" {
+                let mut s = s;
+                let shard_label = shard.to_string();
+                match s.labels.iter_mut().find(|(k, _)| k == "shard") {
+                    Some((_, v)) => *v = shard_label,
+                    None => s.labels.push(("shard".to_string(), shard_label)),
+                }
+                slow.push(s);
+                continue;
+            }
+            if s.name == "mis2_uptime_seconds" {
+                uptimes.push(s.value);
+            }
+            let key = format!("{}{{{}}}", s.name, render_labels(&s.labels));
+            match index.get(&key) {
+                Some(&i) => order[i].value = order[i].value.saturating_add(s.value),
+                None => {
+                    index.insert(key, order.len());
+                    order.push(s);
+                }
+            }
+        }
+    }
+    if let Some(min) = uptimes.iter().min() {
+        if let Some(s) = order.iter_mut().find(|s| s.name == "mis2_uptime_seconds") {
+            s.value = *min;
+        }
+    }
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!("# mis2svc metrics schema {SCHEMA}\n"));
+    for s in &order {
+        out.push_str(&render_sample(s));
+    }
+    out.push_str(&format!("mis2_shards {}\n", bodies.len()));
+    out.push_str(&format!("mis2_shards_up {up}\n"));
+    for s in &slow {
+        out.push_str(&render_sample(s));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Wire body escaping
+// ---------------------------------------------------------------------------
+
+/// Encode a multi-line exposition as a single-line wire body: `\` →
+/// `\\`, newline → the two characters `\n`. Responses stay one line on
+/// every protocol, preserving the cross-protocol byte-identity
+/// contract.
+pub fn escape_body(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 16);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_body`]. Unknown escapes are passed through
+/// verbatim.
+pub fn unescape_body(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Client-side percentile helper
+// ---------------------------------------------------------------------------
+
+/// Nearest-rank percentile over an already-sorted sample slice; 0 on an
+/// empty slice. Used by the clients and bench for client-observed
+/// p50/p95/p99.
+pub fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(1000), 0);
+        assert_eq!(bucket_of(1001), 1);
+        assert_eq!(bucket_of(2000), 1);
+        assert_eq!(bucket_of(2001), 2);
+        assert_eq!(bucket_of(4000), 2);
+        assert_eq!(bucket_of(4001), 3);
+        for i in 0..NBUCKETS {
+            assert_eq!(bucket_of(bucket_bound(i)), i, "bound of bucket {i}");
+            let next = bucket_of(bucket_bound(i) + 1);
+            assert_eq!(next, (i + 1).min(NBUCKETS - 1), "just past bucket {i}");
+        }
+        assert_eq!(bucket_of(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn histo_count_equals_bucket_sum() {
+        let h = Histo::default();
+        for ns in [0u64, 999, 1000, 1001, 50_000, 1_000_000, u64::MAX] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let h = Histo::default();
+        for _ in 0..90 {
+            h.record(500); // bucket 0
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 10 (bound 1024000)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1000);
+        assert_eq!(s.quantile(0.95), bucket_bound(10));
+        assert_eq!(HistoSnap::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = std::sync::Arc::new(Counter::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = std::sync::Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.add(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn keybuf_truncates_and_displays() {
+        let k = KeyBuf::new("af_shell7");
+        assert_eq!(k.display(), "af_shell7");
+        let long = "x".repeat(40);
+        let k = KeyBuf::new(&long);
+        assert_eq!(k.display(), "x".repeat(KEY_BYTES));
+        let round = KeyBuf::from_words(k.to_words(), k.len as usize);
+        assert_eq!(round.display(), k.display());
+    }
+
+    #[test]
+    fn slow_ring_keeps_the_last_entries() {
+        let ring = SlowRing::default();
+        let sample = |i: u64| SlowSample {
+            op: Op::Mis2,
+            outcome: Outcome::Computed,
+            key: KeyBuf::new("g"),
+            total_ns: i,
+            parse_ns: 0,
+            probe_ns: 0,
+            queue_ns: 0,
+            run_ns: 0,
+            write_ns: 0,
+        };
+        for i in 0..(SLOW_SLOTS as u64 + 10) {
+            ring.push(sample(i));
+        }
+        assert_eq!(ring.captured(), SLOW_SLOTS as u64 + 10);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), SLOW_SLOTS);
+        // Oldest surviving ticket is 10; newest is SLOW_SLOTS + 9.
+        assert_eq!(snap.first().unwrap().seq, 10);
+        assert_eq!(snap.last().unwrap().seq, SLOW_SLOTS as u64 + 9);
+        assert!(snap.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn record_routes_outcomes_and_stages() {
+        let m = Metrics::new(0); // slow_ms=0: capture everything
+        let t0 = Instant::now();
+        let mut span = Span::start(Some(t0), Op::Mis2, "af_shell7").unwrap();
+        let stamps = span.attach_job();
+        stamps.stamp_enqueued();
+        stamps.stamp_start();
+        stamps.stamp_end();
+        m.record(&span, Instant::now() + Duration::from_millis(1));
+        assert_eq!(m.requests_total(), 1);
+        assert_eq!(m.latency_snapshot(Op::Mis2, Outcome::Computed).count(), 1);
+        assert_eq!(m.stage_snapshot(Stage::Queue).count(), 1);
+        assert_eq!(m.stage_snapshot(Stage::Run).count(), 1);
+        assert_eq!(m.stage_snapshot(Stage::Probe).count(), 0);
+        assert_eq!(m.slow_captured(), 1);
+
+        // An inline resp-hit records its latency total only — the stage
+        // histograms are the scheduled requests' decomposition, and an
+        // inline answer has no stages worth a clock read. Its probe
+        // stamp still reaches the slow ring.
+        let mut span = Span::start(Some(Instant::now()), Op::Mis2, "af_shell7").unwrap();
+        span.stamp_probe(Instant::now());
+        span.outcome = Outcome::RespHit;
+        m.record(&span, Instant::now());
+        assert_eq!(m.stage_snapshot(Stage::Queue).count(), 1);
+        assert_eq!(m.stage_snapshot(Stage::Probe).count(), 0);
+        assert_eq!(m.stage_snapshot(Stage::Write).count(), 1);
+        assert_eq!(m.latency_snapshot(Op::Mis2, Outcome::RespHit).count(), 1);
+        assert_eq!(m.requests_total(), 2);
+        assert_eq!(m.slow_captured(), 2);
+
+        // A clock-free fast span behaves the same way.
+        let span = Span::fast(
+            Some(Instant::now()),
+            Op::Mis2,
+            Outcome::MemoHit,
+            "af_shell7",
+        );
+        m.record(&span.unwrap(), Instant::now());
+        assert_eq!(m.latency_snapshot(Op::Mis2, Outcome::MemoHit).count(), 1);
+        assert_eq!(m.stage_snapshot(Stage::Write).count(), 1);
+        assert_eq!(m.requests_total(), 3);
+    }
+
+    #[test]
+    fn record_batch_matches_per_span_recording() {
+        // Same spans, two registries: one retired span-by-span, one as
+        // a coalesced writer batch — every histogram must agree.
+        let per_span = Metrics::new(u64::MAX / 2_000_000); // nothing slow
+        let batched = Metrics::new(u64::MAX / 2_000_000);
+        let t0 = Instant::now();
+        let retired = t0 + Duration::from_micros(500);
+        let mut batch = Vec::new();
+        // A run of identical memo hits, an outcome switch, a bucket
+        // switch (earlier start => bigger total), and a scheduled span
+        // breaking the run in the middle.
+        for i in 0..8u64 {
+            let start = if i == 5 {
+                t0 - Duration::from_millis(40)
+            } else {
+                t0
+            };
+            let outcome = if i >= 6 {
+                Outcome::RespHit
+            } else {
+                Outcome::MemoHit
+            };
+            let make = || Span::fast(Some(start), Op::Mis2, outcome, "g").unwrap();
+            per_span.record(&make(), retired);
+            batch.push(make());
+            if i == 3 {
+                let make_job = || {
+                    let mut s = Span::start(Some(t0), Op::Solve, "g").unwrap();
+                    s.parse_ns = 12_345;
+                    let stamps = s.attach_job();
+                    stamps.stamp_enqueued();
+                    stamps.stamp_start();
+                    stamps.stamp_end();
+                    s
+                };
+                per_span.record(&make_job(), retired);
+                batch.push(make_job());
+            }
+        }
+        batched.record_batch(&mut batch, retired);
+        assert!(batch.is_empty());
+        assert_eq!(per_span.requests_total(), 9);
+        assert_eq!(batched.requests_total(), 9);
+        for op in OPS {
+            for outcome in OUTCOMES {
+                assert_eq!(
+                    per_span.latency_snapshot(op, outcome),
+                    batched.latency_snapshot(op, outcome),
+                    "{op:?}/{outcome:?}"
+                );
+            }
+        }
+        // The job stamps are real clock reads, so the two copies of the
+        // scheduled span differ by nanoseconds — compare the stage
+        // bucket shapes, which those jitters cannot move.
+        for stage in [
+            Stage::Parse,
+            Stage::Probe,
+            Stage::Queue,
+            Stage::Run,
+            Stage::Write,
+        ] {
+            assert_eq!(
+                per_span.stage_snapshot(stage).buckets,
+                batched.stage_snapshot(stage).buckets,
+                "{stage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = Metrics::disabled(0);
+        assert!(!m.enabled());
+        let span = Span::start(Some(Instant::now()), Op::Mis2, "g").unwrap();
+        m.record(&span, Instant::now());
+        assert_eq!(m.requests_total(), 0);
+        assert_eq!(m.slow_captured(), 0);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = Metrics::new(0);
+        let span = Span::start(Some(Instant::now()), Op::Solve, "tmt_sym").unwrap();
+        m.record(&span, Instant::now());
+        let text = m.render(&[("mis2_cache_hits_total", 7)]);
+        let exp = parse_exposition(&text).unwrap();
+        assert_eq!(exp.schema, SCHEMA);
+        assert_eq!(exp.value("mis2_requests_total"), Some(1));
+        assert_eq!(exp.value("mis2_cache_hits_total"), Some(7));
+        let count = exp
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == "mis2_request_latency_ns_count"
+                    && s.label("op") == Some("solve")
+                    && s.label("outcome") == Some("computed")
+            })
+            .unwrap();
+        assert_eq!(count.value, 1);
+        let bucket_sum: u64 = exp
+            .samples
+            .iter()
+            .filter(|s| {
+                s.name == "mis2_request_latency_ns_bucket" && s.label("op") == Some("solve")
+            })
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(bucket_sum, count.value);
+        let slow = exp
+            .samples
+            .iter()
+            .find(|s| s.name == "mis2_slow_request")
+            .unwrap();
+        assert_eq!(slow.label("key"), Some("tmt_sym"));
+        assert_eq!(slow.label("shard"), Some("0"));
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let m = Metrics::new(0);
+        let span = Span::start(Some(Instant::now()), Op::Mis2, "we\"ird\\key").unwrap();
+        m.record(&span, Instant::now());
+        let exp = parse_exposition(&m.render(&[])).unwrap();
+        let slow = exp
+            .samples
+            .iter()
+            .find(|s| s.name == "mis2_slow_request")
+            .unwrap();
+        assert_eq!(slow.label("key"), Some("we\"ird\\key"));
+    }
+
+    #[test]
+    fn merge_sums_series_and_mins_uptime() {
+        let mk = |uptime: u64, requests: u64, b0: u64| {
+            format!(
+                "# mis2svc metrics schema 1\nmis2_uptime_seconds {uptime}\n\
+                 mis2_requests_total {requests}\n\
+                 mis2_request_latency_ns_bucket{{op=\"mis2\",outcome=\"computed\",le=\"1000\"}} {b0}\n\
+                 mis2_slow_request{{seq=\"0\",op=\"mis2\",outcome=\"computed\",key=\"g\",shard=\"0\",\
+                 total_ns=\"9\",parse_ns=\"1\",probe_ns=\"0\",queue_ns=\"2\",run_ns=\"3\",\
+                 write_ns=\"3\"}} 1\n"
+            )
+        };
+        let merged = merge_expositions(&[Some(mk(100, 5, 2)), None, Some(mk(40, 7, 3))]);
+        let exp = parse_exposition(&merged).unwrap();
+        assert_eq!(exp.value("mis2_uptime_seconds"), Some(40));
+        assert_eq!(exp.value("mis2_requests_total"), Some(12));
+        assert_eq!(exp.value("mis2_shards"), Some(3));
+        assert_eq!(exp.value("mis2_shards_up"), Some(2));
+        let bucket = exp
+            .samples
+            .iter()
+            .find(|s| s.name == "mis2_request_latency_ns_bucket")
+            .unwrap();
+        assert_eq!(bucket.value, 5);
+        let shards: Vec<_> = exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "mis2_slow_request")
+            .map(|s| s.label("shard").unwrap().to_string())
+            .collect();
+        assert_eq!(shards, ["0", "2"]);
+    }
+
+    #[test]
+    fn merge_of_all_dead_shards_is_still_well_formed() {
+        let merged = merge_expositions(&[None, None]);
+        let exp = parse_exposition(&merged).unwrap();
+        assert_eq!(exp.value("mis2_shards"), Some(2));
+        assert_eq!(exp.value("mis2_shards_up"), Some(0));
+    }
+
+    #[test]
+    fn body_escape_round_trips() {
+        let body = "# mis2svc metrics schema 1\nkey \\ with\nnewlines\n";
+        let wire = escape_body(body);
+        assert!(!wire.contains('\n'));
+        assert_eq!(unescape_body(&wire), body);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 0.50), 50);
+        assert_eq!(percentile_ns(&v, 0.95), 95);
+        assert_eq!(percentile_ns(&v, 0.99), 99);
+        assert_eq!(percentile_ns(&v, 1.0), 100);
+        assert_eq!(percentile_ns(&[], 0.5), 0);
+        assert_eq!(percentile_ns(&[42], 0.99), 42);
+    }
+}

@@ -287,7 +287,7 @@ pub fn request_op(req: &Request) -> Option<(&GraphRef, OpKey)> {
         Request::Mis2 { graph } => Some((graph, OpKey::Mis2)),
         Request::Coarsen { graph, levels } => Some((graph, OpKey::Coarsen { levels: *levels })),
         Request::Solve { graph, method } => Some((graph, OpKey::Solve { method: *method })),
-        Request::Stats | Request::Ping | Request::Quit => None,
+        Request::Stats | Request::Metrics | Request::Ping | Request::Quit => None,
     }
 }
 

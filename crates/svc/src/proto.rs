@@ -169,6 +169,7 @@ pub enum Request {
     Coarsen { graph: GraphRef, levels: usize },
     Solve { graph: GraphRef, method: Method },
     Stats,
+    Metrics,
     Ping,
     Quit,
 }
@@ -200,11 +201,12 @@ impl Request {
                 Request::Solve { graph, method }
             }
             "STATS" => Request::Stats,
+            "METRICS" => Request::Metrics,
             "PING" => Request::Ping,
             "QUIT" => Request::Quit,
             other => {
                 return Err(format!(
-                    "unknown command: {other} (want MIS2|COARSEN|SOLVE|STATS|PING|QUIT)"
+                    "unknown command: {other} (want MIS2|COARSEN|SOLVE|STATS|METRICS|PING|QUIT)"
                 ))
             }
         };
@@ -221,6 +223,7 @@ impl Request {
             Request::Coarsen { graph, levels } => format!("COARSEN {graph} {levels}"),
             Request::Solve { graph, method } => format!("SOLVE {graph} {}", method.name()),
             Request::Stats => "STATS".into(),
+            Request::Metrics => "METRICS".into(),
             Request::Ping => "PING".into(),
             Request::Quit => "QUIT".into(),
         }
@@ -321,6 +324,7 @@ mod tests {
             "SOLVE Laplace3D_100 cg",
             "SOLVE tmt_sym gmres",
             "STATS",
+            "METRICS",
             "PING",
             "QUIT",
         ] {
@@ -359,6 +363,7 @@ mod tests {
             "SOLVE g jacobi",
             "MIS2 a b",
             "STATS extra",
+            "METRICS extra",
         ] {
             assert!(Request::parse(line).is_err(), "must reject {line:?}");
         }

@@ -592,6 +592,10 @@ pub fn parse_stats_body(body: &str) -> Vec<(&str, u64)> {
 /// where the comma lists give each shard's own `bytes` / `evictions` in
 /// ring order (zeros for a dead shard), letting callers attribute load
 /// per shard without a second round of per-shard STATS calls.
+///
+/// One key is not a sum: `uptime_s` takes the **minimum over live
+/// shards** — "the cluster has been fully up for this long" — since
+/// adding uptimes across processes is meaningless.
 pub fn merge_stats_bodies(shards: &[Option<String>]) -> String {
     let parsed: Vec<Option<Vec<(&str, u64)>>> = shards
         .iter()
@@ -607,12 +611,18 @@ pub fn merge_stats_bodies(shards: &[Option<String>]) -> String {
     }
     let mut line = String::from("STATS");
     for key in &keys {
-        let sum: u64 = parsed
-            .iter()
-            .flatten()
-            .flat_map(|pairs| pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| *v))
-            .sum();
-        line.push_str(&format!(" {key}={sum}"));
+        let values = || {
+            parsed
+                .iter()
+                .flatten()
+                .flat_map(|pairs| pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| *v))
+        };
+        let merged: u64 = if *key == "uptime_s" {
+            values().min().unwrap_or(0)
+        } else {
+            values().sum()
+        };
+        line.push_str(&format!(" {key}={merged}"));
     }
     let per_shard = |key: &str| -> String {
         parsed
@@ -1140,5 +1150,18 @@ mod tests {
         assert!(line.contains(" shards=3 shards_up=2 "), "{line}");
         assert!(line.ends_with("shard_bytes=100,0,7 shard_evictions=1,0,0"));
         assert!(line.starts_with("STATS graphs=3 bytes=107 evictions=1"));
+    }
+
+    #[test]
+    fn merged_stats_take_min_uptime_over_live_shards() {
+        let shards = vec![
+            Some("STATS jobs=4 uptime_s=120 requests=10".to_string()),
+            None, // dead shard must not drag uptime to zero
+            Some("STATS jobs=6 uptime_s=35 requests=7".to_string()),
+        ];
+        let line = merge_stats_bodies(&shards);
+        assert!(line.contains(" jobs=10 "), "{line}");
+        assert!(line.contains(" uptime_s=35 "), "{line}");
+        assert!(line.contains(" requests=17 "), "{line}");
     }
 }

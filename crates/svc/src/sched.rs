@@ -87,11 +87,25 @@ pub struct SchedStats {
     /// Jobs completed (including panicked ones).
     pub jobs: AtomicU64,
     /// Total time jobs spent queued before a worker picked them up.
+    /// Saturates instead of wrapping, so the mean stays meaningful on
+    /// long-lived servers.
     pub queue_wait_us: AtomicU64,
-    /// Total time jobs spent running.
+    /// Number of waits summed into `queue_wait_us` (equals `jobs`, but
+    /// paired explicitly so `STATS` consumers can compute a mean
+    /// without relying on that coincidence).
+    pub queue_wait_count: AtomicU64,
+    /// Total time jobs spent running. Saturates instead of wrapping.
     pub run_us: AtomicU64,
     /// Jobs that panicked (reported to the client as `ERR`).
     pub panics: AtomicU64,
+}
+
+/// Add without wrapping: a duration sum that hits `u64::MAX` pins there
+/// rather than silently restarting from zero.
+fn saturating_add(counter: &AtomicU64, n: u64) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(n))
+    });
 }
 
 /// One-shot completion slot a submitter waits on.
@@ -314,11 +328,9 @@ fn worker_loop(inner: &Inner) {
         };
         let run_us = start.elapsed().as_micros() as u64;
         inner.stats.jobs.fetch_add(1, Ordering::Relaxed);
-        inner
-            .stats
-            .queue_wait_us
-            .fetch_add(wait_us, Ordering::Relaxed);
-        inner.stats.run_us.fetch_add(run_us, Ordering::Relaxed);
+        saturating_add(&inner.stats.queue_wait_us, wait_us);
+        inner.stats.queue_wait_count.fetch_add(1, Ordering::Relaxed);
+        saturating_add(&inner.stats.run_us, run_us);
         // A panicking completion must not take the worker-leader down with
         // it (the job's response is lost to its connection, but every
         // other connection keeps its scheduler).
@@ -356,7 +368,19 @@ mod tests {
             assert_eq!(h.wait(), format!("OK job {i}"));
         }
         assert_eq!(s.stats().jobs.load(Ordering::Relaxed), 20);
+        // Every summed wait is paired with a count, so a mean queue
+        // wait is computable from STATS.
+        assert_eq!(s.stats().queue_wait_count.load(Ordering::Relaxed), 20);
         s.shutdown();
+    }
+
+    #[test]
+    fn duration_sums_saturate_instead_of_wrapping() {
+        let c = AtomicU64::new(u64::MAX - 5);
+        saturating_add(&c, 100);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+        saturating_add(&c, 1);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
     }
 
     #[test]

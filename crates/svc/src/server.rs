@@ -40,6 +40,7 @@
 //! scheduler.
 
 use crate::codec;
+use crate::metrics::{self, Metrics};
 use crate::ops;
 use crate::proto::{self, Request};
 use crate::registry::{Registry, RespBytes};
@@ -51,6 +52,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +80,15 @@ pub struct ServerConfig {
     /// yet written) before its reader stops accepting more (0 = 64). v1
     /// connections always run with a window of 1.
     pub max_inflight: usize,
+    /// Requests whose total latency (read-complete → write-retired)
+    /// meets or exceeds this many milliseconds are captured into the
+    /// metrics slow-request ring. 0 captures *every* request (useful
+    /// for smoke tests); the default is 500.
+    pub slow_ms: u64,
+    /// Record per-request metrics (latency histograms, stage spans, the
+    /// slow ring). On by default; `benches/svc_pipeline.rs` turns it
+    /// off on a second server to A/B the recording overhead.
+    pub metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +102,8 @@ impl Default for ServerConfig {
             scale: Scale::Tiny,
             mem_budget: 0,
             max_inflight: 0,
+            slow_ms: 500,
+            metrics: true,
         }
     }
 }
@@ -199,6 +212,7 @@ pub struct ServerHandle {
     sched: Arc<Scheduler>,
     registry: Arc<Registry>,
     svc_stats: Arc<SvcStats>,
+    metrics: Arc<Metrics>,
     conn_table: Arc<ConnTable>,
 }
 
@@ -216,6 +230,11 @@ impl ServerHandle {
     /// The service-wide wire counters (in-flight window gauges).
     pub fn svc_stats(&self) -> &Arc<SvcStats> {
         &self.svc_stats
+    }
+
+    /// The request-observability registry (histograms, slow ring).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// Block forever serving (the accept loop never returns on its own).
@@ -268,6 +287,11 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
     }));
     let stop = Arc::new(AtomicBool::new(false));
     let svc_stats = Arc::new(SvcStats::default());
+    let mx = Arc::new(if cfg.metrics {
+        Metrics::new(cfg.slow_ms)
+    } else {
+        Metrics::disabled(cfg.slow_ms)
+    });
     let max_conns = if cfg.max_conns == 0 {
         1024
     } else {
@@ -284,6 +308,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         let sched = Arc::clone(&sched);
         let stop = Arc::clone(&stop);
         let svc_stats = Arc::clone(&svc_stats);
+        let mx = Arc::clone(&mx);
         let conn_table = Arc::clone(&conn_table);
         let conns = Arc::new(AtomicUsize::new(0));
         std::thread::Builder::new()
@@ -328,6 +353,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
                     let registry = Arc::clone(&registry);
                     let sched = Arc::clone(&sched);
                     let svc_stats = Arc::clone(&svc_stats);
+                    let mx = Arc::clone(&mx);
                     // On spawn failure the closure (and `slot` inside it)
                     // is dropped by Builder::spawn, releasing the claim.
                     let _ = std::thread::Builder::new()
@@ -339,6 +365,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
                                 &registry,
                                 &sched,
                                 &svc_stats,
+                                &mx,
                                 max_inflight,
                             );
                         });
@@ -352,6 +379,7 @@ pub fn serve(cfg: ServerConfig) -> io::Result<ServerHandle> {
         sched,
         registry,
         svc_stats,
+        metrics: mx,
         conn_table,
     })
 }
@@ -408,8 +436,16 @@ impl ConnWindow {
 }
 
 /// One response travelling from the reader (inline answers) or a
-/// scheduler completion into the connection's writer.
-pub(crate) enum Outgoing {
+/// scheduler completion into the connection's writer: the wire payload
+/// plus the request's metrics span (if recording), which the writer
+/// retires after the bytes hit the socket.
+pub(crate) struct Outgoing {
+    payload: Payload,
+    span: Option<metrics::Span>,
+}
+
+/// The wire form of one outgoing response.
+pub(crate) enum Payload {
     /// A v1/v2 text line, written with a trailing `\n`.
     Line(String),
     /// A v3 response: 13-byte binary header stamped by the writer,
@@ -432,7 +468,7 @@ enum Piece {
 /// adjacent scratch spans are merged so a batch of text responses
 /// coalesces into few iovecs.
 fn encode_outgoing(
-    item: Outgoing,
+    item: Payload,
     scratch: &mut Vec<u8>,
     pieces: &mut Vec<Piece>,
     shared: &mut Vec<Arc<RespBytes>>,
@@ -447,13 +483,13 @@ fn encode_outgoing(
         pieces.push(Piece::Scratch { off, len });
     }
     match item {
-        Outgoing::Line(line) => {
+        Payload::Line(line) => {
             let off = scratch.len();
             scratch.extend_from_slice(line.as_bytes());
             scratch.push(b'\n');
             push_scratch(pieces, off, scratch.len() - off);
         }
-        Outgoing::Frame { tag, resp } => {
+        Payload::Frame { tag, resp } => {
             // An over-MAX_PAYLOAD body cannot be framed: the header's u32
             // length would truncate (or advertise a length the peer
             // rejects as Oversized and poisons the connection on). Swap
@@ -532,6 +568,22 @@ fn write_all_spans(w: &mut TcpStream, spans: &[&[u8]]) -> io::Result<usize> {
     Ok(total)
 }
 
+/// Peel one channel item into the batch under construction: the span
+/// (if any) is parked until the batch's write retires, the payload is
+/// encoded into the scratch/pieces/shared triple.
+fn stage_outgoing(
+    item: Outgoing,
+    scratch: &mut Vec<u8>,
+    pieces: &mut Vec<Piece>,
+    shared: &mut Vec<Arc<RespBytes>>,
+    spans: &mut Vec<metrics::Span>,
+) {
+    if let Some(span) = item.span {
+        spans.push(span);
+    }
+    encode_outgoing(item.payload, scratch, pieces, shared);
+}
+
 /// The writer half of a connection: drains the bounded response channel
 /// in greedy batches — one blocking `recv`, then everything `try_recv`
 /// yields — encodes the whole batch (text lines and/or binary frames),
@@ -553,12 +605,14 @@ pub(crate) fn writer_loop(
     stream: TcpStream,
     win: &ConnWindow,
     stats: &SvcStats,
+    mx: Option<&Metrics>,
 ) {
     let mut out = stream;
     let mut broken = false;
     let mut scratch: Vec<u8> = Vec::new();
     let mut pieces: Vec<Piece> = Vec::new();
     let mut shared: Vec<Arc<RespBytes>> = Vec::new();
+    let mut spans: Vec<metrics::Span> = Vec::new();
     let mut disconnected = false;
     while !disconnected {
         // Park until the next response (or until every sender is gone,
@@ -567,13 +621,14 @@ pub(crate) fn writer_loop(
         scratch.clear();
         pieces.clear();
         shared.clear();
+        spans.clear();
         let mut batch = 1usize;
-        encode_outgoing(first, &mut scratch, &mut pieces, &mut shared);
+        stage_outgoing(first, &mut scratch, &mut pieces, &mut shared, &mut spans);
         loop {
             match rx.try_recv() {
                 Ok(next) => {
                     batch += 1;
-                    encode_outgoing(next, &mut scratch, &mut pieces, &mut shared);
+                    stage_outgoing(next, &mut scratch, &mut pieces, &mut shared, &mut spans);
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
@@ -590,7 +645,7 @@ pub(crate) fn writer_loop(
         // only after the bytes are on the socket.
         stats.inflight.fetch_sub(batch as u64, Ordering::Relaxed);
         if !broken {
-            let spans: Vec<&[u8]> = pieces
+            let wire_spans: Vec<&[u8]> = pieces
                 .iter()
                 .filter_map(|p| {
                     let s: &[u8] = match p {
@@ -600,7 +655,7 @@ pub(crate) fn writer_loop(
                     (!s.is_empty()).then_some(s)
                 })
                 .collect();
-            match write_all_spans(&mut out, &spans) {
+            match write_all_spans(&mut out, &wire_spans) {
                 Ok(n) => {
                     stats.writev_batches.fetch_add(1, Ordering::Relaxed);
                     stats.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
@@ -611,8 +666,26 @@ pub(crate) fn writer_loop(
                 }
             }
         }
+        if broken {
+            // Responses that never reached the socket drop their spans
+            // unrecorded: the client never observed them, so the
+            // histograms don't either.
+            spans.clear();
+        }
         for _ in 0..batch {
             win.release();
+        }
+        // Retire the batch's metric spans with ONE clock read as the
+        // shared write-retired stamp — per-response clocks would put a
+        // syscall-ish cost back on the path the batching exists to
+        // amortize; the batch form also coalesces runs of identical
+        // cache hits into single histogram adds. Recording runs *after*
+        // the window slots are released so it overlaps with the
+        // reader's next burst instead of gating admission.
+        if let Some(m) = mx {
+            if !spans.is_empty() {
+                m.record_batch(&mut spans, Instant::now());
+            }
         }
     }
 }
@@ -640,6 +713,7 @@ fn handle_connection(
     registry: &Arc<Registry>,
     sched: &Scheduler,
     stats: &Arc<SvcStats>,
+    mx: &Arc<Metrics>,
     max_inflight: usize,
 ) -> io::Result<()> {
     let write_stream = stream.try_clone()?;
@@ -650,11 +724,12 @@ fn handle_connection(
     let writer = {
         let win = Arc::clone(&win);
         let stats = Arc::clone(stats);
+        let mx = Arc::clone(mx);
         std::thread::Builder::new()
             .name("mis2-svc-write".into())
-            .spawn(move || writer_loop(rx, write_stream, &win, &stats))?
+            .spawn(move || writer_loop(rx, write_stream, &win, &stats, Some(&mx)))?
     };
-    let result = read_loop(stream, registry, sched, stats, max_inflight, &win, &tx);
+    let result = read_loop(stream, registry, sched, stats, mx, max_inflight, &win, &tx);
     // Teardown: drop our sender; in-flight completions still hold clones,
     // so the writer keeps draining until the last one delivers, then
     // exits. Joining it is the "drain" in drain-or-cancel: responses the
@@ -677,7 +752,8 @@ pub(crate) fn acquire_slot(win: &ConnWindow, cap: usize, stats: &SvcStats) {
 /// Send one response into the writer channel under an already-acquired
 /// slot. The send cannot block (see [`ConnWindow`]); a send error means
 /// the writer is already gone, so the slot is released directly to keep
-/// accounting exact.
+/// accounting exact (the span dies with the item — an undeliverable
+/// response is not recorded).
 fn send_response(item: Outgoing, tx: &SyncSender<Outgoing>, win: &ConnWindow, stats: &SvcStats) {
     if tx.send(item).is_err() {
         win.release();
@@ -685,17 +761,37 @@ fn send_response(item: Outgoing, tx: &SyncSender<Outgoing>, win: &ConnWindow, st
     }
 }
 
-/// [`send_response`] for a v1/v2 text line.
+/// [`send_response`] for a v1/v2 text line without a metrics span (the
+/// shard router's sends — the router doesn't record request metrics).
 pub(crate) fn send_line(
     line: String,
     tx: &SyncSender<Outgoing>,
     win: &ConnWindow,
     stats: &SvcStats,
 ) {
-    send_response(Outgoing::Line(line), tx, win, stats);
+    send_line_span(line, None, tx, win, stats);
 }
 
-/// [`send_response`] for a v3 frame under `tag`.
+/// [`send_response`] for a v1/v2 text line carrying its request's span.
+pub(crate) fn send_line_span(
+    line: String,
+    span: Option<metrics::Span>,
+    tx: &SyncSender<Outgoing>,
+    win: &ConnWindow,
+    stats: &SvcStats,
+) {
+    send_response(
+        Outgoing {
+            payload: Payload::Line(line),
+            span,
+        },
+        tx,
+        win,
+        stats,
+    );
+}
+
+/// [`send_response`] for a v3 frame under `tag` without a metrics span.
 pub(crate) fn send_frame(
     tag: u64,
     resp: ops::Response,
@@ -703,7 +799,51 @@ pub(crate) fn send_frame(
     win: &ConnWindow,
     stats: &SvcStats,
 ) {
-    send_response(Outgoing::Frame { tag, resp }, tx, win, stats);
+    send_frame_span(tag, resp, None, tx, win, stats);
+}
+
+/// [`send_response`] for a v3 frame carrying its request's span.
+pub(crate) fn send_frame_span(
+    tag: u64,
+    resp: ops::Response,
+    span: Option<metrics::Span>,
+    tx: &SyncSender<Outgoing>,
+    win: &ConnWindow,
+    stats: &SvcStats,
+) {
+    send_response(
+        Outgoing {
+            payload: Payload::Frame { tag, resp },
+            span,
+        },
+        tx,
+        win,
+        stats,
+    );
+}
+
+/// Map a parsed request to its metrics op label and graph key.
+fn req_span_parts(req: &Request) -> (metrics::Op, &str) {
+    match req {
+        Request::Mis2 { graph } => (metrics::Op::Mis2, graph.token()),
+        Request::Coarsen { graph, .. } => (metrics::Op::Coarsen, graph.token()),
+        Request::Solve { graph, .. } => (metrics::Op::Solve, graph.token()),
+        Request::Stats => (metrics::Op::Stats, ""),
+        Request::Metrics => (metrics::Op::Metrics, ""),
+        Request::Ping | Request::Quit => (metrics::Op::Other, ""),
+    }
+}
+
+/// Build a span for an inline (never-queued) response; `None` when
+/// recording is off (`t0` is `None`). Clock-free — inline answers are
+/// single-stage, so only their end-to-end total is worth a histogram.
+fn inline_span(
+    t0: Option<Instant>,
+    op: metrics::Op,
+    outcome: metrics::Outcome,
+    key: &str,
+) -> Option<metrics::Span> {
+    metrics::Span::fast(t0, op, outcome, key)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -712,6 +852,7 @@ fn read_loop(
     registry: &Arc<Registry>,
     sched: &Scheduler,
     stats: &Arc<SvcStats>,
+    mx: &Arc<Metrics>,
     max_inflight: usize,
     win: &Arc<ConnWindow>,
     tx: &SyncSender<Outgoing>,
@@ -734,6 +875,9 @@ fn read_loop(
         if n == 0 {
             return Ok(()); // client closed
         }
+        // Span clock zero: the line is fully read. `None` when recording
+        // is off, so the disabled path pays no clock reads at all.
+        let t0 = mx.enabled().then(Instant::now);
         // v1 connections keep the classic one-in-flight, in-order
         // contract; v2 connections open the window to the configured cap.
         // (The V2-hello branch below upgrades `mode` and then continues,
@@ -752,8 +896,9 @@ fn read_loop(
             // Acquire under the *current* cap — with a pipelined window
             // in flight this must not wait for a full drain.
             acquire_slot(win, cap, stats);
-            send_line(
+            send_line_span(
                 frame_unframeable(proto::err("line too long")),
+                inline_span(t0, metrics::Op::Other, metrics::Outcome::Error, ""),
                 tx,
                 win,
                 stats,
@@ -764,8 +909,9 @@ fn read_loop(
             // The line boundary itself is byte-based, so later lines
             // still frame fine: answer and keep the connection.
             acquire_slot(win, cap, stats);
-            send_line(
+            send_line_span(
                 frame_unframeable(proto::err("invalid utf-8")),
+                inline_span(t0, metrics::Op::Other, metrics::Outcome::Error, ""),
                 tx,
                 win,
                 stats,
@@ -786,7 +932,13 @@ fn read_loop(
             Mode::V1 if trimmed == proto::HELLO_V2 => {
                 mode = Mode::V2;
                 acquire_slot(win, cap, stats);
-                send_line(proto::hello_ok(max_inflight), tx, win, stats);
+                send_line_span(
+                    proto::hello_ok(max_inflight),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
                 continue;
             }
             Mode::V1 if trimmed == codec::HELLO_V3 => {
@@ -794,8 +946,23 @@ fn read_loop(
                 // *text* line on the wire; from the next byte on, both
                 // directions speak 13-byte-header frames.
                 acquire_slot(win, cap, stats);
-                send_line(codec::hello_ok(max_inflight), tx, win, stats);
-                return v3_read_loop(&mut reader, registry, sched, stats, max_inflight, win, tx);
+                send_line_span(
+                    codec::hello_ok(max_inflight),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
+                return v3_read_loop(
+                    &mut reader,
+                    registry,
+                    sched,
+                    stats,
+                    mx,
+                    max_inflight,
+                    win,
+                    tx,
+                );
             }
             Mode::V1 => (None, Request::parse(trimmed)),
             Mode::V2 => match proto::split_tagged(trimmed) {
@@ -804,7 +971,13 @@ fn read_loop(
                 // reserved T? marker, keep the connection.
                 Err(e) => {
                     acquire_slot(win, cap, stats);
-                    send_line(proto::tagged_unknown(&proto::err(&e)), tx, win, stats);
+                    send_line_span(
+                        proto::tagged_unknown(&proto::err(&e)),
+                        inline_span(t0, metrics::Op::Other, metrics::Outcome::Error, ""),
+                        tx,
+                        win,
+                        stats,
+                    );
                     continue;
                 }
                 Ok((tag, rest)) => (Some(tag), Request::parse(rest)),
@@ -819,26 +992,61 @@ fn read_loop(
             // pipelining client can correlate the error.
             Err(e) => {
                 acquire_slot(win, cap, stats);
-                send_line(frame(proto::err(&e)), tx, win, stats);
+                send_line_span(
+                    frame(proto::err(&e)),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Error, ""),
+                    tx,
+                    win,
+                    stats,
+                );
             }
-            // PING/STATS answer inline — they never queue behind compute
-            // jobs (they still take a window slot, so a full window
-            // backpressures them like everything else).
+            // PING/STATS/METRICS answer inline — they never queue behind
+            // compute jobs (they still take a window slot, so a full
+            // window backpressures them like everything else).
             Ok(Request::Ping) => {
                 acquire_slot(win, cap, stats);
-                send_line(frame(proto::ok("PONG")), tx, win, stats);
+                send_line_span(
+                    frame(proto::ok("PONG")),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
             }
             Ok(Request::Stats) => {
                 acquire_slot(win, cap, stats);
-                let body = stats_body(registry, sched, stats, max_inflight);
-                send_line(frame(proto::ok(&body)), tx, win, stats);
+                let body = stats_body(registry, sched, stats, mx, max_inflight);
+                send_line_span(
+                    frame(proto::ok(&body)),
+                    inline_span(t0, metrics::Op::Stats, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
+            }
+            Ok(Request::Metrics) => {
+                acquire_slot(win, cap, stats);
+                let body = metrics_body(registry, sched, stats, mx);
+                send_line_span(
+                    frame(proto::ok(&body)),
+                    inline_span(t0, metrics::Op::Metrics, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
             }
             Ok(Request::Quit) => {
                 // Drain: every response already in flight is written
                 // before BYE, which is the last line on the wire.
                 win.wait_empty();
                 acquire_slot(win, cap, stats);
-                send_line(frame(proto::ok("BYE")), tx, win, stats);
+                send_line_span(
+                    frame(proto::ok("BYE")),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
                 return Ok(());
             }
             Ok(req) => {
@@ -848,14 +1056,37 @@ fn read_loop(
                 // on a scheduler worker-leader and must not block; the
                 // slot it holds guarantees its send cannot.
                 acquire_slot(win, cap, stats);
+                let (op, key) = req_span_parts(&req);
+                let mut span = metrics::Span::start(t0, op, key);
+                let stamps = span.as_mut().map(|s| s.attach_job());
                 let registry = Arc::clone(registry);
                 let tx = tx.clone();
                 let win = Arc::clone(win);
                 let stats = Arc::clone(stats);
+                if let Some(s) = &stamps {
+                    s.stamp_enqueued();
+                }
                 sched.submit_with(
-                    Box::new(move || ops::execute_response(&registry, &req)),
+                    Box::new(move || {
+                        if let Some(s) = &stamps {
+                            s.stamp_start();
+                        }
+                        let resp = ops::execute_response(&registry, &req);
+                        if let Some(s) = &stamps {
+                            s.stamp_end();
+                        }
+                        resp
+                    }),
                     Box::new(move |resp| {
-                        send_line(frame(resp.to_line()), &tx, &win, &stats);
+                        let mut span = span;
+                        if let Some(s) = span.as_mut() {
+                            s.outcome = if resp.is_ok() {
+                                metrics::Outcome::Computed
+                            } else {
+                                metrics::Outcome::Error
+                            };
+                        }
+                        send_line_span(frame(resp.to_line()), span, &tx, &win, &stats);
                     }),
                 );
             }
@@ -900,13 +1131,21 @@ fn v3_read_loop(
     registry: &Arc<Registry>,
     sched: &Scheduler,
     stats: &Arc<SvcStats>,
+    mx: &Arc<Metrics>,
     max_inflight: usize,
     win: &Arc<ConnWindow>,
     tx: &SyncSender<Outgoing>,
 ) -> io::Result<()> {
     let mut payload: Vec<u8> = Vec::new();
     let mut memo: Option<(Vec<u8>, Request)> = None;
+    let mut burst_t0: Option<Instant> = None;
+    let recording = mx.enabled();
     loop {
+        // Span clock zero = the frame's arrival. Frames that were already
+        // sitting in the read buffer arrived in the same socket burst as
+        // the previous one, so they share its stamp — one clock read per
+        // syscall, not per request. `None` when recording is off.
+        let fresh_burst = reader.buffer().len() < codec::HEADER_LEN;
         let Some(hdr) = codec::read_header(reader)? else {
             return Ok(()); // client closed between frames
         };
@@ -922,10 +1161,19 @@ fn v3_read_loop(
         }
         payload.resize(len, 0);
         reader.read_exact(&mut payload)?;
+        let t0 = match (recording, fresh_burst, burst_t0) {
+            (false, _, _) => None,
+            (true, false, Some(t)) => Some(t),
+            (true, _, _) => Some(Instant::now()),
+        };
+        burst_t0 = t0;
         // Hot-key parse memo: a byte-identical repeat of the last inline
         // hit reuses the parsed request — but still takes the normal
         // try_response path below, so LRU stamps and hit counters refresh
-        // exactly as if the request had been parsed fresh.
+        // exactly as if the request had been parsed fresh. (Outcome-wise
+        // a memo repeat that hits is a `memo_hit`, a parsed request that
+        // hits is a `resp_hit`.)
+        let memo_hit = matches!(&memo, Some((key, _)) if key == &payload);
         let parsed = match &memo {
             Some((key, req)) if key == &payload => Ok(req.clone()),
             _ => {
@@ -933,7 +1181,14 @@ fn v3_read_loop(
                     // Lengths are explicit, so the stream stays framed:
                     // reject this request, keep the connection.
                     acquire_slot(win, max_inflight, stats);
-                    send_frame(tag, ops::Response::err("invalid utf-8"), tx, win, stats);
+                    send_frame_span(
+                        tag,
+                        ops::Response::err("invalid utf-8"),
+                        inline_span(t0, metrics::Op::Other, metrics::Outcome::Error, ""),
+                        tx,
+                        win,
+                        stats,
+                    );
                     continue;
                 };
                 Request::parse(text.trim_end_matches(['\r', '\n']))
@@ -942,49 +1197,146 @@ fn v3_read_loop(
         match parsed {
             Err(e) => {
                 acquire_slot(win, max_inflight, stats);
-                send_frame(tag, ops::Response::err(&e), tx, win, stats);
+                send_frame_span(
+                    tag,
+                    ops::Response::err(&e),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Error, ""),
+                    tx,
+                    win,
+                    stats,
+                );
             }
             Ok(Request::Ping) => {
                 acquire_slot(win, max_inflight, stats);
-                send_frame(tag, ops::Response::ok_text("PONG".into()), tx, win, stats);
+                send_frame_span(
+                    tag,
+                    ops::Response::ok_text("PONG".into()),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
             }
             Ok(Request::Stats) => {
                 acquire_slot(win, max_inflight, stats);
-                let body = stats_body(registry, sched, stats, max_inflight);
-                send_frame(tag, ops::Response::ok_text(body), tx, win, stats);
+                let body = stats_body(registry, sched, stats, mx, max_inflight);
+                send_frame_span(
+                    tag,
+                    ops::Response::ok_text(body),
+                    inline_span(t0, metrics::Op::Stats, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
+            }
+            Ok(Request::Metrics) => {
+                acquire_slot(win, max_inflight, stats);
+                let body = metrics_body(registry, sched, stats, mx);
+                send_frame_span(
+                    tag,
+                    ops::Response::ok_text(body),
+                    inline_span(t0, metrics::Op::Metrics, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
             }
             Ok(Request::Quit) => {
                 win.wait_empty();
                 acquire_slot(win, max_inflight, stats);
-                send_frame(tag, ops::Response::ok_text("BYE".into()), tx, win, stats);
+                send_frame_span(
+                    tag,
+                    ops::Response::ok_text("BYE".into()),
+                    inline_span(t0, metrics::Op::Other, metrics::Outcome::Computed, ""),
+                    tx,
+                    win,
+                    stats,
+                );
                 return Ok(());
             }
             Ok(req) => {
                 acquire_slot(win, max_inflight, stats);
+                let (op, key) = req_span_parts(&req);
+                let mut span;
                 // Zero-serialization fast path: interned response bytes
                 // go straight to the writer. The registry counts this as
                 // a hit (and a resp_hit) so cache accounting stays exact.
-                if let Some((graph, op)) = ops::request_op(&req) {
-                    if let Some(bytes) = registry.try_response(graph, &op) {
-                        // Memoize suite-graph hits only: suite names need
-                        // no filesystem canonicalization, so the cached
-                        // parse is always equivalent to a fresh one; an
-                        // `.mtx` path's resolution could change on disk.
-                        if matches!(graph, proto::GraphRef::Suite(_)) {
-                            memo = Some((payload.clone(), req.clone()));
+                if let Some((graph, opkey)) = ops::request_op(&req) {
+                    if memo_hit {
+                        // Memo repeat: the memo already holds exactly
+                        // this payload, and the probe is an in-memory
+                        // lookup far under the histograms' 1µs floor —
+                        // so the whole hit costs zero clock reads.
+                        if let Some(bytes) = registry.try_response(graph, &opkey) {
+                            let s = metrics::Span::fast(t0, op, metrics::Outcome::MemoHit, key);
+                            send_frame_span(tag, ops::Response::interned(bytes), s, tx, win, stats);
+                            continue;
                         }
-                        send_frame(tag, ops::Response::interned(bytes), tx, win, stats);
-                        continue;
+                        // Evicted since the memo was set: schedule; the
+                        // (rare) probe goes untimed.
+                        span = metrics::Span::start(t0, op, key);
+                    } else {
+                        span = metrics::Span::start(t0, op, key);
+                        let probe_start = span.as_ref().map(|_| Instant::now());
+                        let hit = registry.try_response(graph, &opkey);
+                        if let (Some(s), Some(p)) = (span.as_mut(), probe_start) {
+                            s.stamp_probe(p);
+                        }
+                        if let Some(bytes) = hit {
+                            // Memoize suite-graph hits only: suite names
+                            // need no filesystem canonicalization, so the
+                            // cached parse is always equivalent to a
+                            // fresh one; an `.mtx` path's resolution
+                            // could change on disk.
+                            if matches!(graph, proto::GraphRef::Suite(_)) {
+                                memo = Some((payload.clone(), req.clone()));
+                            }
+                            if let Some(s) = span.as_mut() {
+                                s.outcome = metrics::Outcome::RespHit;
+                            }
+                            send_frame_span(
+                                tag,
+                                ops::Response::interned(bytes),
+                                span,
+                                tx,
+                                win,
+                                stats,
+                            );
+                            continue;
+                        }
                     }
+                } else {
+                    span = metrics::Span::start(t0, op, key);
                 }
+                let stamps = span.as_mut().map(|s| s.attach_job());
                 let registry = Arc::clone(registry);
                 let tx = tx.clone();
                 let win = Arc::clone(win);
                 let stats = Arc::clone(stats);
+                if let Some(s) = &stamps {
+                    s.stamp_enqueued();
+                }
                 sched.submit_with(
-                    Box::new(move || ops::execute_response(&registry, &req)),
+                    Box::new(move || {
+                        if let Some(s) = &stamps {
+                            s.stamp_start();
+                        }
+                        let resp = ops::execute_response(&registry, &req);
+                        if let Some(s) = &stamps {
+                            s.stamp_end();
+                        }
+                        resp
+                    }),
                     Box::new(move |resp| {
-                        send_frame(tag, resp, &tx, &win, &stats);
+                        let mut span = span;
+                        if let Some(s) = span.as_mut() {
+                            s.outcome = if resp.is_ok() {
+                                metrics::Outcome::Computed
+                            } else {
+                                metrics::Outcome::Error
+                            };
+                        }
+                        send_frame_span(tag, resp, span, &tx, &win, &stats);
                     }),
                 );
             }
@@ -998,6 +1350,7 @@ fn stats_body(
     registry: &Registry,
     sched: &Scheduler,
     svc: &SvcStats,
+    mx: &Metrics,
     max_inflight: usize,
 ) -> String {
     let r = registry.stats();
@@ -1013,7 +1366,8 @@ fn stats_body(
          graph_builds={} jobs={} queue_wait_us={} run_us={} \
          panics={} inflight={} max_inflight={} peak_inflight={} \
          workers={} team={} pool_spawned={} pool_contended={} \
-         resp={} resp_bytes={} resp_hits={} writev_batches={} bytes_tx={}",
+         resp={} resp_bytes={} resp_hits={} writev_batches={} bytes_tx={} \
+         queue_wait_count={} uptime_s={} requests={}",
         r.graphs,
         r.artifacts,
         r.hits,
@@ -1038,7 +1392,48 @@ fn stats_body(
         r.resp_hits,
         svc.writev_batches.load(Ordering::Relaxed),
         svc.bytes_tx.load(Ordering::Relaxed),
+        s.queue_wait_count.load(Ordering::Relaxed),
+        mx.uptime_s(),
+        mx.requests_total(),
     )
+}
+
+/// The `METRICS` response body: the exposition of [`Metrics::render`]
+/// plus server-level counters mirrored in as extra gauges, newline-
+/// escaped into a single-line wire body (identical on every protocol —
+/// `mis2svc client` and the router unescape it back).
+fn metrics_body(registry: &Registry, sched: &Scheduler, svc: &SvcStats, mx: &Metrics) -> String {
+    let r = registry.stats();
+    let s = sched.stats();
+    let extra = [
+        ("mis2_cache_graphs", r.graphs as u64),
+        ("mis2_cache_artifacts", r.artifacts as u64),
+        ("mis2_cache_hits_total", r.hits),
+        ("mis2_cache_misses_total", r.misses),
+        ("mis2_cache_bytes", r.bytes as u64),
+        ("mis2_cache_evictions_total", r.evictions),
+        ("mis2_graph_builds_total", r.graph_builds),
+        ("mis2_resp_cached", r.resp as u64),
+        ("mis2_resp_bytes", r.resp_bytes as u64),
+        ("mis2_resp_hits_total", r.resp_hits),
+        ("mis2_jobs_total", s.jobs.load(Ordering::Relaxed)),
+        ("mis2_job_panics_total", s.panics.load(Ordering::Relaxed)),
+        (
+            "mis2_queue_wait_us_total",
+            s.queue_wait_us.load(Ordering::Relaxed),
+        ),
+        (
+            "mis2_queue_wait_count_total",
+            s.queue_wait_count.load(Ordering::Relaxed),
+        ),
+        ("mis2_run_us_total", s.run_us.load(Ordering::Relaxed)),
+        (
+            "mis2_writev_batches_total",
+            svc.writev_batches.load(Ordering::Relaxed),
+        ),
+        ("mis2_bytes_tx_total", svc.bytes_tx.load(Ordering::Relaxed)),
+    ];
+    format!("METRICS {}", metrics::escape_body(&mx.render(&extra)))
 }
 
 #[cfg(test)]
@@ -1672,7 +2067,7 @@ mod tests {
         let mut shared = Vec::new();
         let big = ops::Response::ok_text("x".repeat(codec::MAX_PAYLOAD + 1));
         encode_outgoing(
-            Outgoing::Frame { tag: 42, resp: big },
+            Payload::Frame { tag: 42, resp: big },
             &mut scratch,
             &mut pieces,
             &mut shared,
@@ -1686,7 +2081,7 @@ mod tests {
         pieces.clear();
         let max = ops::Response::ok_text("y".repeat(codec::MAX_PAYLOAD));
         encode_outgoing(
-            Outgoing::Frame { tag: 7, resp: max },
+            Payload::Frame { tag: 7, resp: max },
             &mut scratch,
             &mut pieces,
             &mut shared,
@@ -1711,6 +2106,146 @@ mod tests {
         assert_eq!(first, second, "cache hit must be byte-identical");
         let stats = c.request("STATS").unwrap();
         assert!(stats.contains("hits=1 misses=1"), "{stats}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn stats_tail_gains_queue_wait_count_uptime_and_requests() {
+        let h = serve(ServerConfig {
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        assert!(c.request("MIS2 ecology2").unwrap().starts_with("OK "));
+        let stats = c.request("STATS").unwrap();
+        // Appended after bytes_tx= (the append-only STATS tail contract).
+        let tail = stats.split(" queue_wait_count=").nth(1).unwrap_or_else(|| {
+            panic!("missing queue_wait_count in {stats}");
+        });
+        assert!(stats.contains("bytes_tx="), "{stats}");
+        assert!(tail.contains("uptime_s="), "{stats}");
+        assert!(tail.contains("requests="), "{stats}");
+        // One job ran, so exactly one wait was counted.
+        assert!(
+            tail.starts_with("1 "),
+            "queue_wait_count should be 1: {stats}"
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn metrics_round_trips_over_v1_and_counts_requests() {
+        let h = serve(ServerConfig {
+            threads: 2,
+            slow_ms: 0, // capture everything into the slow ring
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        assert!(c.request("MIS2 ecology2").unwrap().starts_with("OK "));
+        assert!(c.request("MIS2 ecology2").unwrap().starts_with("OK "));
+        assert!(c.request("NONSENSE").unwrap().starts_with("ERR "));
+        // Poll: requests are recorded post-write, so the scrape races the
+        // writer's bookkeeping by a hair.
+        let mut exp = crate::metrics::Exposition::default();
+        for _ in 0..100 {
+            let raw = c.request("METRICS").unwrap();
+            let body = raw.strip_prefix("OK METRICS ").expect(&raw);
+            exp = crate::metrics::parse_exposition(&crate::metrics::unescape_body(body)).unwrap();
+            if exp.value("mis2_requests_total") >= Some(3) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(exp.schema, crate::metrics::SCHEMA);
+        // Histogram _count totals must equal the requests counter (both
+        // are recorded in the same place).
+        let total: u64 = exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "mis2_request_latency_ns_count")
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(Some(total), exp.value("mis2_requests_total"), "{exp:?}");
+        // Per-bucket counts sum to _count for every series.
+        for count in exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "mis2_request_latency_ns_count")
+        {
+            let buckets: u64 = exp
+                .samples
+                .iter()
+                .filter(|s| {
+                    s.name == "mis2_request_latency_ns_bucket"
+                        && s.label("op") == count.label("op")
+                        && s.label("outcome") == count.label("outcome")
+                })
+                .map(|s| s.value)
+                .sum();
+            assert_eq!(buckets, count.value, "{count:?}");
+        }
+        // With --slow-ms 0 the ring captured the MIS2 requests.
+        assert!(exp.value("mis2_slow_captured_total").unwrap() >= 3);
+        let slow_keys: Vec<_> = exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "mis2_slow_request")
+            .filter_map(|s| s.label("key"))
+            .collect();
+        assert!(slow_keys.contains(&"ecology2"), "{slow_keys:?}");
+        // The server's own exposition always says shard="0"; the router
+        // rewrites it when merging.
+        assert!(exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "mis2_slow_request")
+            .all(|s| s.label("shard") == Some("0")));
+        h.shutdown();
+    }
+
+    #[test]
+    fn v1_metrics_and_v3_metrics_bodies_agree_in_shape() {
+        // The METRICS body is the same single escaped line on every
+        // protocol (the cross-protocol byte-identity contract can't hold
+        // for METRICS values, which move between scrapes, but the shape
+        // and schema must).
+        let h = serve(ServerConfig::default()).unwrap();
+        let mut v1 = Client::connect(h.addr()).unwrap();
+        let line = v1.request("METRICS").unwrap();
+        assert!(
+            line.starts_with("OK METRICS # mis2svc metrics schema "),
+            "{line}"
+        );
+        let mut v3 = RawV3::connect(h.addr());
+        v3.send(5, b"METRICS");
+        let f = v3.recv();
+        assert_eq!((f.tag, f.status), (5, codec::STATUS_OK));
+        assert!(f.payload.starts_with(b"METRICS # mis2svc metrics schema "));
+        let body = std::str::from_utf8(&f.payload).unwrap();
+        let exp = crate::metrics::parse_exposition(&crate::metrics::unescape_body(
+            body.strip_prefix("METRICS ").unwrap(),
+        ))
+        .unwrap();
+        assert_eq!(exp.schema, crate::metrics::SCHEMA);
+        h.shutdown();
+    }
+
+    #[test]
+    fn disabled_metrics_serve_an_empty_exposition() {
+        let h = serve(ServerConfig {
+            metrics: false,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(h.addr()).unwrap();
+        assert_eq!(c.request("PING").unwrap(), "OK PONG");
+        let raw = c.request("METRICS").unwrap();
+        let body = raw.strip_prefix("OK METRICS ").expect(&raw);
+        let exp = crate::metrics::parse_exposition(&crate::metrics::unescape_body(body)).unwrap();
+        assert_eq!(exp.value("mis2_requests_total"), Some(0));
+        assert_eq!(exp.value("mis2_slow_captured_total"), Some(0));
         h.shutdown();
     }
 }

@@ -48,6 +48,7 @@
 
 use crate::client::Client;
 use crate::codec;
+use crate::metrics;
 use crate::ops;
 use crate::proto::{self, GraphRef, Request};
 use crate::registry;
@@ -527,6 +528,26 @@ fn cluster_stats(shard_addrs: &[String]) -> String {
     registry::merge_stats_bodies(&bodies)
 }
 
+/// Fetch every shard's `METRICS` exposition and merge bucket-wise
+/// ([`crate::metrics::merge_expositions`]): counters and histogram
+/// buckets sum, `mis2_uptime_seconds` takes the minimum over live
+/// shards, and each shard's slow-request entries pass through with the
+/// `shard` label rewritten to the shard's cluster index. The body comes
+/// back in the same escaped single-line form the server emits.
+fn cluster_metrics(shard_addrs: &[String]) -> String {
+    let fetch = |addr: &String| -> Option<String> {
+        let mut c = Client::connect(addr.as_str()).ok()?;
+        c.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+        let line = c.request("METRICS").ok()?;
+        let body = line.strip_prefix("OK METRICS ")?.to_string();
+        let _ = c.quit();
+        Some(metrics::unescape_body(&body))
+    };
+    let bodies: Vec<Option<String>> = shard_addrs.iter().map(fetch).collect();
+    let merged = metrics::merge_expositions(&bodies);
+    format!("METRICS {}", metrics::escape_body(&merged))
+}
+
 /// Serve one downstream connection: the router-side mirror of the
 /// server's reader/writer split. The writer half is literally the
 /// server's [`writer_loop`]; the reader parses downstream requests and
@@ -549,7 +570,7 @@ fn handle_router_connection(
         let stats = Arc::clone(stats);
         std::thread::Builder::new()
             .name("mis2-route-write".into())
-            .spawn(move || writer_loop(rx, write_stream, &win, &stats))?
+            .spawn(move || writer_loop(rx, write_stream, &win, &stats, None))?
     };
     // One eager upstream connection per shard, plus its reader thread.
     let mut shards: Vec<Arc<UpShard>> = Vec::with_capacity(shard_addrs.len());
@@ -713,6 +734,11 @@ fn router_read_loop(
                 let body = cluster_stats(shard_addrs);
                 send_line(frame(proto::ok(&body)), tx, win, stats);
             }
+            Ok(Request::Metrics) => {
+                acquire_slot(win, cap, stats);
+                let body = cluster_metrics(shard_addrs);
+                send_line(frame(proto::ok(&body)), tx, win, stats);
+            }
             Ok(Request::Quit) => {
                 win.wait_empty();
                 acquire_slot(win, cap, stats);
@@ -775,6 +801,11 @@ fn router_v3_read_loop(
             Ok(Request::Stats) => {
                 acquire_slot(win, max_inflight, stats);
                 let body = cluster_stats(shard_addrs);
+                send_frame(tag, ops::Response::ok_text(body), tx, win, stats);
+            }
+            Ok(Request::Metrics) => {
+                acquire_slot(win, max_inflight, stats);
+                let body = cluster_metrics(shard_addrs);
                 send_frame(tag, ops::Response::ok_text(body), tx, win, stats);
             }
             Ok(Request::Quit) => {
