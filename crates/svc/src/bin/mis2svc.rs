@@ -5,6 +5,7 @@
 //!                [--queue-cap N] [--scale tiny|small|paper]
 //!                [--mem-budget BYTES[k|m|g]] [--max-inflight N]
 //!                [--max-conns N] [--slow-ms MS]
+//!                [--io-backend epoll|threads]
 //! mis2svc route  --shard HOST:PORT [--shard HOST:PORT ...]
 //!                [--addr HOST:PORT] [--max-inflight N] [--max-conns N]
 //! mis2svc client --addr HOST:PORT REQUEST...
@@ -24,7 +25,12 @@
 //! mirroring the client's `max_inflight=0` hello rejection. `--slow-ms`
 //! sets the slow-request ring's capture threshold (default 500); `0` is
 //! legal and captures **every** request — the knob CI uses to prove the
-//! ring works.
+//! ring works. `--io-backend` selects the connection engine: `epoll`
+//! (one nonblocking readiness loop, the Linux default) or `threads`
+//! (reader+writer thread per connection, the portable fallback and the
+//! default elsewhere). Responses are bitwise-identical either way; an
+//! explicit `epoll` on a non-Linux host is a usage error rather than a
+//! silent downgrade.
 //!
 //! `serve` binds the loopback listener, prints `mis2svc listening on ADDR`
 //! and serves until killed. `client` sends one request line (the remaining
@@ -58,6 +64,7 @@ fn usage() -> ! {
          \x20                     [--queue-cap N] [--scale tiny|small|paper]\n\
          \x20                     [--mem-budget BYTES[k|m|g]] [--max-inflight N]\n\
          \x20                     [--max-conns N] [--slow-ms MS]\n\
+         \x20                     [--io-backend epoll|threads]\n\
          \x20      mis2svc route  --shard HOST:PORT [--shard HOST:PORT ...]\n\
          \x20                     [--addr HOST:PORT] [--max-inflight N] [--max-conns N]\n\
          \x20      mis2svc client --addr HOST:PORT REQUEST...\n\
@@ -104,6 +111,22 @@ fn parse_u64(flag: &str, s: &str) -> u64 {
     })
 }
 
+/// `--io-backend epoll|threads`. An explicit `epoll` on a host without
+/// the syscall is refused up front (the config layer would silently
+/// degrade a *defaulted* epoll to threads, but an operator who typed the
+/// flag should learn the machine can't honor it).
+fn parse_io_backend(s: &str) -> server::IoBackend {
+    let backend: server::IoBackend = s.parse().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    if backend == server::IoBackend::Epoll && !cfg!(target_os = "linux") {
+        eprintln!("error: --io-backend epoll is Linux-only; use --io-backend threads");
+        usage();
+    }
+    backend
+}
+
 /// Byte count with an optional binary suffix: `4m` = 4 MiB, `200k`, `1g`.
 /// `0` is legal here (documented as "unbounded"); overflow is not.
 fn parse_bytes(flag: &str, s: &str) -> usize {
@@ -140,6 +163,7 @@ fn cmd_serve(argv: &[String]) {
             "--mem-budget" => cfg.mem_budget = parse_bytes("--mem-budget", take(&mut i)),
             "--max-inflight" => cfg.max_inflight = parse_nonzero("--max-inflight", take(&mut i)),
             "--slow-ms" => cfg.slow_ms = parse_u64("--slow-ms", take(&mut i)),
+            "--io-backend" => cfg.io_backend = parse_io_backend(take(&mut i)),
             "--scale" => cfg.scale = Scale::parse(take(&mut i)).unwrap_or_else(|| usage()),
             _ => usage(),
         }

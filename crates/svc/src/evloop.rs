@@ -1,0 +1,816 @@
+//! The epoll I/O backend: one nonblocking readiness loop driving every
+//! connection's shared state machine (Linux only).
+//!
+//! Where the threads backend spends two threads per connection, this
+//! module serves them all from **one** loop thread: a raw `epoll`
+//! instance (direct `extern "C"` declarations against the already-linked
+//! C library — std-only, no crates) watches the listener, every
+//! connection socket, and an `eventfd` **doorbell**. Scheduler
+//! completions — which run on worker-leader threads — post their
+//! finished responses to a shared [`PendingQueue`] and ring the
+//! doorbell, so a completion becomes a readiness event instead of a
+//! blocking channel send; the loop routes each response to its
+//! connection and flushes with the same coalesced vectored-write batch
+//! encoder the threads backend's writer uses ([`Piece`] +
+//! [`stage_outgoing`]). C10K-style workloads — thousands of mostly-idle
+//! connections, a few active pipelined ones — cost one sleeping thread
+//! total instead of thousands.
+//!
+//! Protocol behavior lives entirely in [`ConnMachine`] /
+//! [`FrameDecoder`] (see `server`): this module only decides *when* to
+//! read, process, and write. The per-connection window is enforced by
+//! **pre-gating**: the loop feeds the machine another item only while
+//! the connection's acquired-but-unretired count is under the window
+//! cap, so the machine's `acquire` never needs to wait. Accounting
+//! mirrors the threads writer exactly — the in-flight *gauge* retires
+//! when a batch is staged (pre-write), window slots retire after its
+//! bytes hit the socket, and the whole batch's metric spans are recorded
+//! with one clock read.
+//!
+//! Teardown invariants: a connection's `epoll` registration is deleted
+//! *before* its socket drops (the kill-table holds a dup of the fd, so a
+//! close alone would leave a stale registration), responses still queued
+//! at death give their gauge increments back, undeliverable completions
+//! for dead connections are retired through the pending queue's dead-id
+//! path, and a panic inside one connection's machine tears down only
+//! that connection. The connection slot itself rides the same
+//! [`ConnSlot`] drop guard as the threads backend.
+
+use crate::metrics;
+use crate::proto;
+use crate::registry::RespBytes;
+use crate::server::{
+    record_conn_error, stage_outgoing, CompletionSink, ConnIo, ConnMachine, ConnShared, ConnSlot,
+    ConnTable, Flow, FrameDecoder, Outgoing, Piece, SvcStats, MAX_IOVECS, READ_CHUNK,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Raw Linux syscall surface: the handful of epoll/eventfd entry points
+/// declared directly against the C library std already links.
+mod sys {
+    use std::os::fd::RawFd;
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// Mirror of the kernel's `struct epoll_event`. glibc packs it on
+    /// x86-64 (`__EPOLL_PACKED`) so the layout matches the kernel ABI;
+    /// other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+    }
+}
+
+/// RAII epoll instance.
+struct Poller {
+    fd: OwnedFd,
+}
+
+impl Poller {
+    fn new() -> io::Result<Poller> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let evp = if op == sys::EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut sys::EpollEvent
+        };
+        let rc = unsafe { sys::epoll_ctl(self.fd.as_raw_fd(), op, fd, evp) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn del(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block for the next readiness batch (EINTR retried).
+    fn wait(&self, events: &mut Vec<sys::EpollEvent>) -> io::Result<usize> {
+        loop {
+            let rc = unsafe {
+                sys::epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.capacity() as i32,
+                    -1,
+                )
+            };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            // SAFETY: the kernel initialized the first `rc` events, and
+            // rc <= capacity was passed as maxevents.
+            unsafe { events.set_len(rc as usize) };
+            return Ok(rc as usize);
+        }
+    }
+}
+
+/// The loop's wakeup `eventfd`: scheduler threads ring it after posting
+/// a completion; the loop drains it once per readiness event.
+struct Doorbell {
+    fd: std::fs::File,
+}
+
+impl Doorbell {
+    fn new() -> io::Result<Doorbell> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Doorbell {
+            fd: unsafe { std::fs::File::from_raw_fd(fd) },
+        })
+    }
+
+    fn ring(&self) {
+        // A full counter (EAGAIN) already has the loop's wakeup pending;
+        // EBADF cannot happen while any sink holds the queue alive.
+        let _ = (&self.fd).write(&1u64.to_ne_bytes());
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = (&self.fd).read(&mut buf);
+    }
+
+    fn raw(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+/// Completions posted by scheduler worker-leaders, keyed by connection
+/// id. Unbounded on purpose: every item already holds a window slot, so
+/// occupancy is bounded by `connections × max_inflight`, and a push can
+/// never be allowed to block a worker.
+struct PendingQueue {
+    items: Mutex<Vec<(u64, Outgoing)>>,
+    doorbell: Doorbell,
+}
+
+impl PendingQueue {
+    fn post(&self, id: u64, item: Outgoing) {
+        self.items.lock().unwrap().push((id, item));
+        self.doorbell.ring();
+    }
+
+    /// Drain the doorbell *before* taking the items: a post that lands
+    /// after the take always rang after its push, so its wakeup is still
+    /// pending and the item is picked up on the next event. (The
+    /// reverse order could consume a ring whose item was not yet taken,
+    /// stranding it until an unrelated wakeup.)
+    fn drain(&self) -> Vec<(u64, Outgoing)> {
+        self.doorbell.drain();
+        std::mem::take(&mut *self.items.lock().unwrap())
+    }
+}
+
+/// One connection's completion sink: post to the shared pending queue
+/// under this connection's id. Holding the queue (and through it the
+/// doorbell fd) alive from scheduler threads is what makes late
+/// completions after loop exit safe.
+struct EvSink {
+    id: u64,
+    pending: Arc<PendingQueue>,
+}
+
+impl CompletionSink for EvSink {
+    fn deliver(&self, item: Outgoing) {
+        self.pending.post(self.id, item);
+    }
+}
+
+/// The epoll backend's [`ConnIo`]: window accounting is plain counters
+/// (the loop pre-gates on window room, so acquire never waits),
+/// responses queue for the next flush.
+struct EvIo {
+    /// Responses acquired but not yet retired by a completed write — the
+    /// epoll analog of the threads backend's `ConnWindow` occupancy.
+    held: usize,
+    queue: VecDeque<Outgoing>,
+    sink: Arc<EvSink>,
+    stats: Arc<SvcStats>,
+}
+
+impl ConnIo for EvIo {
+    fn acquire(&mut self, _cap: usize) {
+        self.held += 1;
+        self.stats.inflight.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .peak_inflight
+            .fetch_max(self.held as u64, Ordering::Relaxed);
+    }
+
+    fn respond(&mut self, item: Outgoing) {
+        self.queue.push_back(item);
+    }
+
+    fn sink(&self) -> Arc<dyn CompletionSink> {
+        Arc::clone(&self.sink) as Arc<dyn CompletionSink>
+    }
+}
+
+/// One coalesced response batch mid-write: the encoded piece triple the
+/// threads writer uses, plus resume state so a partial (`WouldBlock`)
+/// vectored write picks up where it left off on the next `EPOLLOUT`.
+struct WireBatch {
+    scratch: Vec<u8>,
+    pieces: Vec<Piece>,
+    shared: Vec<Arc<RespBytes>>,
+    spans: Vec<metrics::Span>,
+    /// Responses in the batch — the window slots it retires on completion.
+    count: usize,
+    /// First piece not yet fully written.
+    idx: usize,
+    /// Bytes of `pieces[idx]` already written.
+    off: usize,
+    /// Total bytes written so far.
+    written: usize,
+}
+
+impl WireBatch {
+    /// Encode everything currently queued into one batch. Retires the
+    /// batch from the in-flight *gauge* here, before any write — exactly
+    /// where the threads writer does — while the window slots (`held`)
+    /// retire only after the bytes are on the socket.
+    fn stage(queue: &mut VecDeque<Outgoing>, stats: &SvcStats) -> WireBatch {
+        let mut b = WireBatch {
+            scratch: Vec::new(),
+            pieces: Vec::new(),
+            shared: Vec::new(),
+            spans: Vec::new(),
+            count: 0,
+            idx: 0,
+            off: 0,
+            written: 0,
+        };
+        while let Some(item) = queue.pop_front() {
+            b.count += 1;
+            stage_outgoing(
+                item,
+                &mut b.scratch,
+                &mut b.pieces,
+                &mut b.shared,
+                &mut b.spans,
+            );
+        }
+        stats.inflight.fetch_sub(b.count as u64, Ordering::Relaxed);
+        b
+    }
+
+    fn piece_slice(&self, i: usize) -> &[u8] {
+        match &self.pieces[i] {
+            Piece::Scratch { off, len } => &self.scratch[*off..*off + *len],
+            Piece::Shared(s) => &self.shared[*s].body,
+        }
+    }
+
+    /// Push more bytes at the socket: `Ok(true)` when the batch is fully
+    /// written, `Ok(false)` on `WouldBlock` (wait for `EPOLLOUT`),
+    /// `Err` when the socket is dead.
+    fn write_some(&mut self, out: &mut TcpStream) -> io::Result<bool> {
+        loop {
+            while self.idx < self.pieces.len() && self.off >= self.piece_slice(self.idx).len() {
+                self.idx += 1;
+                self.off = 0;
+            }
+            if self.idx >= self.pieces.len() {
+                return Ok(true);
+            }
+            let n = {
+                let mut bufs: Vec<IoSlice<'_>> =
+                    Vec::with_capacity((self.pieces.len() - self.idx).min(MAX_IOVECS));
+                bufs.push(IoSlice::new(&self.piece_slice(self.idx)[self.off..]));
+                for i in self.idx + 1..self.pieces.len() {
+                    if bufs.len() >= MAX_IOVECS {
+                        break;
+                    }
+                    let s = self.piece_slice(i);
+                    if !s.is_empty() {
+                        bufs.push(IoSlice::new(s));
+                    }
+                }
+                match out.write_vectored(&bufs) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "socket accepted zero bytes of a response batch",
+                        ))
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                    Err(e) => return Err(e),
+                }
+            };
+            self.written += n;
+            let mut advanced = n;
+            while self.idx < self.pieces.len() {
+                let remaining = self.piece_slice(self.idx).len() - self.off;
+                if advanced >= remaining {
+                    advanced -= remaining;
+                    self.idx += 1;
+                    self.off = 0;
+                } else {
+                    self.off += advanced;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Stop pulling bytes off a connection's socket once this many are
+/// buffered undecoded — the read-side analog of the window cap, bounding
+/// memory against a client that pipelines faster than it drains.
+const HIGH_WATER: usize = 256 * 1024;
+
+/// Where a connection is in its life: serving, draining for `QUIT`, or
+/// flushing its last bytes.
+enum ConnState {
+    Open,
+    /// `QUIT` seen: once everything in flight has retired, the held
+    /// goodbye goes out as the last bytes on the wire.
+    Draining(Option<Outgoing>),
+    /// No more requests will be accepted; flush what's queued and close.
+    Closing,
+}
+
+/// One connection on the loop: its socket, decoder + machine, window/
+/// queue accounting, and the batch currently mid-write.
+struct EvConn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    machine: ConnMachine,
+    io: EvIo,
+    batch: Option<WireBatch>,
+    state: ConnState,
+    read_closed: bool,
+    /// Span clock zero of the most recent socket read (see
+    /// `ConnMachine::handle`).
+    t0: Option<Instant>,
+    /// Event mask currently registered with the poller.
+    interest: u32,
+    _slot: ConnSlot,
+}
+
+impl EvConn {
+    /// One quantum of work: read what's available, feed the machine
+    /// under window pre-gating, flush queued responses — repeated until
+    /// nothing moves. `Err` means the socket is dead and the caller
+    /// must tear the connection down.
+    fn drive(&mut self, cx: &ConnShared) -> io::Result<()> {
+        loop {
+            let mut progress = self.fill(cx);
+            progress |= self.process(cx);
+            progress |= self.flush(cx)?;
+            progress |= self.transition();
+            if !progress {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Nonblocking reads into the decoder, up to the high-water mark.
+    /// Read errors are folded into EOF: in-flight responses still flush
+    /// (mirroring the threads teardown, where the writer drains after
+    /// the reader dies), and the next write surfaces the dead socket.
+    fn fill(&mut self, cx: &ConnShared) -> bool {
+        if self.read_closed || !matches!(self.state, ConnState::Open) {
+            return false;
+        }
+        let mut progress = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        while self.dec.pending() < HIGH_WATER {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    // Span clock zero: stamped once per socket read,
+                    // shared by every item parsed from the burst.
+                    self.t0 = cx.mx.enabled().then(Instant::now);
+                    self.dec.push(&chunk[..n]);
+                    if n < chunk.len() {
+                        break; // short read: the socket is drained
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.read_closed = true;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Feed decoded items to the machine while the window has room.
+    fn process(&mut self, cx: &ConnShared) -> bool {
+        let mut progress = false;
+        while matches!(self.state, ConnState::Open) {
+            if self.io.held >= self.machine.cap(cx) {
+                break; // window full: items wait in the decoder
+            }
+            let item = match self.dec.next(self.machine.wire_mode()) {
+                Some(item) => item,
+                None if self.read_closed => {
+                    // EOF: an unterminated final line is still served
+                    // (the shared-decoder contract), then the
+                    // connection drains and closes.
+                    match self.dec.take_remainder(self.machine.wire_mode()) {
+                        Some(item) => {
+                            progress = true;
+                            match self.machine.handle(item, self.t0, cx, &mut self.io) {
+                                Flow::Continue | Flow::Close => {
+                                    self.state = ConnState::Closing;
+                                }
+                                Flow::Quit(bye) => {
+                                    self.state = ConnState::Draining(Some(bye));
+                                }
+                            }
+                        }
+                        None => {
+                            self.state = ConnState::Closing;
+                            progress = true;
+                        }
+                    }
+                    break;
+                }
+                None => break,
+            };
+            progress = true;
+            match self.machine.handle(item, self.t0, cx, &mut self.io) {
+                Flow::Continue => {}
+                Flow::Close => {
+                    self.read_closed = true;
+                    self.state = ConnState::Closing;
+                }
+                Flow::Quit(bye) => {
+                    self.read_closed = true;
+                    self.state = ConnState::Draining(Some(bye));
+                }
+            }
+        }
+        progress
+    }
+
+    /// Stage queued responses and push bytes until done or `WouldBlock`.
+    fn flush(&mut self, cx: &ConnShared) -> io::Result<bool> {
+        let mut progress = false;
+        loop {
+            if self.batch.is_none() && !self.io.queue.is_empty() {
+                self.batch = Some(WireBatch::stage(&mut self.io.queue, &cx.stats));
+                progress = true;
+            }
+            let Some(batch) = self.batch.as_mut() else {
+                return Ok(progress);
+            };
+            match batch.write_some(&mut self.stream)? {
+                true => {
+                    let mut batch = self.batch.take().expect("batch in progress");
+                    cx.stats.writev_batches.fetch_add(1, Ordering::Relaxed);
+                    cx.stats
+                        .bytes_tx
+                        .fetch_add(batch.written as u64, Ordering::Relaxed);
+                    // Slots retire only now that the bytes are on the
+                    // socket; the batch's spans share one clock read.
+                    self.io.held -= batch.count;
+                    if !batch.spans.is_empty() {
+                        cx.mx.record_batch(&mut batch.spans, Instant::now());
+                    }
+                    progress = true;
+                }
+                false => return Ok(progress), // EPOLLOUT resumes the batch
+            }
+        }
+    }
+
+    /// The `QUIT` epilogue: once everything in flight has retired, the
+    /// goodbye takes a fresh slot and becomes the last queued response.
+    fn transition(&mut self) -> bool {
+        if let ConnState::Draining(bye) = &mut self.state {
+            if self.io.held == 0 && self.io.queue.is_empty() && self.batch.is_none() {
+                let bye = bye.take().expect("goodbye staged exactly once");
+                self.io.acquire(1);
+                self.io.queue.push_back(bye);
+                self.state = ConnState::Closing;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fully drained and flushed: safe to close gracefully.
+    fn finished(&self) -> bool {
+        matches!(self.state, ConnState::Closing)
+            && self.io.held == 0
+            && self.io.queue.is_empty()
+            && self.batch.is_none()
+    }
+
+    /// The event mask this connection currently needs.
+    fn wanted_interest(&self) -> u32 {
+        let mut ev = 0;
+        if !self.read_closed
+            && matches!(self.state, ConnState::Open)
+            && self.dec.pending() < HIGH_WATER
+        {
+            ev |= sys::EPOLLIN;
+        }
+        if self.batch.is_some() {
+            ev |= sys::EPOLLOUT;
+        }
+        ev
+    }
+}
+
+/// Poller token of the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Poller token of the completion doorbell.
+const DOORBELL_TOKEN: u64 = u64::MAX - 1;
+
+struct EvLoop {
+    poller: Poller,
+    listener: TcpListener,
+    cx: Arc<ConnShared>,
+    stop: Arc<AtomicBool>,
+    conn_table: Arc<ConnTable>,
+    max_conns: usize,
+    pending: Arc<PendingQueue>,
+    conns: HashMap<u64, EvConn>,
+    /// Monotonic connection ids double as poller tokens — never reused,
+    /// so a stale event for a closed connection can't alias a new one.
+    next_id: u64,
+}
+
+/// Start the event loop on its own thread (the epoll backend's analog
+/// of the threads backend's accept thread; `ServerHandle::shutdown`
+/// joins it the same way).
+pub(crate) fn spawn(
+    listener: TcpListener,
+    cx: Arc<ConnShared>,
+    stop: Arc<AtomicBool>,
+    conn_table: Arc<ConnTable>,
+    max_conns: usize,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let pending = Arc::new(PendingQueue {
+        items: Mutex::new(Vec::new()),
+        doorbell: Doorbell::new()?,
+    });
+    poller.add(listener.as_raw_fd(), sys::EPOLLIN, LISTENER_TOKEN)?;
+    poller.add(pending.doorbell.raw(), sys::EPOLLIN, DOORBELL_TOKEN)?;
+    let mut lp = EvLoop {
+        poller,
+        listener,
+        cx,
+        stop,
+        conn_table,
+        max_conns,
+        pending,
+        conns: HashMap::new(),
+        next_id: 0,
+    };
+    std::thread::Builder::new()
+        .name("mis2-svc-accept".into())
+        .spawn(move || lp.run())
+}
+
+impl EvLoop {
+    fn run(&mut self) {
+        let mut events: Vec<sys::EpollEvent> = Vec::with_capacity(256);
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.poller.wait(&mut events).is_err() {
+                break;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Copy tokens out first: handling an event may mutate the
+            // connection map.
+            let fired: Vec<u64> = events.iter().map(|e| e.data).collect();
+            for token in fired {
+                match token {
+                    LISTENER_TOKEN => self.accept_burst(),
+                    DOORBELL_TOKEN => self.deliver_completions(),
+                    id => self.drive_conn(id),
+                }
+            }
+        }
+        // Stop: tear down every connection (slots release through their
+        // drop guards). In-flight completions posted after this point
+        // only touch the pending queue, which scheduler threads keep
+        // alive through their sinks.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close(id, true);
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        loop {
+            let (mut stream, _) = match self.listener.accept() {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // Transient (often fd-exhaustion) accept failure:
+                    // record it and back off briefly instead of spinning
+                    // on the level-triggered error.
+                    record_conn_error(&self.cx.mx, "accept");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    return;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            // Claim-then-check, exactly like the threads accept loop:
+            // the claim travels as a drop guard so every path releases
+            // exactly once.
+            let claimed = self.cx.conns.fetch_add(1, Ordering::AcqRel) + 1;
+            let slot = ConnSlot::new(Arc::clone(&self.cx.conns));
+            if claimed > self.max_conns {
+                record_conn_error(&self.cx.mx, "busy");
+                // The accepted socket is still blocking, but the busy
+                // line is a handful of bytes into a fresh send buffer —
+                // it cannot stall the loop.
+                let _ = writeln!(stream, "{}", proto::err("server busy"));
+                continue; // drop the stream; `slot` releases the claim
+            }
+            let slot = slot.track(&self.conn_table, &stream);
+            if stream.set_nonblocking(true).is_err() {
+                continue; // drop; `slot` releases
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            let fd = stream.as_raw_fd();
+            let conn = EvConn {
+                stream,
+                dec: FrameDecoder::new(),
+                machine: ConnMachine::new(),
+                io: EvIo {
+                    held: 0,
+                    queue: VecDeque::new(),
+                    sink: Arc::new(EvSink {
+                        id,
+                        pending: Arc::clone(&self.pending),
+                    }),
+                    stats: Arc::clone(&self.cx.stats),
+                },
+                batch: None,
+                state: ConnState::Open,
+                read_closed: false,
+                t0: None,
+                interest: sys::EPOLLIN,
+                _slot: slot,
+            };
+            if self.poller.add(fd, sys::EPOLLIN, id).is_err() {
+                continue; // drop `conn` (and its slot)
+            }
+            self.conns.insert(id, conn);
+            // The hello (or a whole pipelined burst) may already be
+            // readable; don't wait for the next readiness event.
+            self.drive_conn(id);
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        let items = self.pending.drain();
+        let mut touched: Vec<u64> = Vec::new();
+        for (id, item) in items {
+            match self.conns.get_mut(&id) {
+                Some(conn) => {
+                    conn.io.queue.push_back(item);
+                    if !touched.contains(&id) {
+                        touched.push(id);
+                    }
+                }
+                None => {
+                    // The connection died while its job ran: the
+                    // response is undeliverable, its gauge increment is
+                    // ours to give back, and its span dies unrecorded
+                    // (the client never observed the response) — the
+                    // same contract as the threads writer's broken-
+                    // socket drain.
+                    self.cx.stats.inflight.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        for id in touched {
+            self.drive_conn(id);
+        }
+    }
+
+    fn drive_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        // Panic isolation: a panicking handler (the PANIC test hook, or
+        // a real bug reaching the machine) tears down only this
+        // connection — its slot releases through the drop guard — while
+        // the loop keeps serving everyone else.
+        let drove = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conn.drive(&self.cx)));
+        if !matches!(drove, Ok(Ok(()))) {
+            self.close(id, true);
+            return;
+        }
+        if conn.finished() {
+            self.close(id, false);
+            return;
+        }
+        let want = conn.wanted_interest();
+        if want == conn.interest {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        conn.interest = want;
+        if self.poller.modify(fd, want, id).is_err() {
+            self.close(id, true);
+        }
+    }
+
+    fn close(&mut self, id: u64, abort: bool) {
+        let Some(conn) = self.conns.remove(&id) else {
+            return;
+        };
+        // Deregister from epoll FIRST: the kill-table's tracked dup
+        // keeps the file description alive past our drop, so closing
+        // our fd alone would leave a stale registration delivering
+        // events under a dangling token.
+        let _ = self.poller.del(conn.stream.as_raw_fd());
+        if abort {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Responses queued but never staged still hold their gauge
+        // increments: give them back (their spans die unrecorded). A
+        // staged batch already retired its gauge share; completions
+        // still in the scheduler come back through the dead-id path.
+        let undrained = conn.io.queue.len() as u64;
+        if undrained > 0 {
+            self.cx
+                .stats
+                .inflight
+                .fetch_sub(undrained, Ordering::Relaxed);
+        }
+        // `conn` drops here: the socket closes and the ConnSlot drop
+        // guard releases the connection slot + kill-table entry.
+    }
+}

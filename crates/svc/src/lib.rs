@@ -38,6 +38,16 @@
 //!   [`client::PipelinedClient`] drives a v2 window and
 //!   [`client::V3Client`] a v3 window, both with `request_many(..)`
 //!   reassembling by tag. All three protocols mix freely on one server.
+//!   Connections are fronted by one of two interchangeable **I/O
+//!   backends** ([`IoBackend`], `--io-backend epoll|threads`): the
+//!   portable thread-per-conn path (reader + writer thread each), or —
+//!   default on Linux — the `evloop` readiness loop, one thread
+//!   multiplexing every connection over raw `epoll` with an `eventfd`
+//!   doorbell for scheduler completions. Both drive the same sans-I/O
+//!   connection state machine in [`server`], so responses are
+//!   bitwise-identical between backends; the epoll loop buys connection
+//!   *scale* (thousands of idle clients cost an fd each, not threads —
+//!   `tests/svc_c10k.rs` is the proof).
 //! * [`metrics`] — full-stack request observability, recorded on every
 //!   protocol: lock-free log2-bucket latency histograms per op ×
 //!   outcome, per-stage spans (parse → probe → queue → run → write), a
@@ -72,6 +82,8 @@
 
 pub mod client;
 pub mod codec;
+#[cfg(target_os = "linux")]
+pub(crate) mod evloop;
 pub mod metrics;
 pub mod ops;
 pub mod proto;
@@ -85,5 +97,5 @@ pub use ops::OpKey;
 pub use proto::{GraphRef, Method, Request};
 pub use registry::Registry;
 pub use sched::{SchedConfig, Scheduler};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, IoBackend, ServerConfig, ServerHandle};
 pub use shard::{route, Ring, RouterConfig, RouterHandle};

@@ -38,7 +38,13 @@
 //! tag — exactly one answer (and one window-slot release) per poisoned
 //! tag, because every insert/remove on the pending map happens under one
 //! lock. Requests for keys the dead shard owns keep answering `ERR shard
-//! down` immediately; surviving shards are untouched.
+//! down` immediately; surviving shards are untouched. The dead shard is
+//! **redialed** as requests keep arriving for it — paced by capped
+//! exponential backoff (50 ms doubling to 2 s) with uniform jitter so a
+//! request stream never hot-loops TCP connects and parallel routers
+//! don't redial in lockstep — and a successful redial restores service
+//! on a fresh connection generation (in-flight tags of the dead one
+//! still answer `ERR shard down` exactly once each).
 //!
 //! `STATS` through the router merges every shard's counters into one
 //! cluster-wide line ([`crate::registry::merge_stats_bodies`]): each key
@@ -63,7 +69,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Virtual-node points each shard contributes to the ring. Enough that
 /// the largest shard's share of the keyspace stays within a few percent
@@ -338,71 +344,159 @@ enum Reply {
 struct UpState {
     /// In-flight upstream tags and how to answer each downstream.
     pending: HashMap<u64, Reply>,
-    /// Next upstream tag (per shard connection, monotonically unique).
+    /// Next upstream tag (monotonically unique across reconnects, so a
+    /// stale socket's late response can never alias a fresh tag).
     next_tag: u64,
-    /// Write half of the shard connection; `None` once the shard is dead
-    /// — later forwards answer `ERR shard down` immediately (fail-fast).
+    /// Write half of the current shard connection; `None` while the
+    /// shard is dead — forwards answer `ERR shard down` immediately
+    /// (fail-fast) and redial on the backoff cadence below.
     writer: Option<TcpStream>,
+    /// Raw clone of the current socket, used only to `shutdown()` at
+    /// downstream teardown, which unblocks the reader thread.
+    teardown: Option<TcpStream>,
+    /// Connection generation: bumped by every successful (re)dial. A
+    /// dying reader poisons the shard only if its generation is still
+    /// current — a newer socket may already be serving.
+    gen: u64,
+    /// Reader threads of every generation, joined at teardown.
+    readers: Vec<std::thread::JoinHandle<()>>,
+    /// Downstream teardown has begun: no further redials.
+    closed: bool,
+    /// Earliest instant the next redial may happen; `None` = dial freely
+    /// (fresh shard, or first forward after a death).
+    next_dial_at: Option<Instant>,
+    /// Current backoff interval (zero until a dial fails; doubles per
+    /// failure up to [`DIAL_BACKOFF_CAP`], resets on success).
+    backoff: Duration,
+    /// Total dial attempts, successful or not. Seeds the jitter and
+    /// bounds the retry cadence under test.
+    dials: u64,
 }
 
 /// One upstream shard connection owned by one downstream connection.
 struct UpShard {
+    addr: String,
     state: Mutex<UpState>,
-    /// Raw clone used only to `shutdown()` the socket at teardown, which
-    /// unblocks the upstream reader thread.
-    teardown: Option<TcpStream>,
 }
 
 impl UpShard {
-    /// Connect and v3-upgrade to a shard. A failed connect or hello
-    /// yields a born-dead shard (`writer: None`, no reader): its keys
-    /// answer `ERR shard down` for the life of the downstream connection.
-    fn connect(addr: &str) -> (UpShard, Option<BufReader<TcpStream>>) {
-        match UpShard::try_connect(addr) {
-            Ok((up, reader)) => (up, Some(reader)),
-            Err(_) => (
-                UpShard {
-                    state: Mutex::new(UpState {
-                        pending: HashMap::new(),
-                        next_tag: 0,
-                        writer: None,
-                    }),
-                    teardown: None,
-                },
-                None,
-            ),
+    /// A shard slot with no connection yet: the first
+    /// [`try_revive`] dials it eagerly.
+    fn new(addr: &str) -> UpShard {
+        UpShard {
+            addr: addr.to_string(),
+            state: Mutex::new(UpState {
+                pending: HashMap::new(),
+                next_tag: 0,
+                writer: None,
+                teardown: None,
+                gen: 0,
+                readers: Vec::new(),
+                closed: false,
+                next_dial_at: None,
+                backoff: Duration::ZERO,
+                dials: 0,
+            }),
         }
     }
+}
 
-    fn try_connect(addr: &str) -> io::Result<(UpShard, BufReader<TcpStream>)> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let teardown = stream.try_clone()?;
-        let mut writer = stream;
-        writeln!(writer, "{}", codec::HELLO_V3)?;
-        writer.flush()?;
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "shard closed during the hello",
-            ));
+/// First retry interval after a failed shard dial.
+const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Retry interval ceiling: a shard that stays down is probed at most
+/// every two seconds per downstream connection, forever.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(2000);
+
+/// Dial and v3-upgrade one upstream shard socket, returning
+/// `(writer, teardown clone, reader)` halves.
+fn dial(addr: &str) -> io::Result<(TcpStream, TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let teardown = stream.try_clone()?;
+    let mut writer = stream;
+    writeln!(writer, "{}", codec::HELLO_V3)?;
+    writer.flush()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "shard closed during the hello",
+        ));
+    }
+    codec::parse_hello_ok(line.trim_end_matches(['\r', '\n']))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "shard rejected the V3 hello"))?;
+    Ok((writer, teardown, reader))
+}
+
+/// Record a dial attempt and schedule the earliest next one:
+/// exponential backoff doubling to [`DIAL_BACKOFF_CAP`], jittered
+/// uniformly into `[backoff/2, backoff]` so N downstream connections
+/// (or N routers) chasing one dead shard don't redial in lockstep.
+/// Every attempt is paced, even ones whose connect+hello succeed — a
+/// flapping shard that accepts and instantly dies must not be redialed
+/// per request. Only a delivered response frame (proof of a live shard,
+/// see [`upstream_reader`]) resets the cadence.
+fn pace_dial(st: &mut UpState, addr: &str) {
+    st.dials += 1;
+    st.backoff = if st.backoff.is_zero() {
+        DIAL_BACKOFF_BASE
+    } else {
+        (st.backoff * 2).min(DIAL_BACKOFF_CAP)
+    };
+    let nanos = st.backoff.as_nanos() as u64;
+    // splitmix64 over (addr, attempt, wall clock): deterministic inputs
+    // alone would synchronize identical routers started together.
+    let wall = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    let addr_hash = addr.bytes().fold(0u64, |h, b| splitmix64(h ^ u64::from(b)));
+    let r = splitmix64(hash2(splitmix64, addr_hash, st.dials) ^ wall);
+    let jittered = nanos / 2 + r % (nanos / 2 + 1);
+    st.next_dial_at = Some(Instant::now() + Duration::from_nanos(jittered));
+}
+
+/// Try to (re)connect `shard`. On success the fresh socket is installed
+/// under a new generation, its reader thread spawned, and the backoff
+/// reset; on failure the next attempt is scheduled by
+/// [`pace_dial`]. The dial itself runs without the shard lock —
+/// responses and poisoning on other generations proceed meanwhile.
+fn try_revive(
+    shard: &Arc<UpShard>,
+    tx: &SyncSender<Outgoing>,
+    win: &Arc<ConnWindow>,
+    stats: &Arc<SvcStats>,
+) {
+    match dial(&shard.addr) {
+        Ok((writer, teardown, reader)) => {
+            let mut st = shard.state.lock().unwrap();
+            if st.closed {
+                return; // downstream teardown raced the dial: drop it
+            }
+            // The fresh socket is still paced like a failure until it
+            // proves itself with a response frame (the reader resets
+            // the cadence then) — so a flapping shard stays backed off.
+            pace_dial(&mut st, &shard.addr);
+            st.gen += 1;
+            let gen = st.gen;
+            let up = Arc::clone(shard);
+            let (tx, win, stats) = (tx.clone(), Arc::clone(win), Arc::clone(stats));
+            if let Ok(h) = std::thread::Builder::new()
+                .name("mis2-route-up".into())
+                .spawn(move || upstream_reader(reader, up, gen, tx, win, stats))
+            {
+                st.writer = Some(writer);
+                st.teardown = Some(teardown);
+                st.readers.push(h);
+            }
+            // else: no reader, no connection — stay dead, retry later.
         }
-        codec::parse_hello_ok(line.trim_end_matches(['\r', '\n'])).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "shard rejected the V3 hello")
-        })?;
-        Ok((
-            UpShard {
-                state: Mutex::new(UpState {
-                    pending: HashMap::new(),
-                    next_tag: 0,
-                    writer: Some(writer),
-                }),
-                teardown: Some(teardown),
-            },
-            reader,
-        ))
+        Err(_) => {
+            let mut st = shard.state.lock().unwrap();
+            pace_dial(&mut st, &shard.addr);
+        }
     }
 }
 
@@ -441,16 +535,24 @@ fn deliver(
 /// slot. A dead shard (or a write that kills it) answers `ERR shard
 /// down` for this request — and, on a fresh death, for every other tag
 /// that was in flight on the shard, exactly once each (the reader thread
-/// finds an already-empty map when it notices the same death).
+/// finds an already-empty map when it notices the same death). Requests
+/// hitting a dead shard also pace its revival: at most one redial per
+/// jittered backoff interval ([`pace_dial`]), never a connect
+/// per request.
 fn forward(
-    shard: &UpShard,
+    shard: &Arc<UpShard>,
     line: &str,
     reply: Reply,
     tx: &SyncSender<Outgoing>,
-    win: &ConnWindow,
-    stats: &SvcStats,
+    win: &Arc<ConnWindow>,
+    stats: &Arc<SvcStats>,
 ) {
     let mut st = shard.state.lock().unwrap();
+    if st.writer.is_none() && !st.closed && st.next_dial_at.is_none_or(|at| Instant::now() >= at) {
+        drop(st);
+        try_revive(shard, tx, win, stats);
+        st = shard.state.lock().unwrap();
+    }
     if st.writer.is_none() {
         drop(st);
         deliver(reply, codec::STATUS_ERR, b"shard down", tx, win, stats);
@@ -488,13 +590,25 @@ fn forward(
 fn upstream_reader(
     mut reader: BufReader<TcpStream>,
     shard: Arc<UpShard>,
+    gen: u64,
     tx: SyncSender<Outgoing>,
     win: Arc<ConnWindow>,
     stats: Arc<SvcStats>,
 ) {
     let mut payload: Vec<u8> = Vec::new();
+    let mut proven = false;
     while let Ok(Some((tag, status))) = codec::read_frame_into(&mut reader, &mut payload) {
-        let reply = shard.state.lock().unwrap().pending.remove(&tag);
+        let reply = {
+            let mut st = shard.state.lock().unwrap();
+            // First response frame: the shard is demonstrably alive, so
+            // reset the redial cadence it would get on its next death.
+            if !proven && st.gen == gen {
+                proven = true;
+                st.backoff = Duration::ZERO;
+                st.next_dial_at = None;
+            }
+            st.pending.remove(&tag)
+        };
         // An unknown tag means the forwarder already answered it (shard
         // died under the write, then revived enough to respond) — it
         // holds no slot, so drop it.
@@ -504,6 +618,11 @@ fn upstream_reader(
     }
     let drained: Vec<Reply> = {
         let mut st = shard.state.lock().unwrap();
+        // Poison only our own connection generation: if a redial already
+        // installed a fresh socket, its tags are not ours to drain.
+        if st.gen != gen {
+            return;
+        }
         st.writer = None;
         st.pending.drain().map(|(_, r)| r).collect()
     };
@@ -573,23 +692,13 @@ fn handle_router_connection(
             .spawn(move || writer_loop(rx, write_stream, &win, &stats, None))?
     };
     // One eager upstream connection per shard, plus its reader thread.
+    // A shard that can't be dialed starts dead (its keys answer `ERR
+    // shard down`) and is redialed on the backoff cadence as requests
+    // keep arriving for it.
     let mut shards: Vec<Arc<UpShard>> = Vec::with_capacity(shard_addrs.len());
-    let mut up_readers = Vec::new();
     for addr in shard_addrs {
-        let (up, reader) = UpShard::connect(addr);
-        let up = Arc::new(up);
-        if let Some(reader) = reader {
-            let up = Arc::clone(&up);
-            let tx = tx.clone();
-            let win = Arc::clone(&win);
-            let stats = Arc::clone(stats);
-            if let Ok(h) = std::thread::Builder::new()
-                .name("mis2-route-up".into())
-                .spawn(move || upstream_reader(reader, up, tx, win, stats))
-            {
-                up_readers.push(h);
-            }
-        }
+        let up = Arc::new(UpShard::new(addr));
+        try_revive(&up, &tx, &win, stats);
         shards.push(up);
     }
     let result = router_read_loop(
@@ -602,16 +711,23 @@ fn handle_router_connection(
         &win,
         &tx,
     );
-    // Teardown: hard-close the upstream sockets so their readers
-    // unblock, drain any still-pending tags, drop their tx clones, and
-    // exit; then our own sender drops and the writer drains out.
+    // Teardown: mark every shard closed (no further redials), hard-close
+    // the upstream sockets so their readers unblock, join the readers of
+    // every generation, and drop their tx clones; then our own sender
+    // drops and the writer drains out. The join happens outside the
+    // shard lock — a dying reader takes it to drain its pending tags.
     for shard in &shards {
-        if let Some(s) = &shard.teardown {
+        let (socket, readers) = {
+            let mut st = shard.state.lock().unwrap();
+            st.closed = true;
+            (st.teardown.take(), std::mem::take(&mut st.readers))
+        };
+        if let Some(s) = socket {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
-    }
-    for h in up_readers {
-        let _ = h.join();
+        for h in readers {
+            let _ = h.join();
+        }
     }
     drop(tx);
     let _ = writer.join();
@@ -830,8 +946,8 @@ fn route_request(
     ring: &Ring,
     reply: Reply,
     tx: &SyncSender<Outgoing>,
-    win: &ConnWindow,
-    stats: &SvcStats,
+    win: &Arc<ConnWindow>,
+    stats: &Arc<SvcStats>,
 ) {
     let Some((graph, _)) = ops::request_op(req) else {
         // PING/STATS/QUIT are handled before routing; nothing else

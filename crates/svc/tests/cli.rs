@@ -73,6 +73,15 @@ fn zero_mem_budget_stays_legal_as_unbounded() {
 }
 
 #[test]
+fn unknown_io_backend_is_a_usage_error() {
+    let out = mis2svc(&["serve", "--io-backend", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown io backend: bogus"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
 fn zero_pipeline_window_is_a_usage_error() {
     let out = mis2svc(&["workloads", "--addr", "127.0.0.1:1", "--pipeline", "0"]);
     assert_eq!(out.status.code(), Some(2));

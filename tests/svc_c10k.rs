@@ -1,0 +1,210 @@
+//! The ROADMAP C10K acceptance stress, run on the epoll backend: 1 000
+//! idle connections parked in the readiness loop while 8 active clients
+//! drive deep pipelined v3 windows through the same loop thread.
+//!
+//! Three properties are asserted, matching the event-core contract:
+//!
+//! 1. **Bitwise-identical payloads.** Every response from the epoll
+//!    server equals the direct `ops::execute` result in this process AND
+//!    the response a thread-per-conn server gives for the same request —
+//!    the backends are observationally indistinguishable on the wire.
+//! 2. **Gauges drain.** Once the active clients disconnect, the shared
+//!    in-flight gauge reads 0 (nothing stranded in per-connection
+//!    queues or the completion channel).
+//! 3. **No slot leaks.** After the idle thousand disconnect, the `STATS`
+//!    `conns=` gauge falls back to just the probe connection — every one
+//!    of the 1 000 teardowns gave its `ConnSlot` back.
+//!
+//! Idle connections deliberately never complete a hello: they exercise
+//! the loop's ability to hold readable-never sockets at zero cost, and
+//! their teardown path (EOF with no negotiated framing) must still
+//! release slots.
+
+#![cfg(target_os = "linux")]
+
+use mis2::svc::{
+    client::{Client, V3Client},
+    ops,
+    proto::Request,
+    IoBackend, Registry, ServerConfig,
+};
+use mis2_graph::Scale;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const IDLE_CONNS: usize = 1000;
+const ACTIVE_CLIENTS: usize = 8;
+
+/// Six differently-shaped suite graphs (same set as the pipelined e2e
+/// tests) cycled through all three compute ops: 64 requests per client.
+fn request_lines() -> Vec<String> {
+    let graphs = [
+        "ecology2",
+        "parabolic_fem",
+        "thermal2",
+        "tmt_sym",
+        "apache2",
+        "StocF-1465",
+    ];
+    (0..64)
+        .map(|i| {
+            let g = graphs[i % graphs.len()];
+            match (i / graphs.len()) % 4 {
+                0 => format!("MIS2 {g}"),
+                1 => format!("COARSEN {g} 2"),
+                2 => format!("SOLVE {g} cg"),
+                _ => format!("COARSEN {g} 3"),
+            }
+        })
+        .collect()
+}
+
+/// Expected payloads via the direct library path: no server, socket, or
+/// scheduler in the loop.
+fn direct_responses(lines: &[String]) -> Vec<String> {
+    let reg = Registry::new(Scale::Tiny);
+    lines
+        .iter()
+        .map(|line| ops::execute(&reg, &Request::parse(line).unwrap()))
+        .collect()
+}
+
+/// Parse the `conns=` gauge out of a `STATS` report line.
+fn conns_gauge(stats_line: &str) -> usize {
+    stats_line
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("conns="))
+        .unwrap_or_else(|| panic!("no conns= field in {stats_line:?}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn c10k_idle_thousand_plus_eight_pipelined_v3_clients() {
+    let lines = request_lines();
+    let want = direct_responses(&lines);
+    for w in &want {
+        assert!(w.starts_with("OK "), "direct call failed: {w}");
+    }
+
+    // Reference run on the portable fallback: the thread-per-conn
+    // backend must produce byte-identical responses for the same lines.
+    let threads_handle = mis2::svc::serve(ServerConfig {
+        threads: 2,
+        scale: Scale::Tiny,
+        io_backend: IoBackend::Threads,
+        ..Default::default()
+    })
+    .unwrap();
+    let via_threads = {
+        let mut client = V3Client::connect(threads_handle.addr(), 64).unwrap();
+        let got = client.request_many(&lines).unwrap();
+        client.quit().unwrap();
+        got
+    };
+    threads_handle.shutdown();
+    assert_eq!(
+        via_threads, want,
+        "threads backend differs from direct calls"
+    );
+
+    let handle = mis2::svc::serve(ServerConfig {
+        threads: 2,
+        scale: Scale::Tiny,
+        max_conns: IDLE_CONNS + 100,
+        io_backend: IoBackend::Epoll,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // Park a thousand idle connections in the readiness loop. They never
+    // send a byte; the loop must hold them without burning a thread each
+    // (with thread-per-conn this very step would spawn 1 000 threads).
+    let idle: Vec<TcpStream> = (0..IDLE_CONNS)
+        .map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle conn {i} failed: {e}")))
+        .collect();
+
+    // Drive the active eight *through* the parked thousand: deep v3
+    // windows, out-of-order completions, vectored batch writes.
+    std::thread::scope(|s| {
+        for c in 0..ACTIVE_CLIENTS {
+            let (lines, want, via_threads) = (&lines, &want, &via_threads);
+            s.spawn(move || {
+                let window = 1usize << (c.min(6));
+                let mut client = V3Client::connect(addr, window)
+                    .unwrap_or_else(|e| panic!("client {c} cannot connect: {e}"));
+                let got = client
+                    .request_many(lines)
+                    .unwrap_or_else(|e| panic!("client {c} (window {window}): {e}"));
+                assert_eq!(got.len(), want.len());
+                for (i, g) in got.iter().enumerate() {
+                    assert_eq!(
+                        g, &want[i],
+                        "client {c} (window {window}): epoll response for {:?} \
+                         differs from the direct library call",
+                        lines[i]
+                    );
+                    assert_eq!(
+                        g, &via_threads[i],
+                        "client {c} (window {window}): epoll response for {:?} \
+                         differs from the threads backend",
+                        lines[i]
+                    );
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    // Gauge drain: every active client has disconnected, so nothing may
+    // remain in flight even though a thousand sockets are still parked.
+    let svc = handle.svc_stats();
+    assert_eq!(
+        svc.inflight.load(Ordering::Relaxed),
+        0,
+        "in-flight gauge must drain to zero with idle connections parked"
+    );
+    let peak = svc.peak_inflight.load(Ordering::Relaxed);
+    assert!(
+        (4..=64).contains(&peak),
+        "peak window depth {peak} outside 4..=64"
+    );
+
+    // With the thousand still parked, conns= must count them. The probe
+    // connection counts itself, hence +1.
+    let mut probe = Client::connect(addr).unwrap();
+    let line = probe.request("STATS").unwrap();
+    let during = conns_gauge(&line);
+    assert!(
+        during > IDLE_CONNS,
+        "conns={during} while {IDLE_CONNS} idle connections are parked"
+    );
+    assert!(
+        line.contains("io_backend=epoll"),
+        "unexpected STATS: {line}"
+    );
+    probe.quit().unwrap();
+
+    // Slot-leak proof: drop the idle thousand and poll until conns= is
+    // back to exactly the probe. EOF teardown of a never-negotiated
+    // connection must still release its ConnSlot, all 1 000 times.
+    drop(idle);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut probe = Client::connect(addr).unwrap();
+        let now = conns_gauge(&probe.request("STATS").unwrap());
+        probe.quit().unwrap();
+        if now == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot leak: conns={now} never drained to 1 after idle teardown"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(svc.inflight.load(Ordering::Relaxed), 0);
+    handle.shutdown();
+}

@@ -308,6 +308,178 @@ fn killing_one_shard_fails_fast_and_spares_survivors() {
 }
 
 #[test]
+fn dead_shard_redial_is_paced_not_hotlooped() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    // A flapping shard: answers the v3 hello — so the router's startup
+    // probe and every later dial "succeed" — then hangs up immediately.
+    // Each accept is one router dial: the observable retry cadence.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let shard_addr = listener.local_addr().unwrap().to_string();
+    let accepts = Arc::new(AtomicUsize::new(0));
+    {
+        let accepts = Arc::clone(&accepts);
+        std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                accepts.fetch_add(1, Ordering::Relaxed);
+                let mut line = String::new();
+                let _ = BufReader::new(s.try_clone().unwrap()).read_line(&mut line);
+                let _ = writeln!(s, "{}", mis2::svc::codec::hello_ok(64));
+            }
+        });
+    }
+
+    let router = mis2::svc::route(RouterConfig {
+        shards: vec![shard_addr],
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = mis2::svc::Client::connect(router.addr()).unwrap();
+
+    // Hammer the dead shard with a fast sequential request stream. A
+    // hot-looping reconnect would dial once per request; the jittered
+    // backoff (base 50ms doubling to 2s) must keep the dial count to
+    // the eager connect plus a handful of due retries.
+    let burst = 50;
+    for _ in 0..burst {
+        let got = client.request("MIS2 ecology2").unwrap();
+        assert_eq!(got, "ERR shard down");
+    }
+    let dials = accepts.load(Ordering::Relaxed);
+    assert!(
+        dials <= 10,
+        "{burst} requests against a dead shard dialed it {dials} times — reconnect is hot-looping"
+    );
+    assert!(dials >= 1, "the eager dial must have been attempted");
+
+    // A second immediate burst rides the (now doubled) backoff window:
+    // at most a couple more dials.
+    for _ in 0..burst {
+        let got = client.request("MIS2 ecology2").unwrap();
+        assert_eq!(got, "ERR shard down");
+    }
+    let more = accepts.load(Ordering::Relaxed) - dials;
+    assert!(
+        more <= 5,
+        "second burst added {more} dials — backoff is not growing"
+    );
+
+    client.quit().unwrap();
+    assert_eq!(router.svc_stats().inflight.load(Ordering::Relaxed), 0);
+    router.shutdown();
+}
+
+#[test]
+fn dead_shard_revives_once_it_comes_back() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+
+    // A real backend fronted by a controllable byte-splicing proxy: the
+    // proxy's address is the "shard", and flipping `up` simulates the
+    // shard dying and coming back on the *same* address — no port-reuse
+    // races.
+    let backend = mis2::svc::serve(ServerConfig {
+        threads: 2,
+        scale: Scale::Tiny,
+        ..Default::default()
+    })
+    .unwrap();
+    let backend_addr = backend.addr();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let shard_addr = listener.local_addr().unwrap().to_string();
+    let up = Arc::new(AtomicBool::new(true));
+    let live: Arc<Mutex<Vec<std::net::TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let (up, live) = (Arc::clone(&up), Arc::clone(&live));
+        std::thread::spawn(move || {
+            while let Ok((down, _)) = listener.accept() {
+                if !up.load(Ordering::SeqCst) {
+                    continue; // hang up: this dial fails its hello
+                }
+                let Ok(upstream) = std::net::TcpStream::connect(backend_addr) else {
+                    continue;
+                };
+                {
+                    let mut l = live.lock().unwrap();
+                    l.push(down.try_clone().unwrap());
+                    l.push(upstream.try_clone().unwrap());
+                }
+                let (mut dr, mut dw) = (down.try_clone().unwrap(), down);
+                let (mut ur, mut uw) = (upstream.try_clone().unwrap(), upstream);
+                std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut dr, &mut uw);
+                    let _ = uw.shutdown(std::net::Shutdown::Both);
+                });
+                std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut ur, &mut dw);
+                    let _ = dw.shutdown(std::net::Shutdown::Both);
+                });
+            }
+        });
+    }
+
+    let router = mis2::svc::route(RouterConfig {
+        shards: vec![shard_addr],
+        ..Default::default()
+    })
+    .unwrap();
+    let mut client = mis2::svc::Client::connect(router.addr()).unwrap();
+    let want = {
+        let reg = Registry::new(Scale::Tiny);
+        ops::execute(&reg, &Request::parse("MIS2 ecology2").unwrap())
+    };
+    assert_eq!(
+        client.request("MIS2 ecology2").unwrap(),
+        want,
+        "healthy shard must serve through the proxy"
+    );
+
+    // Kill the shard: stop proxying new dials and sever every live
+    // splice. The same downstream connection must flip to fail-fast.
+    up.store(false, Ordering::SeqCst);
+    for s in live.lock().unwrap().drain(..) {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let got = client.request("MIS2 ecology2").unwrap();
+        if got == "ERR shard down" {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "severed shard never went down: last response {got:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Revive: the next due redial splices to the live backend again and
+    // byte-identical service resumes on the same downstream connection,
+    // within the backoff cap.
+    up.store(true, Ordering::SeqCst);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let got = client.request("MIS2 ecology2").unwrap();
+        if got != "ERR shard down" {
+            assert_eq!(got, want, "revived shard must serve byte-identically");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard never revived within the backoff cap"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    client.quit().unwrap();
+    assert_eq!(router.svc_stats().inflight.load(Ordering::Relaxed), 0);
+    router.shutdown();
+    backend.shutdown();
+}
+
+#[test]
 fn ring_rebalance_only_moves_keys_whose_owner_changed() {
     // Grow 3 -> 4 shards: every key either keeps its owner or moves to
     // the new shard — never between old shards — so a rolling resize
