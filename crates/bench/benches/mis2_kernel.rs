@@ -1,0 +1,208 @@
+//! Kernel-level A/B of the adaptive MIS-2 engine against the frozen seed
+//! engine ([`mis2_core::reference`]) — the pre-PR implementation kept
+//! verbatim for exactly this comparison.
+//!
+//! Three graph classes × pool sizes {1, 4, 8}:
+//!
+//! * `laplace3d` — bounded-degree mesh. The adaptive layer must be free
+//!   here (single flat class, no partition): acceptance is **≤ 3%**
+//!   regression.
+//! * `erdos_renyi` — concentrated degrees near the small/medium border;
+//!   same ≤ 3% bound.
+//! * `rmat` — power-law. The seed engine serializes whole scheduler
+//!   blocks behind hub rows (its per-vertex `SIMD_MIN_DEGREE` branch runs
+//!   a *nested* reduction, which the execution layer runs serially on one
+//!   worker); the bucketed dispatch runs hub rows team-wide at top level.
+//!   Acceptance: **≥ 1.3×** end-to-end at 8 threads.
+//!
+//! Every timed pair also asserts the two engines' results are equal, so
+//! the bench doubles as an equivalence smoke test — including under the
+//! CI `taskset -c 0` leg, which pins to one CPU and proves the serial
+//! tail path end to end.
+//!
+//! Output: per-cell ns/round and speedup on stdout, and the full matrix
+//! as `BENCH_kernel.json` (override the path with `BENCH_KERNEL_JSON=`)
+//! for the CI artifact upload. `--quick` (or `MIS2_KERNEL_QUICK=1`)
+//! shrinks the graphs and repetitions for smoke runs.
+
+use mis2_core::{mis2_with_config, reference, Mis2Config, Mis2Result};
+use mis2_graph::{gen, CsrGraph};
+use mis2_prim::pool::with_pool;
+use std::io::Write as _;
+use std::time::Instant;
+
+const POOLS: [usize; 3] = [1, 4, 8];
+
+struct Cell {
+    graph: &'static str,
+    pool: usize,
+    ref_ms: f64,
+    engine_ms: f64,
+    ns_per_round_ref: f64,
+    ns_per_round_engine: f64,
+    speedup: f64,
+    iterations: usize,
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("MIS2_KERNEL_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false)
+}
+
+fn graphs(quick: bool) -> Vec<(&'static str, CsrGraph)> {
+    if quick {
+        vec![
+            ("laplace3d", gen::laplace3d(20, 20, 20)),
+            ("erdos_renyi", gen::erdos_renyi(20_000, 160_000, 11)),
+            ("rmat", gen::rmat(14, 16, 0.65, 0.15, 0.15, 5)),
+        ]
+    } else {
+        vec![
+            ("laplace3d", gen::laplace3d(60, 60, 60)),
+            ("erdos_renyi", gen::erdos_renyi(200_000, 1_600_000, 11)),
+            ("rmat", gen::rmat(18, 16, 0.65, 0.15, 0.15, 5)),
+        ]
+    }
+}
+
+/// Best-of-`reps` wall time in seconds (minimum filters scheduler noise,
+/// which only ever adds time).
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn write_json(
+    cells: &[Cell],
+    quick: bool,
+    rmat_p8: f64,
+    mesh_worst_pct: f64,
+) -> std::io::Result<String> {
+    let path =
+        std::env::var("BENCH_KERNEL_JSON").unwrap_or_else(|_| "BENCH_kernel.json".to_string());
+    let mut out = String::from("{\n  \"bench\": \"mis2_kernel\",\n  \"schema\": 1,\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    out.push_str(&format!("  \"speedup_rmat_pool8\": {rmat_p8:.3},\n"));
+    out.push_str(&format!(
+        "  \"mesh_worst_regression_pct\": {mesh_worst_pct:.2},\n"
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"pool\": {}, \"ref_ms\": {:.3}, \"engine_ms\": {:.3}, \
+             \"ns_per_round_ref\": {:.0}, \"ns_per_round_engine\": {:.0}, \
+             \"speedup\": {:.3}, \"iterations\": {}}}{}\n",
+            c.graph,
+            c.pool,
+            c.ref_ms,
+            c.engine_ms,
+            c.ns_per_round_ref,
+            c.ns_per_round_engine,
+            c.speedup,
+            c.iterations,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::File::create(&path)?.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let reps = if quick { 2 } else { 5 };
+    let cfg = Mis2Config::default();
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for (name, g) in graphs(quick) {
+        for pool in POOLS {
+            // Warm the pool and the page cache once per cell.
+            let want: Mis2Result = with_pool(pool, || reference::mis2_with_config(&g, &cfg));
+            let (ref_s, want2) = best_of(reps, || {
+                with_pool(pool, || reference::mis2_with_config(&g, &cfg))
+            });
+            assert_eq!(want, want2, "seed engine nondeterministic on {name}");
+            let (eng_s, got) = best_of(reps, || with_pool(pool, || mis2_with_config(&g, &cfg)));
+            // Equivalence gate: a fast wrong kernel is worthless. Under the
+            // CI 1-CPU taskset leg this asserts the serial tail path too.
+            assert_eq!(
+                got, want,
+                "adaptive engine diverges on {name} at pool {pool}"
+            );
+
+            let rounds = want.iterations.max(1) as f64;
+            let cell = Cell {
+                graph: name,
+                pool,
+                ref_ms: ref_s * 1e3,
+                engine_ms: eng_s * 1e3,
+                ns_per_round_ref: ref_s * 1e9 / rounds,
+                ns_per_round_engine: eng_s * 1e9 / rounds,
+                speedup: ref_s / eng_s,
+                iterations: want.iterations,
+            };
+            println!(
+                "mis2_kernel/{name}/p{pool}: seed {:.3} ms, adaptive {:.3} ms, \
+                 {:.0} -> {:.0} ns/round, speedup {:.2}x ({} rounds)",
+                cell.ref_ms,
+                cell.engine_ms,
+                cell.ns_per_round_ref,
+                cell.ns_per_round_engine,
+                cell.speedup,
+                cell.iterations
+            );
+            cells.push(cell);
+        }
+    }
+
+    let get = |graph: &str, pool: usize| {
+        cells
+            .iter()
+            .find(|c| c.graph == graph && c.pool == pool)
+            .map(|c| c.speedup)
+            .unwrap()
+    };
+    let rmat_p8 = get("rmat", 8);
+    // Worst regression across every mesh/uniform cell (all pools):
+    // positive = slower than the seed engine.
+    let mesh_worst_pct = cells
+        .iter()
+        .filter(|c| c.graph != "rmat")
+        .map(|c| (1.0 / c.speedup - 1.0) * 100.0)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "mis2_kernel/acceptance: rmat pool-8 speedup {rmat_p8:.2}x (target >= 1.3x), \
+         mesh/uniform worst regression {mesh_worst_pct:+.2}% (target <= 3%)"
+    );
+    if host_cpus() < 2 {
+        // The pool-8 cells measure thread-pool overhead, not parallelism,
+        // when the host has one hardware thread; the speedup target
+        // presumes >= 8 cores. The p1 cells (serial fused-pass wins) are
+        // the meaningful comparison on such hosts.
+        println!(
+            "mis2_kernel/note: host has 1 CPU — multi-thread cells cannot show parallel \
+             speedup; see the pool-1 cells for the fused-pass win"
+        );
+    }
+
+    match write_json(&cells, quick, rmat_p8, mesh_worst_pct) {
+        Ok(path) => println!("mis2_kernel/json: wrote {path}"),
+        Err(e) => eprintln!("mis2_kernel/json: write failed: {e}"),
+    }
+}

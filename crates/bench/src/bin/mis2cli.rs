@@ -100,7 +100,7 @@ fn load_graph(a: &Args) -> CsrGraph {
             eprintln!("no input: pass --mtx FILE or --workload NAME");
             eprintln!(
                 "workloads: {}",
-                suite::workloads()
+                suite::all_workloads()
                     .iter()
                     .map(|w| w.name)
                     .collect::<Vec<_>>()

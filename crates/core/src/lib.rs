@@ -25,6 +25,8 @@
 //! * [`luby`] — Luby's Algorithm A for MIS-1.
 //! * [`misk`] — Algorithm 1 generalized to arbitrary distance k.
 //! * [`oracle`] — `MIS-1(G²)` as an independent MIS-2 oracle (Lemma IV.2).
+//! * [`reference`] — the frozen seed engine (pre-adaptive execution), the
+//!   bitwise-equivalence oracle and the kernel bench baseline.
 //! * [`mod@tuple`] — packed and 3-field status tuples (Section V-C).
 //! * [`priority`] — Fixed / xorshift / xorshift\* priority schemes
 //!   (Section V-A, Table I).
@@ -43,6 +45,7 @@ pub mod luby;
 pub mod misk;
 pub mod oracle;
 pub mod priority;
+pub mod reference;
 pub mod tuple;
 pub mod verify;
 

@@ -219,11 +219,11 @@ fn cmd_route(argv: &[String]) {
     }
 }
 
-/// The sweep the CI smoke legs run: MIS2 + COARSEN 2 per suite workload,
-/// plus one solve per method.
+/// The sweep the CI smoke legs run: MIS2 + COARSEN 2 per suite workload
+/// (Table II plus the R-MAT power-law extras), plus one solve per method.
 fn sweep_lines() -> Vec<String> {
     let mut lines: Vec<String> = Vec::new();
-    for w in suite::workloads() {
+    for w in suite::all_workloads() {
         lines.push(format!("MIS2 {}", w.name));
         lines.push(format!("COARSEN {} 2", w.name));
     }
@@ -257,7 +257,7 @@ fn cmd_workloads(argv: &[String]) {
     }
     let (addr, window) = match (addr, pipeline) {
         (None, None) => {
-            for w in suite::workloads() {
+            for w in suite::all_workloads() {
                 println!("{}", w.name);
             }
             return;

@@ -1,0 +1,150 @@
+//! Adaptive-engine equivalence: the degree-bucketed / fused / tail-path
+//! engine must be **bitwise-identical** to the frozen seed engine
+//! ([`mis2_core::reference`]) — full `Mis2Result` equality, history
+//! included — for every configuration, pool size and feature backend.
+//!
+//! The config matrix is the full 24-point cube (3 priority schemes × 2
+//! worklist modes × 2 tuple representations × 2 SIMD modes), which
+//! contains the 5-step Figure 2 ablation ladder as a subset; pool sizes
+//! {1, 2, 3, 5, 8} cover the serial path, odd non-divisor team sizes and
+//! oversubscription. CI runs this file under both feature sets, so the
+//! serial backend is covered by the same assertions.
+//!
+//! Graph selection targets each execution strategy:
+//! * `laplace3d` — low bounded degree: single flat class (no partition);
+//! * `erdos_renyi` — concentrated degrees around the small/medium border;
+//! * `rmat` — power-law: all three degree classes populated at once;
+//! * `star` — one huge hub (team-wide reduction) plus all-small leaves;
+//! * `path` (300 vertices) — below `TAIL_CUTOFF` from round 0, so every
+//!   round takes the serial tail path.
+
+use mis2_core::{mis2_with_config, reference, Mis2Config, PriorityScheme, SimdMode};
+use mis2_graph::{gen, CsrGraph};
+use mis2_prim::hash::splitmix64;
+use mis2_prim::pool::with_pool;
+
+/// The full 24-config cube (supersedes the ladder: every ladder step is one
+/// of these points, modulo the seed, which `seeded` varies separately).
+fn all_configs() -> Vec<Mis2Config> {
+    let mut out = Vec::new();
+    for priorities in [
+        PriorityScheme::Fixed,
+        PriorityScheme::XorHash,
+        PriorityScheme::XorStar,
+    ] {
+        for use_worklists in [false, true] {
+            for packed in [false, true] {
+                for simd in [SimdMode::Off, SimdMode::On] {
+                    out.push(Mis2Config {
+                        priorities,
+                        use_worklists,
+                        packed,
+                        simd,
+                        seed: 0,
+                    });
+                }
+            }
+        }
+    }
+    assert_eq!(out.len(), 24);
+    out
+}
+
+const POOLS: [usize; 5] = [1, 2, 3, 5, 8];
+
+/// Assert engine == reference for every config at every pool size. The
+/// reference result is computed once at pool 1 (the reference's own
+/// pool-independence is covered by the cross_backend goldens).
+fn assert_equiv(name: &str, g: &CsrGraph) {
+    for cfg in all_configs() {
+        let want = with_pool(1, || reference::mis2_with_config(g, &cfg));
+        for threads in POOLS {
+            let got = with_pool(threads, || mis2_with_config(g, &cfg));
+            assert_eq!(
+                got, want,
+                "{name}: adaptive engine diverges from seed engine for {cfg:?} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn equiv_mesh_single_class() {
+    assert_equiv("laplace3d", &gen::laplace3d(10, 10, 10));
+}
+
+#[test]
+fn equiv_random_small_medium_border() {
+    assert_equiv("erdos_renyi", &gen::erdos_renyi(2000, 8000, 11));
+}
+
+#[test]
+fn equiv_powerlaw_all_classes() {
+    assert_equiv("rmat", &gen::rmat(11, 16, 0.65, 0.15, 0.15, 5));
+}
+
+#[test]
+fn equiv_star_huge_hub() {
+    // Hub degree above the huge-class cutoff (2^17): the team-wide
+    // top-level reduction path must match the seed's nested (serial)
+    // reduction bit for bit.
+    assert_equiv("star", &gen::star((1 << 17) + 10));
+}
+
+#[test]
+fn equiv_tail_path_only() {
+    // 300 vertices < TAIL_CUTOFF: the whole run is the serial tail path
+    // regardless of mode; it must still match the seed engine's parallel
+    // primitives bit for bit.
+    assert_equiv("path", &gen::path(300));
+}
+
+#[test]
+fn equiv_seeded_property_graphs() {
+    // splitmix64-derived property sweep: random graphs with random
+    // nontrivial configs and seeds, every pool size. Catches anything the
+    // targeted graphs above miss (e.g. odd n, near-cutoff frontiers).
+    for i in 0u64..6 {
+        let s = splitmix64(0xE9_17 ^ i);
+        let n = 500 + (s % 2500) as usize;
+        let m = n * (2 + (splitmix64(s) % 6) as usize);
+        let g = gen::erdos_renyi(n, m, s ^ 0xABCD);
+        let cfg = Mis2Config {
+            priorities: [
+                PriorityScheme::Fixed,
+                PriorityScheme::XorHash,
+                PriorityScheme::XorStar,
+            ][(s % 3) as usize],
+            use_worklists: s & 8 != 0,
+            packed: s & 16 != 0,
+            simd: if s & 32 != 0 {
+                SimdMode::On
+            } else {
+                SimdMode::Auto
+            },
+            seed: splitmix64(s ^ 0x5EED),
+        };
+        let want = with_pool(1, || reference::mis2_with_config(&g, &cfg));
+        for threads in POOLS {
+            let got = with_pool(threads, || mis2_with_config(&g, &cfg));
+            assert_eq!(
+                got, want,
+                "seeded graph {i} ({n} vertices) {cfg:?} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn equiv_ladder_on_powerlaw() {
+    // The exact Figure 2 ablation ladder (the old toggles) on the graph
+    // class the adaptive layer targets.
+    let g = gen::rmat(12, 8, 0.6, 0.2, 0.1, 7);
+    for (label, cfg) in Mis2Config::ladder() {
+        let want = with_pool(1, || reference::mis2_with_config(&g, &cfg));
+        for threads in POOLS {
+            let got = with_pool(threads, || mis2_with_config(&g, &cfg));
+            assert_eq!(got, want, "ladder step {label} at {threads} threads");
+        }
+    }
+}
